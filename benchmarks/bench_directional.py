@@ -1,0 +1,272 @@
+"""Reproduction of Section 6.1: directional tiling vs regular tiling.
+
+One bench per paper artefact:
+
+* Table 1 — benchmark data-cube specification (E1);
+* Table 2 — tiling schemes (E2);
+* Table 3 — query set and data sizes (E3);
+* Table 4 — speedups of Dir64K3P over Reg32K (E4);
+* Figure 7 — time components for queries e, f, g (E5);
+* extended 375 MB cubes (E6);
+* the load-time note — tiling cost vs insert cost (E10).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Reproduced tables land
+in ``benchmarks/results/``; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import PAPER_TABLE4, write_result
+
+from repro.bench import salescube
+from repro.bench.harness import run_benchmark
+from repro.bench.report import format_table, timing_components_rows
+
+from repro.storage.tilestore import Database
+from repro.tiling.directional import category_intervals
+
+BEST_DIR = "Dir64K3P"
+BEST_REG = "Reg32K"
+
+
+def test_table1_cube_specification(benchmark, sales_data):
+    """E1: the cube matches Table 1 (domain, categories, 16.7 MB)."""
+    mdd = salescube.sales_mdd_type()
+    benchmark(salescube.partitions_3p)
+    months = category_intervals(salescube.month_boundaries(), 1, 730)
+    classes = category_intervals(salescube.PRODUCT_CLASS_BOUNDARIES, 1, 60)
+    districts = category_intervals(salescube.DISTRICT_BOUNDARIES, 1, 100)
+    assert salescube.SALES_DOMAIN.shape == (730, 60, 100)
+    assert (len(months), len(classes), len(districts)) == (24, 3, 8)
+    assert sales_data.nbytes == salescube.SALES_DOMAIN.cell_count * mdd.cell_size
+    rows = [
+        ["1", "Days (730)", "Months (24)", f"{salescube.month_boundaries()[:3]}..."],
+        ["2", "Products (60)", "Classes (3)", str(salescube.PRODUCT_CLASS_BOUNDARIES)],
+        ["3", "Stores (100)", "Districts (8)", str(salescube.DISTRICT_BOUNDARIES)],
+    ]
+    write_result(
+        "table1_spec.txt",
+        format_table(["Dim", "Cells", "Categories", "Partition"], rows,
+                     title="Table 1: benchmark data cube specification"),
+    )
+
+
+def test_table2_schemes_tile_within_bounds(benchmark):
+    """E2: every Table 2 scheme yields a valid partition within its
+    MaxTileSize; Dir128K3P/Dir256K3P are correctly absent."""
+    schemes = salescube.build_schemes()
+    mdd = salescube.sales_mdd_type()
+
+    def tile_all():
+        return {
+            name: strategy.tile(salescube.SALES_DOMAIN, mdd.cell_size)
+            for name, strategy in schemes.items()
+        }
+
+    specs = benchmark(tile_all)
+    rows = []
+    for name, spec in sorted(specs.items()):
+        sizes = spec.tile_bytes()
+        assert max(sizes) <= spec.max_tile_size
+        rows.append(
+            [name, spec.tile_count, f"{np.mean(sizes) / 1024:.1f}K",
+             f"{max(sizes) / 1024:.1f}K"]
+        )
+    assert "Dir128K3P" not in specs and "Dir256K3P" not in specs
+    write_result(
+        "table2_schemes.txt",
+        format_table(["Scheme", "Tiles", "AvgTile", "MaxTile"], rows,
+                     title="Table 2: tiling schemes"),
+    )
+
+
+def test_table3_query_set(benchmark):
+    """E3: the ten queries match the paper's regions and KB sizes."""
+    paper_kb = {"a": 13, "b": 52.5, "c": 164, "d": 342, "e": 656,
+                "f": 1400, "g": 4300, "h": 4300, "i": 8500, "j": 164}
+
+    def resolve_all():
+        return {
+            name: region.resolve(salescube.SALES_DOMAIN)
+            for name, region in salescube.QUERIES.items()
+        }
+
+    resolved = benchmark(resolve_all)
+    rows = []
+    for name, region in resolved.items():
+        size_kb = region.cell_count * 4 / 1024
+        assert abs(size_kb - paper_kb[name]) / paper_kb[name] < 0.07
+        rows.append(
+            [name, str(salescube.QUERIES[name]), f"{size_kb:.1f}",
+             salescube.QUERY_SELECTS[name]]
+        )
+    write_result(
+        "table3_queries.txt",
+        format_table(["Query", "Region", "KB", "Selected"], rows,
+                     title="Table 3: queries for the directional tiling test"),
+    )
+
+
+def test_table4_speedups(benchmark, sales_results):
+    """E4: Dir64K3P over Reg32K for t_o, t_totalaccess, t_totalcpu.
+
+    Assertions pin the paper's qualitative findings:
+    * Reg32K is the best regular scheme, Dir64K3P the best directional;
+    * directional wins every query on every reported component;
+    * small queries (a-c) see larger t_o speedups than large ones (d-i).
+    """
+    region = salescube.QUERIES["a"]
+    mdd = sales_results.scheme(BEST_DIR).mdd
+    benchmark(lambda: mdd.read(region))
+
+    schemes = list(sales_results.runs)
+    regulars = [n for n in schemes if n.startswith("Reg")]
+    directionals = [n for n in schemes if n.startswith("Dir")]
+    assert sales_results.best_scheme("t_totalcpu", names=regulars) == BEST_REG
+    assert sales_results.best_scheme("t_totalcpu", names=directionals) == BEST_DIR
+
+    speedups = sales_results.speedups(BEST_DIR, BEST_REG)
+    rows = []
+    for query, ratios in speedups.items():
+        for component, value in ratios.items():
+            assert value > 1.0, (query, component, value)
+        rows.append(
+            [query] + [f"{ratios[c]:.1f}" for c in
+                       ("t_o", "t_totalaccess", "t_totalcpu")]
+            + [f"{PAPER_TABLE4[query][c]:.1f}" for c in
+               ("t_o", "t_totalaccess", "t_totalcpu")]
+        )
+
+    small = np.mean([speedups[q]["t_o"] for q in "abc"])
+    large = np.mean([speedups[q]["t_o"] for q in "defghi"])
+    assert small > large  # border-tile optimisation matters more when small
+
+    write_result(
+        "table4_speedups.txt",
+        format_table(
+            ["Query", "t_o", "t_acc", "t_cpu",
+             "paper t_o", "paper t_acc", "paper t_cpu"],
+            rows,
+            title=f"Table 4: speedup of {BEST_DIR} over {BEST_REG}",
+        ),
+    )
+
+
+def test_table4_scheme_winners(benchmark, sales_results):
+    """E4 (text): 2P schemes win exactly the queries without a
+    product-class restriction (b, e, f, h, i); j is won by a 2P scheme."""
+    benchmark(lambda: sales_results.best_scheme("t_totalcpu"))
+    winners = {}
+    for query in salescube.QUERIES:
+        winners[query] = min(
+            sales_results.runs,
+            key=lambda n: sales_results.runs[n].timings[query].t_totalcpu,
+        )
+    for query in salescube.QUERIES_2P_FAVOURED:
+        assert "2P" in winners[query], (query, winners[query])
+    assert "2P" in winners["j"]  # "unexpected query j ... most efficiently 2P"
+    write_result(
+        "table4_winners.txt",
+        format_table(["Query", "Fastest scheme"], sorted(winners.items()),
+                     title="Per-query winners (t_totalcpu)"),
+    )
+
+
+def test_figure7_time_components(benchmark, sales_results):
+    """E5: time components for queries e, f, g under Dir64K3P and Reg32K.
+
+    The figure's shape: t_o is a significant part of total time, and the
+    directional bars are lower than the regular ones.
+    """
+    benchmark(lambda: sales_results.scheme(BEST_DIR).timings["e"].t_totalcpu)
+    blocks = []
+    for scheme in (BEST_DIR, BEST_REG):
+        timings = {
+            q: sales_results.scheme(scheme).timings[q] for q in "efg"
+        }
+        for query, timing in timings.items():
+            assert timing.t_o / timing.t_totalcpu > 0.3, (scheme, query)
+        blocks.append(f"{scheme}\n{timing_components_rows(timings)}")
+    for query in "efg":
+        assert (
+            sales_results.scheme(BEST_DIR).timings[query].t_totalcpu
+            < sales_results.scheme(BEST_REG).timings[query].t_totalcpu
+        )
+    from repro.bench.figures import figure_for_schemes
+
+    figure = figure_for_schemes(
+        {
+            scheme: sales_results.scheme(scheme).timings
+            for scheme in (BEST_DIR, BEST_REG)
+        },
+        queries=list("efg"),
+        title="Figure 7: times for queries e, f and g",
+    )
+    write_result(
+        "figure7_components.txt",
+        figure + "\n\n" + "\n\n".join(blocks),
+    )
+
+
+def test_extended_cubes_375mb(benchmark):
+    """E6: the 375 MB cubes (virtual payloads).  The paper finds lower
+    gains than on the small cubes — t_ix grows while t_o stays fixed —
+    and Dir64K3P slightly *loses* query d."""
+    results = run_benchmark(
+        salescube.extended_schemes(),
+        salescube.sales_mdd_type(salescube.EXTENDED_DOMAIN),
+        data=None,
+        queries=salescube.QUERIES,
+        runs=1,
+        domain=salescube.EXTENDED_DOMAIN,
+    )
+    benchmark(
+        lambda: results.scheme(BEST_DIR).mdd.read(salescube.QUERIES["a"])
+    )
+    speedups = results.speedups(BEST_DIR, BEST_REG)
+    rows = []
+    for query, ratios in speedups.items():
+        rows.append([query] + [f"{ratios[c]:.2f}" for c in
+                               ("t_o", "t_totalaccess", "t_totalcpu")])
+    # Paper: "for query d performance was worse for Dir64K3P ... about
+    # 90% total times"; the expected queries a-i (minus d) land at
+    # 1.1-2.7 for t_totalaccess.  Query j is the deliberately unexpected
+    # access and is not covered by the paper's extended-cube claim.
+    others = [speedups[q]["t_totalaccess"] for q in "abcefghi"]
+    assert min(others) >= 1.0
+    assert max(others) < 5.0
+    assert 0.8 < speedups["d"]["t_totalaccess"] < 1.5  # near parity
+    write_result(
+        "extended_cubes.txt",
+        format_table(["Query", "t_o", "t_acc", "t_cpu"], rows,
+                     title="Extended 375MB cubes: Dir64K3P over Reg32K"),
+    )
+
+
+def test_load_time_split(benchmark, sales_data):
+    """E10: tiling-algorithm time is negligible against data-insert time
+    (the paper: ~3 minutes per scheme, dominated by insertion)."""
+    database = Database()
+    mdd = database.create_object(
+        "bench", salescube.sales_mdd_type(), "loadsplit"
+    )
+    strategy = salescube.build_schemes()[BEST_DIR]
+
+    def load_once():
+        mdd.drop()
+        return mdd.load_array(sales_data, strategy, origin=(1, 1, 1))
+
+    stats = benchmark.pedantic(load_once, rounds=2, iterations=1)
+    assert stats.tiling_ms < stats.store_ms
+    write_result(
+        "load_time_split.txt",
+        format_table(
+            ["Phase", "ms"],
+            [["tiling algorithm", f"{stats.tiling_ms:.1f}"],
+             ["tile insertion", f"{stats.store_ms:.1f}"],
+             ["tiles", stats.tile_count]],
+            title="Load-time split (Dir64K3P)",
+        ),
+    )

@@ -1,0 +1,77 @@
+"""Bench of MDD growth: appending to an open definition domain.
+
+Sections 2-3 require support for "growth and shrinkage of arrays" via
+definition domains with unlimited bounds.  This bench appends a year of
+daily slabs to a time-series cube (``[0:*, 0:59, 0:59]``), checking that
+
+* the current domain tracks the appended extent,
+* per-append cost stays flat (index inserts do not degrade),
+* recent-window queries stay cheap as the object grows, and
+* shrinkage (dropping the oldest quarter) returns storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.bench.report import format_table
+from repro.core.geometry import MInterval
+from repro.core.mdd import Tile
+from repro.core.mddtype import mdd_type
+from repro.storage.tilestore import Database
+
+SERIES = mdd_type("Telemetry", "float", "[0:*,0:59,0:59]")
+DAYS = 365
+
+
+def test_growth_and_shrinkage(benchmark):
+    db = Database()
+    obj = db.create_object("series", SERIES, "telemetry")
+    rng = np.random.default_rng(1)
+
+    def append_day(day: int) -> None:
+        slab = MInterval([day, 0, 0], [day, 59, 59])
+        obj.insert_tile(
+            Tile(slab, rng.normal(size=(1, 60, 60)).astype(np.float32))
+        )
+
+    window_costs = []
+    for day in range(DAYS):
+        append_day(day)
+        if day % 90 == 89:
+            db.reset_clock()
+            window = MInterval([day - 6, 0, 0], [day, 59, 59])
+            _data, timing = obj.read(window)
+            window_costs.append((day + 1, timing.t_totalaccess,
+                                 timing.index_nodes))
+
+    assert obj.current_domain == MInterval.parse("[0:364,0:59,0:59]")
+    assert obj.tile_count == DAYS
+    # Recent-window cost must not blow up with object size (allow noise).
+    first_cost = window_costs[0][1]
+    last_cost = window_costs[-1][1]
+    assert last_cost < first_cost * 2.0
+
+    # Shrink: drop the oldest quarter.
+    blobs_before = len(db.store)
+    dropped = obj.delete_region(MInterval.parse("[0:89,*:*,*:*]").resolve(
+        obj.current_domain
+    ))
+    assert dropped == 90
+    assert len(db.store) == blobs_before - 90
+    assert obj.current_domain.lower[0] == 90
+
+    benchmark(lambda: obj.read(MInterval.parse("[350:364,*:*,*:*]")))
+    rows = [
+        [days, f"{cost:.1f}", nodes] for days, cost, nodes in window_costs
+    ]
+    write_result(
+        "growth.txt",
+        format_table(
+            ["days loaded", "7-day window t_acc (ms)", "index pages"],
+            rows,
+            title="Gradual growth: recent-window query cost",
+        ),
+    )

@@ -1,0 +1,134 @@
+"""Reproduction of Section 6.2: areas-of-interest tiling on an animation.
+
+* Table 5 — MDD object, areas, schemes and queries (E7);
+* Table 6 — speedups of AI256K over Reg64K (E8);
+* Figure 8 — per-query time components for both schemes (E9).
+"""
+
+from __future__ import annotations
+
+
+
+from conftest import PAPER_TABLE6, write_result
+
+from repro.bench import animation
+from repro.bench.report import format_table, timing_components_rows
+
+BEST_AI = "AI256K"
+BEST_REG = "Reg64K"
+
+
+def test_table5_setup(benchmark):
+    """E7: object and query sizes match Table 5."""
+    video = benchmark(animation.generate_animation)
+    assert video.shape == (121, 160, 120)
+    assert video.dtype.itemsize == 3  # RGB cells
+    size_mb = video.nbytes / 2**20
+    assert abs(size_mb - 6.6) < 0.2  # paper rounds to 6.8 MB
+    paper_kb = {"a": 523, "b": 2662, "c": 3686, "d": 6972}
+    rows = [["Spatial domain", str(animation.ANIMATION_DOMAIN)],
+            ["Cell size", "3 bytes (RGB)"],
+            ["Array size", f"{size_mb:.1f} MB"],
+            ["Area 1 (head)", str(animation.AREA_HEAD)],
+            ["Area 2 (body)", str(animation.AREA_BODY)]]
+    for name, region in animation.QUERIES.items():
+        resolved = region.resolve(animation.ANIMATION_DOMAIN)
+        size_kb = resolved.cell_count * 3 / 1000
+        assert abs(size_kb - paper_kb[name]) / paper_kb[name] < 0.1
+        rows.append([f"Query {name}", f"{str(region)} ({size_kb:.0f} KB)"])
+    write_result(
+        "table5_setup.txt",
+        format_table(["Item", "Value"], rows, title="Table 5: areas test"),
+    )
+
+
+def test_table6_speedups(benchmark, animation_results):
+    """E8: AI256K over Reg64K.  Qualitative pins:
+
+    * AI tiling wins both access-pattern queries (a, b) on every component;
+    * the unexpected query c *degrades* (speedup < 1 on t_totalcpu);
+    * both best schemes match the paper (Reg64K, AI256K);
+    * arbitrary tiling's optimal MaxTileSize exceeds regular tiling's.
+    """
+    mdd = animation_results.scheme(BEST_AI).mdd
+    benchmark(lambda: mdd.read(animation.AREA_HEAD))
+
+    regulars = [n for n in animation_results.runs if n.startswith("Reg")]
+    interests = [n for n in animation_results.runs if n.startswith("AI")]
+    best_reg = animation_results.best_scheme("t_totalcpu", names=regulars)
+    best_ai = animation_results.best_scheme(
+        "t_totalcpu", subset=animation.PATTERN_QUERIES, names=interests
+    )
+    assert best_reg == BEST_REG
+    assert best_ai == BEST_AI
+    # "optimal tile sizes for arbitrary tiling schemes are higher"
+    assert int(best_ai[2:-1]) > int(best_reg[3:-1])
+
+    speedups = animation_results.speedups(BEST_AI, BEST_REG)
+    for component in ("t_o", "t_totalaccess", "t_totalcpu"):
+        assert speedups["a"][component] > 1.0
+        assert speedups["b"][component] > 1.0
+    assert speedups["c"]["t_totalcpu"] < 1.0  # tuned tiling pays elsewhere
+
+    rows = []
+    for query, ratios in speedups.items():
+        rows.append(
+            [query]
+            + [f"{ratios[c]:.1f}" for c in ("t_o", "t_totalaccess", "t_totalcpu")]
+            + [f"{PAPER_TABLE6[query][c]:.1f}" for c in
+               ("t_o", "t_totalaccess", "t_totalcpu")]
+        )
+    write_result(
+        "table6_speedups.txt",
+        format_table(
+            ["Query", "t_o", "t_acc", "t_cpu",
+             "paper t_o", "paper t_acc", "paper t_cpu"],
+            rows,
+            title=f"Table 6: speedup of {BEST_AI} over {BEST_REG}",
+        ),
+    )
+
+
+def test_figure8_components(benchmark, animation_results):
+    """E9: per-query times for Reg64K and AI256K."""
+    benchmark(lambda: animation_results.scheme(BEST_AI).timings["a"].t_totalcpu)
+    blocks = []
+    for scheme in (BEST_REG, BEST_AI):
+        timings = {
+            q: animation_results.scheme(scheme).timings[q]
+            for q in animation.QUERIES
+        }
+        blocks.append(f"{scheme}\n{timing_components_rows(timings)}")
+    # Figure 8's shape: AI faster on a/b, the gap reverses on c.
+    ai = animation_results.scheme(BEST_AI).timings
+    reg = animation_results.scheme(BEST_REG).timings
+    assert ai["a"].t_totalcpu < reg["a"].t_totalcpu
+    assert ai["b"].t_totalcpu < reg["b"].t_totalcpu
+    assert ai["c"].t_totalcpu > reg["c"].t_totalcpu
+    from repro.bench.figures import figure_for_schemes
+
+    figure = figure_for_schemes(
+        {
+            scheme: animation_results.scheme(scheme).timings
+            for scheme in (BEST_REG, BEST_AI)
+        },
+        queries=list(animation.QUERIES),
+        title="Figure 8: times for Reg64K and AI256K",
+    )
+    write_result(
+        "figure8_components.txt",
+        figure + "\n\n" + "\n\n".join(blocks),
+    )
+
+
+def test_area_queries_read_no_foreign_bytes(benchmark, animation_results):
+    """The Fig. 6 algorithm's guarantee measured end to end: area queries
+    under AI tiling have read amplification exactly 1.0 at any size."""
+    for name in animation_results.runs:
+        if not name.startswith("AI"):
+            continue
+        for query in animation.PATTERN_QUERIES:
+            timing = animation_results.scheme(name).timings[query]
+            assert timing.cells_fetched == timing.cells_result, (name, query)
+    mdd = animation_results.scheme(BEST_AI).mdd
+    benchmark(lambda: mdd.read(animation.AREA_BODY))

@@ -1,0 +1,126 @@
+"""Scaling benches: dimensionality and query-size behaviour.
+
+The paper's system claims uniform treatment of "different cell types and
+dimensionalities" (Section 2) and observes that directional tiling's
+advantage shrinks as queries grow (Section 6.1).  These benches measure
+both effects as curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.bench.report import format_table
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import AlignedTiling
+from repro.tiling.base import KB
+from repro.tiling.directional import DirectionalTiling
+from repro.tiling.validate import access_cost
+
+
+def test_dimensionality_sweep(benchmark):
+    """The same ~1M-cell object stored and queried at 1-D through 5-D."""
+    extents = {1: (1_000_000,), 2: (1000, 1000), 3: (100, 100, 100),
+               4: (32, 32, 32, 32), 5: (16, 16, 16, 16, 16)}
+    rows = []
+    last_obj = None
+    last_region = None
+    for dim, shape in extents.items():
+        domain = MInterval.from_shape(shape)
+        mdd = mdd_type(f"D{dim}", "char", str(domain))
+        db = Database()
+        obj = db.create_object("objs", mdd, f"d{dim}")
+        rng = np.random.default_rng(dim)
+        data = rng.integers(0, 255, size=shape, dtype=np.uint8)
+        load = obj.load_array(data, AlignedTiling(None, 32 * KB))
+        # Query a centred box covering ~1/2^dim of the object.
+        lo = [s // 4 for s in shape]
+        hi = [s // 4 + s // 2 - 1 for s in shape]
+        region = MInterval(lo, hi)
+        db.reset_clock()
+        out, timing = obj.read(region)
+        assert (out == data[region.to_slices([0] * dim)]).all()
+        rows.append(
+            [dim, load.tile_count, timing.tiles_read,
+             f"{timing.read_amplification:.2f}", f"{timing.t_totalcpu:.0f}"]
+        )
+        last_obj, last_region = obj, region
+    # Border surface grows with dim: amplification rises monotonically 2D+.
+    amps = [float(r[3]) for r in rows]
+    assert amps[1] <= amps[2] <= amps[3] <= amps[4] * 1.2
+    benchmark(lambda: last_obj.read(last_region))
+    write_result(
+        "scaling_dimensionality.txt",
+        format_table(
+            ["dim", "tiles stored", "tiles read", "amplification", "ms"],
+            rows,
+            title="Dimensionality sweep (1M cells, half-extent box query)",
+        ),
+    )
+
+
+def test_query_size_sweep(benchmark):
+    """Static amplification of directional vs regular tiling as the query
+    grows — the mechanism behind 'higher speedup for smaller queries'."""
+    domain = MInterval.parse("[1:730,1:60,1:100]")
+    from repro.bench import salescube
+
+    directional = DirectionalTiling(salescube.partitions_3p(), 64 * KB)
+    regular = AlignedTiling(None, 32 * KB)
+    dir_tiles = directional.tile(domain, 4).tiles
+    reg_tiles = regular.tile(domain, 4).tiles
+
+    rows = []
+    ratios = []
+    for months in (1, 2, 4, 8, 12, 24):
+        # Grow the query along whole months, one class, one district.
+        end_day = salescube.month_boundaries()[months]
+        query = MInterval.parse(f"[1:{end_day},28:42,28:35]")
+        reg_cost = access_cost(reg_tiles, query)
+        dir_cost = access_cost(dir_tiles, query)
+        ratio = reg_cost.cells_read / dir_cost.cells_read
+        ratios.append(ratio)
+        rows.append(
+            [months, f"{dir_cost.read_amplification:.2f}",
+             f"{reg_cost.read_amplification:.2f}", f"{ratio:.2f}"]
+        )
+    assert all(r >= 1.0 for r in ratios)
+    # Directional is exact at every size; the byte advantage persists.
+    assert all(float(row[1]) == 1.0 for row in rows)
+    benchmark(lambda: access_cost(dir_tiles, MInterval.parse("[1:31,28:42,28:35]")))
+    write_result(
+        "scaling_query_size.txt",
+        format_table(
+            ["months", "dir amp", "reg amp", "bytes ratio reg/dir"],
+            rows,
+            title="Query-size sweep (class 2, district 2, growing months)",
+        ),
+    )
+
+
+def test_tile_count_vs_maxtilesize(benchmark):
+    """Tile counts scale inversely with MaxTileSize for both families."""
+    domain = MInterval.parse("[1:730,1:60,1:100]")
+    from repro.bench import salescube
+
+    rows = []
+    for size_kb in (16, 32, 64, 128, 256, 512):
+        reg = AlignedTiling(None, size_kb * KB).tile(domain, 4)
+        directional = DirectionalTiling(
+            salescube.partitions_3p(), size_kb * KB
+        ).tile(domain, 4)
+        rows.append([f"{size_kb}K", reg.tile_count, directional.tile_count])
+    counts = [row[1] for row in rows]
+    assert counts == sorted(counts, reverse=True)
+    # 3P directional bottoms out at the category-block count (576).
+    assert rows[-1][2] == rows[-2][2] == 576
+    benchmark(lambda: AlignedTiling(None, 64 * KB).tile(domain, 4))
+    write_result(
+        "scaling_tile_counts.txt",
+        format_table(["MaxTileSize", "regular tiles", "Dir3P tiles"], rows,
+                     title="Tile counts vs MaxTileSize"),
+    )

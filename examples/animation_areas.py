@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Areas-of-interest tiling on an RGB animation volume (paper Section 6.2).
+
+A 121-frame animation is accessed mostly through two overlapping regions —
+the main character's head and body, tracked across all frames.  Tiling
+the volume around those areas makes the hot queries read zero foreign
+bytes, at a price on unexpected access patterns.
+
+Run:  python examples/animation_areas.py
+"""
+
+from repro import AreasOfInterestTiling, Database, RegularTiling
+from repro.bench import animation
+
+
+def main() -> None:
+    print("Rendering the synthetic animation (121 frames, 6.8 MB RGB)...")
+    video = animation.generate_animation()
+    video_type = animation.animation_mdd_type()
+
+    database = Database()
+    regular = database.create_object("videos", video_type, "clip_regular")
+    regular.load_array(video, RegularTiling(64 * 1024))
+    tuned = database.create_object("videos", video_type, "clip_areas")
+    tuned.load_array(
+        video, AreasOfInterestTiling(animation.AREAS_OF_INTEREST, 256 * 1024)
+    )
+
+    queries = [
+        ("a: head, all frames (hot)", animation.QUERIES["a"]),
+        ("b: body, all frames (hot)", animation.QUERIES["b"]),
+        ("c: first 61 frames (unexpected)", animation.QUERIES["c"]),
+        ("d: whole array (unexpected)", animation.QUERIES["d"]),
+    ]
+    print(f"\n{'Query':34s} {'scheme':14s} {'tiles':>5s} "
+          f"{'fetched MB':>10s} {'amp':>5s} {'ms':>8s}")
+    for label, region in queries:
+        for obj in (regular, tuned):
+            database.reset_clock()
+            _data, timing = obj.read(region)
+            print(
+                f"{label:34s} {obj.name:14s} {timing.tiles_read:5d} "
+                f"{timing.bytes_read / 2**20:10.2f} "
+                f"{timing.read_amplification:5.2f} {timing.t_totalcpu:8.1f}"
+            )
+        print()
+
+    print("The tuned scheme wins the access pattern (queries a, b) and")
+    print("pays on query c — the paper's measured trade-off (Table 6).")
+
+
+if __name__ == "__main__":
+    main()

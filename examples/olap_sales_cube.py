@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""MOLAP scenario: subaggregation over a category-tiled data cube.
+
+Recreates the paper's Figure 3 story.  A 3-D sales cube (time x product x
+store) carries category hierarchies: months, product classes, country
+districts.  Tiling the cube along those hierarchies makes every
+subaggregation ("units of product class P sold in district D during month
+M") read exactly one tile.
+
+The script loads the paper's own benchmark cube, runs RasQL
+subaggregations against the directional and the regular scheme, and
+prints a per-query cost comparison.
+
+Run:  python examples/olap_sales_cube.py
+"""
+
+from repro import Database, DirectionalTiling, QueryEngine, RegularTiling, execute
+from repro.bench import salescube
+
+
+def main() -> None:
+    print("Generating the Table 1 sales cube (730 x 60 x 100, 16.7 MB)...")
+    data = salescube.generate_sales_data()
+    cube_type = salescube.sales_mdd_type()
+
+    database = Database()
+    regular = database.create_object("reg_cubes", cube_type, "sales")
+    regular.load_array(data, RegularTiling(32 * 1024), origin=(1, 1, 1))
+    tuned = database.create_object("dir_cubes", cube_type, "sales")
+    tuned.load_array(
+        data,
+        DirectionalTiling(salescube.partitions_3p(), 64 * 1024),
+        origin=(1, 1, 1),
+    )
+    engine = QueryEngine(database)
+
+    # Subaggregations: total units per (month, class, district) triple.
+    subaggregations = [
+        ("Feb, class 2, district 2", "[32:59,28:42,28:35]"),
+        ("July, class 1, district 4", "[182:212,1:27,42:59]"),
+        ("Dec year 2, class 3, district 8", "[701:730,43:60,98:100]"),
+    ]
+    print(f"\n{'Sub-aggregation':35s} {'scheme':12s} "
+          f"{'sum':>12s} {'tiles':>5s} {'amp':>5s} {'ms':>8s}")
+    for label, region in subaggregations:
+        for coll, scheme in (("reg_cubes", "regular"), ("dir_cubes", "directional")):
+            database.reset_clock()
+            result = execute(
+                engine, f"SELECT add_cells(c{region}) FROM {coll} AS c"
+            )[0]
+            timing = result.timing
+            print(
+                f"{label:35s} {scheme:12s} {result.scalar:12d} "
+                f"{timing.tiles_read:5d} {timing.read_amplification:5.2f} "
+                f"{timing.t_totalcpu:8.1f}"
+            )
+        print()
+
+    print("Directional tiling turns each subaggregation into whole-tile")
+    print("reads (amplification 1.0); the regular scheme pays for cells")
+    print("outside the category boundaries on every aggregate.")
+
+    # Full roll-up: every (month, class, district) sub-aggregate at once.
+    from repro.query.olap import aggregate_by_category
+
+    rollup = aggregate_by_category(
+        tuned, salescube.partitions_3p(), op="add_cells"
+    )
+    print(f"\nFull roll-up: {rollup.values.shape} sub-aggregates "
+          f"(months x classes x districts) in "
+          f"{rollup.timing.t_totalcpu / 1000:.1f} s simulated, "
+          f"amplification {rollup.timing.read_amplification:.2f}")
+    print(f"Peak cell: {rollup.values.max():.0f} units "
+          f"(grand total {rollup.values.sum():.0f})")
+
+
+if __name__ == "__main__":
+    main()

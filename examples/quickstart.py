@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: store a multidimensional array with tunable tiling.
+
+Builds a small 3-D cube, stores it twice — regular tiling vs directional
+tiling aligned with the cube's category structure — and compares what one
+category-aligned range query costs under each scheme.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Database,
+    DirectionalTiling,
+    MInterval,
+    RegularTiling,
+    mdd_type,
+)
+
+
+def main() -> None:
+    # A 3-D sales cube: 365 days x 40 products x 50 stores, 4-byte cells.
+    cube_type = mdd_type("SalesCube", "ulong", "[1:365,1:40,1:50]")
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 100, size=(365, 40, 50), dtype=np.uint32)
+
+    database = Database()
+
+    # Scheme 1: regular tiling (the classic chunking baseline).
+    regular = database.create_object("cubes", cube_type, "sales_regular")
+    regular.load_array(data, RegularTiling(max_tile_size=32 * 1024),
+                       origin=(1, 1, 1))
+
+    # Scheme 2: directional tiling — cut along the month boundaries and
+    # two product groups, so category queries align with tiles.
+    months = tuple([1] + [30 * m for m in range(1, 12)] + [365])
+    tuned = database.create_object("cubes", cube_type, "sales_directional")
+    tuned.load_array(
+        data,
+        DirectionalTiling({0: months, 1: (1, 20, 40)}, max_tile_size=32 * 1024),
+        origin=(1, 1, 1),
+    )
+
+    # One query: "first month, product group 2, all stores".
+    query = MInterval.parse("[1:30,21:40,*:*]")
+    for obj in (regular, tuned):
+        database.reset_clock()
+        result, timing = obj.read(query)
+        assert (result == data[0:30, 20:40, :]).all()
+        print(
+            f"{obj.name:18s} tiles={timing.tiles_read:3d} "
+            f"fetched={timing.bytes_read / 1024:7.1f}K "
+            f"amplification={timing.read_amplification:4.2f} "
+            f"t_total={timing.t_totalcpu:7.1f}ms"
+        )
+
+    print("\nDirectional tiling reads exactly the queried bytes; regular")
+    print("tiling drags in border-tile data it then has to clip away.")
+
+
+if __name__ == "__main__":
+    main()

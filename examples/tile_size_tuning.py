@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tuning MaxTileSize for total access time (paper Section 8 future work).
+
+The paper closes with: "Current work focus on extending the current
+tiling techniques to optimize for total access time, i.e., including
+index time."  This script runs that optimisation: a workload of small
+dashboard queries plus occasional large scans is scored against candidate
+MaxTileSize values with the static cost model, the winner is validated by
+actually executing the workload, and the t_o-only choice is shown for
+contrast.
+
+Run:  python examples/tile_size_tuning.py
+"""
+
+import numpy as np
+
+from repro import AlignedTiling, Database, MInterval, mdd_type
+from repro.stats import choose_max_tile_size
+
+KB = 1024
+
+
+def main() -> None:
+    domain = MInterval.parse("[0:511,0:511]")
+    image_type = mdd_type("Basemap", "ushort", str(domain))
+    rng = np.random.default_rng(3)
+    image = rng.integers(0, 4096, size=(512, 512), dtype=np.uint16)
+
+    # Mostly small tile-server style requests, occasionally a full export.
+    workload = (
+        [MInterval.parse("[64:95,128:159]")] * 6
+        + [MInterval.parse("[300:363,40:103]")] * 3
+        + [MInterval.parse("[*:*,*:*]")]
+    )
+    candidates = [1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB]
+
+    result = choose_max_tile_size(
+        lambda size: AlignedTiling(None, size),
+        domain,
+        image_type.cell_size,
+        workload,
+        candidates,
+    )
+    print("Static sweep (estimated total access time per query):")
+    for size in candidates:
+        marker = "  <- best" if size == result.best_size else ""
+        print(f"  {size // KB:4d}K  {result.costs[size]:8.1f} ms{marker}")
+    print(f"t_o-only optimisation would pick "
+          f"{result.t_o_only_best // KB}K; including index time picks "
+          f"{result.best_size // KB}K\n")
+
+    print("Validation by execution:")
+    for size in candidates:
+        db = Database()
+        obj = db.create_object("maps", image_type, f"tiles{size}")
+        obj.load_array(image, AlignedTiling(None, size))
+        total = 0.0
+        for query in workload:
+            db.reset_clock()
+            total += obj.read(query)[1].t_totalaccess
+        marker = "  <- tuner's pick" if size == result.best_size else ""
+        print(f"  {size // KB:4d}K  {total / len(workload):8.1f} ms/query "
+              f"({obj.tile_count} tiles){marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Benchmark substrate: paper workloads, harness and report formatting."""
+
+from repro.bench.harness import (
+    BenchmarkResults,
+    SchemeRun,
+    geometric_mean,
+    run_benchmark,
+)
+from repro.bench.figures import figure_for_schemes, stacked_bars
+from repro.bench.report import (
+    format_table,
+    speedup_rows,
+    timing_components_rows,
+)
+
+__all__ = [
+    "BenchmarkResults",
+    "SchemeRun",
+    "figure_for_schemes",
+    "format_table",
+    "geometric_mean",
+    "run_benchmark",
+    "speedup_rows",
+    "stacked_bars",
+    "timing_components_rows",
+]

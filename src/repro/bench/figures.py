@@ -1,0 +1,67 @@
+"""Text rendering of the paper's figures (stacked time-component bars).
+
+Figures 7 and 8 are stacked bar charts of ``t_ix`` / ``t_o`` / ``t_cpu``
+per query and scheme.  :func:`stacked_bars` renders the same data as
+fixed-width text so a terminal diff against the paper's figure shape is
+possible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.query.timing import QueryTiming
+
+#: Component glyphs, in stacking order (bottom of the paper's bars first).
+COMPONENT_GLYPHS = (("t_ix", "#"), ("t_o", "="), ("t_cpu", "."))
+
+
+def stacked_bars(
+    timings: Mapping[str, QueryTiming],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render per-label stacked bars of the three time components.
+
+    Bars share one scale (the maximum total); each component's segment is
+    proportional to its share, with at least one glyph when non-zero.
+    """
+    if not timings:
+        raise ValueError("nothing to draw")
+    peak = max(t.t_totalcpu for t in timings.values())
+    if peak <= 0:
+        raise ValueError("all totals are zero")
+    label_width = max(len(label) for label in timings)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, timing in timings.items():
+        bar = ""
+        for component, glyph in COMPONENT_GLYPHS:
+            value = getattr(timing, component)
+            cells = round(value / peak * width)
+            if value > 0 and cells == 0:
+                cells = 1
+            bar += glyph * cells
+        lines.append(
+            f"{label.rjust(label_width)} |{bar.ljust(width + 3)}| "
+            f"{timing.t_totalcpu:8.1f} ms"
+        )
+    legend = "  ".join(f"{glyph} {name}" for name, glyph in COMPONENT_GLYPHS)
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def figure_for_schemes(
+    per_scheme: Mapping[str, Mapping[str, QueryTiming]],
+    queries: Sequence[str],
+    title: str,
+    width: int = 60,
+) -> str:
+    """Figure 7/8 layout: one bar per (query, scheme) pair, grouped by
+    query — mirroring the paper's side-by-side bars."""
+    rows: dict[str, QueryTiming] = {}
+    for query in queries:
+        for scheme, timings in per_scheme.items():
+            rows[f"{query}/{scheme}"] = timings[query]
+    return stacked_bars(rows, width=width, title=title)

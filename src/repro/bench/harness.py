@@ -1,0 +1,137 @@
+"""Benchmark harness: build schemes, run query sets, compute speedups.
+
+Reproduces the measurement protocol of Section 6: each tiling scheme gets
+its own database; every query runs cold (disk counters reset, pool
+cleared) and is repeated ``runs`` times with time components averaged —
+the paper used five runs per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.geometry import MInterval
+from repro.core.mddtype import MDDType
+from repro.query.timing import LoadStats, QueryTiming, speedup
+from repro.storage.tilestore import Database, StoredMDD
+from repro.tiling.base import TilingStrategy
+
+DatabaseFactory = Callable[[], Database]
+
+
+@dataclass
+class SchemeRun:
+    """One tiling scheme's cube and measurements."""
+
+    name: str
+    strategy: TilingStrategy
+    database: Database
+    mdd: StoredMDD
+    load: LoadStats
+    timings: Dict[str, QueryTiming] = field(default_factory=dict)
+
+    def average(self, component: str, queries: Sequence[str]) -> float:
+        """Mean of one time component over a query subset."""
+        return float(
+            np.mean([getattr(self.timings[q], component) for q in queries])
+        )
+
+
+@dataclass
+class BenchmarkResults:
+    """All scheme runs of one benchmark, keyed by scheme name."""
+
+    runs: Dict[str, SchemeRun]
+    queries: Dict[str, MInterval]
+
+    def scheme(self, name: str) -> SchemeRun:
+        return self.runs[name]
+
+    def best_scheme(
+        self,
+        component: str = "t_totalcpu",
+        subset: Optional[Sequence[str]] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Scheme with the lowest average component over the query set."""
+        queries = list(subset) if subset is not None else list(self.queries)
+        candidates = list(names) if names is not None else list(self.runs)
+        return min(
+            candidates, key=lambda n: self.runs[n].average(component, queries)
+        )
+
+    def speedups(
+        self, tuned: str, baseline: str
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-query baseline-over-tuned ratios (the paper's Tables 4/6)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for query in self.queries:
+            table[query] = speedup(
+                self.runs[baseline].timings[query],
+                self.runs[tuned].timings[query],
+            )
+        return table
+
+
+def run_benchmark(
+    schemes: Mapping[str, TilingStrategy],
+    mdd_type: MDDType,
+    data: Optional[np.ndarray],
+    queries: Mapping[str, MInterval],
+    origin: Optional[Sequence[int]] = None,
+    runs: int = 3,
+    database_factory: Optional[DatabaseFactory] = None,
+    domain: Optional[MInterval] = None,
+) -> BenchmarkResults:
+    """Load one cube per scheme and measure every query cold.
+
+    ``data`` may be None for virtual (synthesized) payloads, in which case
+    ``domain`` gives the object's extent.  Every query region is resolved
+    by the object itself, so ``*`` bounds are legal.
+    """
+    results: Dict[str, SchemeRun] = {}
+    for name, strategy in schemes.items():
+        database = database_factory() if database_factory else Database()
+        mdd = database.create_object("bench", mdd_type, name)
+        if data is not None:
+            load = mdd.load_array(data, strategy, origin=origin)
+        else:
+            if domain is None:
+                raise ValueError("virtual benchmarks need an explicit domain")
+            load = mdd.load_virtual(domain, strategy)
+        run = SchemeRun(name, strategy, database, mdd, load)
+        for query_name, region in queries.items():
+            run.timings[query_name] = _measure(database, mdd, region, runs)
+        results[name] = run
+    return BenchmarkResults(runs=results, queries=dict(queries))
+
+
+def _measure(
+    database: Database, mdd: StoredMDD, region: MInterval, runs: int
+) -> QueryTiming:
+    """Cold-run a query ``runs`` times and average the time components."""
+    accumulated: Optional[QueryTiming] = None
+    for _ in range(max(1, runs)):
+        database.reset_clock()
+        _data, timing = mdd.read(region)
+        if accumulated is None:
+            accumulated = timing
+        else:
+            accumulated.t_ix += timing.t_ix
+            accumulated.t_o += timing.t_o
+            accumulated.t_cpu += timing.t_cpu
+    assert accumulated is not None
+    factor = 1.0 / max(1, runs)
+    averaged = accumulated.scaled(factor)
+    return averaged
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the fair average for ratios."""
+    array = np.asarray(values, dtype=np.float64)
+    if np.any(array <= 0):
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(array))))

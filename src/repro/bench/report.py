@@ -1,0 +1,71 @@
+"""Plain-text report tables in the paper's format.
+
+Benchmarks print their reproduction of each table/figure through these
+helpers so the harness output can be compared side by side with the
+published numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.query.timing import QueryTiming
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup_rows(
+    speedups: Mapping[str, Mapping[str, float]],
+    components: Sequence[str] = ("t_o", "t_totalaccess", "t_totalcpu"),
+) -> str:
+    """The paper's Table 4/6 layout: one block per component, queries as
+    columns."""
+    queries = list(speedups)
+    blocks = []
+    for component in components:
+        rows = [[q for q in queries], [f"{speedups[q][component]:.1f}" for q in queries]]
+        blocks.append(
+            format_table(
+                headers=[component] + [""] * (len(queries) - 1),
+                rows=rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def timing_components_rows(
+    timings: Mapping[str, QueryTiming],
+) -> str:
+    """Per-query time components (Figure 7/8 data as a table, ms)."""
+    headers = ["query", "t_ix", "t_o", "t_cpu", "t_totalaccess", "t_totalcpu"]
+    rows = [
+        [
+            name,
+            f"{t.t_ix:.1f}",
+            f"{t.t_o:.1f}",
+            f"{t.t_cpu:.1f}",
+            f"{t.t_totalaccess:.1f}",
+            f"{t.t_totalcpu:.1f}",
+        ]
+        for name, t in timings.items()
+    ]
+    return format_table(headers, rows)

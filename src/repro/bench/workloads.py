@@ -1,0 +1,101 @@
+"""Auxiliary workload generators for ablation benches and tests.
+
+Beyond the two paper workloads (:mod:`repro.bench.salescube`,
+:mod:`repro.bench.animation`), the ablation benches need sparse cubes,
+random query mixes, and frame-scan workloads.  Everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.geometry import MInterval
+
+
+def sparse_cube(
+    shape: Sequence[int],
+    density: float = 0.05,
+    seed: int = 7,
+    dtype=np.uint32,
+) -> np.ndarray:
+    """A mostly-default cube: ``density`` fraction of cells are non-zero,
+    clustered into a few dense blobs (OLAP-style sparsity)."""
+    rng = np.random.default_rng(seed)
+    data = np.zeros(shape, dtype=dtype)
+    total = int(np.prod(shape))
+    target = int(total * density)
+    blobs = max(1, target // 2000)
+    placed = 0
+    for _ in range(blobs):
+        corner = [rng.integers(0, max(1, s - 1)) for s in shape]
+        extent = [int(rng.integers(2, max(3, s // 4))) for s in shape]
+        slices = tuple(
+            slice(c, min(c + e, s)) for c, e, s in zip(corner, extent, shape)
+        )
+        block_shape = tuple(sl.stop - sl.start for sl in slices)
+        data[slices] = rng.integers(1, 100, size=block_shape, dtype=dtype)
+        placed += int(np.prod(block_shape))
+        if placed >= target:
+            break
+    return data
+
+
+def random_range_queries(
+    domain: MInterval,
+    count: int,
+    mean_fraction: float = 0.1,
+    seed: int = 13,
+) -> list[MInterval]:
+    """Uniformly placed box queries, each axis spanning roughly
+    ``mean_fraction`` of the domain extent."""
+    rng = np.random.default_rng(seed)
+    queries: list[MInterval] = []
+    for _ in range(count):
+        lo: list[int] = []
+        hi: list[int] = []
+        for axis in range(domain.dim):
+            extent = domain.shape[axis]
+            span = max(1, int(extent * mean_fraction * rng.uniform(0.5, 1.5)))
+            span = min(span, extent)
+            start = int(rng.integers(0, extent - span + 1))
+            low = domain.lowest[axis] + start
+            lo.append(low)
+            hi.append(low + span - 1)
+        queries.append(MInterval(lo, hi))
+    return queries
+
+
+def hotspot_queries(
+    hotspot: MInterval,
+    count: int,
+    jitter: int = 2,
+    seed: int = 17,
+    domain: Optional[MInterval] = None,
+) -> list[MInterval]:
+    """Repeated accesses around one hotspot with small positional jitter —
+    the access-log shape statistic tiling is built for."""
+    rng = np.random.default_rng(seed)
+    queries: list[MInterval] = []
+    for _ in range(count):
+        offset = [int(rng.integers(-jitter, jitter + 1)) for _ in range(hotspot.dim)]
+        moved = hotspot.translate(offset)
+        if domain is not None:
+            clipped = moved.intersection(domain)
+            if clipped is None:
+                continue
+            moved = clipped
+        queries.append(moved)
+    return queries
+
+
+def frame_scan_queries(domain: MInterval, axis: int, step: int = 1) -> list[MInterval]:
+    """Section queries sweeping ``axis`` — Figure 4's frame-by-frame access."""
+    queries = []
+    lo = domain.lowest[axis]
+    hi = domain.highest[axis]
+    for coordinate in range(lo, hi + 1, step):
+        queries.append(domain.section(axis, coordinate))
+    return queries

@@ -1,0 +1,200 @@
+"""Command-line interface: regenerate the paper's tables without pytest.
+
+Usage::
+
+    python -m repro info          # library and model summary
+    python -m repro spec          # Tables 1-3 and 5 (setup, no measurement)
+    python -m repro table4        # directional vs regular speedups (~2 min)
+    python -m repro table6        # areas-of-interest speedups (~30 s)
+    python -m repro figure7       # time components, queries e/f/g
+    python -m repro figure8      # time components, animation queries
+    python -m repro tables        # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.bench import animation, salescube
+from repro.bench.harness import BenchmarkResults, run_benchmark
+from repro.bench.figures import figure_for_schemes
+from repro.bench.report import format_table, timing_components_rows
+from repro.core.cells import known_base_types
+from repro.storage.compression import known_codecs
+from repro.storage.disk import CpuParameters, DiskParameters
+
+_SALES_CACHE: Optional[BenchmarkResults] = None
+_ANIMATION_CACHE: Optional[BenchmarkResults] = None
+
+
+def _sales_results() -> BenchmarkResults:
+    global _SALES_CACHE
+    if _SALES_CACHE is None:
+        print("Loading the Table 2 schemes (10 cubes, 16.7 MB each)...",
+              file=sys.stderr)
+        _SALES_CACHE = run_benchmark(
+            salescube.build_schemes(),
+            salescube.sales_mdd_type(),
+            salescube.generate_sales_data(),
+            salescube.QUERIES,
+            origin=(1, 1, 1),
+            runs=3,
+        )
+    return _SALES_CACHE
+
+
+def _animation_results() -> BenchmarkResults:
+    global _ANIMATION_CACHE
+    if _ANIMATION_CACHE is None:
+        print("Loading the Table 5 schemes (8 animations, 6.8 MB each)...",
+              file=sys.stderr)
+        _ANIMATION_CACHE = run_benchmark(
+            animation.build_schemes(),
+            animation.animation_mdd_type(),
+            animation.generate_animation(),
+            animation.QUERIES,
+            origin=(0, 0, 0),
+            runs=3,
+        )
+    return _ANIMATION_CACHE
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    disk = DiskParameters()
+    cpu = CpuParameters()
+    print(f"repro {__version__} — Furtado & Baumann, ICDE 1999 reproduction")
+    print(f"base types : {', '.join(known_base_types())}")
+    print(f"codecs     : {', '.join(known_codecs())}")
+    print(f"disk model : seek {disk.seek_ms} ms, rotation {disk.rotation_ms} ms, "
+          f"{disk.transfer_mb_per_s} MB/s, blob overhead {disk.blob_overhead_ms} ms")
+    print(f"cpu model  : aligned {cpu.aligned_mb_per_s} MB/s, "
+          f"border {cpu.border_mb_per_s} MB/s")
+    print("strategies : aligned, regular, single-tile, cuts, directional, "
+          "areas-of-interest, statistic")
+    return 0
+
+
+def cmd_spec(_args: argparse.Namespace) -> int:
+    rows = [
+        ["1", "Days (730)", "Months (24)"],
+        ["2", "Products (60)", "Classes (3)"],
+        ["3", "Stores (100)", "Districts (8)"],
+    ]
+    print(format_table(["Dim", "Cells", "Categories"], rows,
+                       title="Table 1: benchmark data cube"))
+    print()
+    query_rows = []
+    for name, region in salescube.QUERIES.items():
+        resolved = region.resolve(salescube.SALES_DOMAIN)
+        query_rows.append(
+            [name, str(region), f"{resolved.cell_count * 4 / 1024:.1f}",
+             salescube.QUERY_SELECTS[name]]
+        )
+    print(format_table(["Query", "Region", "KB", "Selected"], query_rows,
+                       title="Table 3: directional tiling queries"))
+    print()
+    animation_rows = [
+        ["Domain", str(animation.ANIMATION_DOMAIN)],
+        ["Area 1 (head)", str(animation.AREA_HEAD)],
+        ["Area 2 (body)", str(animation.AREA_BODY)],
+    ]
+    print(format_table(["Item", "Value"], animation_rows,
+                       title="Table 5: animation test"))
+    return 0
+
+
+def _print_speedups(
+    results: BenchmarkResults, tuned: str, baseline: str, title: str
+) -> None:
+    speedups = results.speedups(tuned, baseline)
+    rows = [
+        [query] + [f"{ratios[c]:.1f}"
+                   for c in ("t_o", "t_totalaccess", "t_totalcpu")]
+        for query, ratios in speedups.items()
+    ]
+    print(format_table(["Query", "t_o", "t_totalaccess", "t_totalcpu"],
+                       rows, title=title))
+
+
+def cmd_table4(_args: argparse.Namespace) -> int:
+    results = _sales_results()
+    _print_speedups(results, "Dir64K3P", "Reg32K",
+                    "Table 4: speedup of Dir64K3P over Reg32K")
+    return 0
+
+
+def cmd_table6(_args: argparse.Namespace) -> int:
+    results = _animation_results()
+    _print_speedups(results, "AI256K", "Reg64K",
+                    "Table 6: speedup of AI256K over Reg64K")
+    return 0
+
+
+def cmd_figure7(_args: argparse.Namespace) -> int:
+    results = _sales_results()
+    print(figure_for_schemes(
+        {s: results.scheme(s).timings for s in ("Dir64K3P", "Reg32K")},
+        queries=list("efg"),
+        title="Figure 7: times for queries e, f and g",
+    ))
+    print()
+    for scheme in ("Dir64K3P", "Reg32K"):
+        timings = {q: results.scheme(scheme).timings[q] for q in "efg"}
+        print(f"{scheme} (Figure 7, ms)")
+        print(timing_components_rows(timings))
+        print()
+    return 0
+
+
+def cmd_figure8(_args: argparse.Namespace) -> int:
+    results = _animation_results()
+    print(figure_for_schemes(
+        {s: results.scheme(s).timings for s in ("Reg64K", "AI256K")},
+        queries=list(animation.QUERIES),
+        title="Figure 8: times for Reg64K and AI256K",
+    ))
+    print()
+    for scheme in ("Reg64K", "AI256K"):
+        timings = {
+            q: results.scheme(scheme).timings[q] for q in animation.QUERIES
+        }
+        print(f"{scheme} (Figure 8, ms)")
+        print(timing_components_rows(timings))
+        print()
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    for command in (cmd_spec, cmd_table4, cmd_figure7, cmd_table6, cmd_figure8):
+        command(args)
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "spec": cmd_spec,
+    "table4": cmd_table4,
+    "table6": cmd_table6,
+    "figure7": cmd_figure7,
+    "figure8": cmd_figure8,
+    "tables": cmd_tables,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's evaluation tables.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS),
+                        help="what to produce")
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Cell base types of the MDD typing system.
+
+An MDD object stores cells of one fixed *base type* (paper Section 3).  The
+base type fixes the cell size in bytes, which the tiling algorithms need to
+convert between tile extents and tile byte sizes.  Base types map onto numpy
+dtypes so that tiles are plain ndarrays.
+
+The registry mirrors the atomic types of the ODMG/RasLib binding used by
+RasDaMan, plus the 3-byte RGB struct used in the paper's animation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.errors import TypeSystemError
+
+
+@dataclass(frozen=True)
+class BaseType:
+    """An atomic (or small-struct) cell type.
+
+    Attributes:
+        name: registry name, e.g. ``"ulong"``.
+        dtype: numpy dtype used for in-memory tiles.
+        default: default cell value for uncovered areas (paper Section 4).
+    """
+
+    name: str
+    dtype: np.dtype
+    default: object = 0
+
+    @property
+    def size(self) -> int:
+        """Cell size in bytes (the ``CellSize`` of the tiling formulas)."""
+        return int(self.dtype.itemsize)
+
+    def default_cell(self) -> np.ndarray:
+        """A 0-d array holding the default value, usable in ndarray fills."""
+        cell = np.zeros((), dtype=self.dtype)
+        if self.default != 0:
+            cell[()] = self.default
+        return cell
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_RGB_DTYPE = np.dtype([("r", "u1"), ("g", "u1"), ("b", "u1")])
+
+_REGISTRY: Dict[str, BaseType] = {}
+
+
+def register_base_type(base: BaseType) -> BaseType:
+    """Add a base type to the global registry (idempotent per name)."""
+    existing = _REGISTRY.get(base.name)
+    if existing is not None and existing.dtype != base.dtype:
+        raise TypeSystemError(
+            f"base type {base.name!r} already registered with dtype "
+            f"{existing.dtype}, refusing {base.dtype}"
+        )
+    _REGISTRY[base.name] = base
+    return base
+
+
+def base_type(name: str) -> BaseType:
+    """Look up a registered base type by name.
+
+    >>> base_type("char").size
+    1
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise TypeSystemError(
+            f"unknown base type {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def known_base_types() -> tuple[str, ...]:
+    """Names of all registered base types."""
+    return tuple(sorted(_REGISTRY))
+
+
+# The RasLib-style atomic types.
+BOOL = register_base_type(BaseType("bool", np.dtype(np.bool_), False))
+CHAR = register_base_type(BaseType("char", np.dtype(np.uint8)))
+OCTET = register_base_type(BaseType("octet", np.dtype(np.int8)))
+SHORT = register_base_type(BaseType("short", np.dtype(np.int16)))
+USHORT = register_base_type(BaseType("ushort", np.dtype(np.uint16)))
+LONG = register_base_type(BaseType("long", np.dtype(np.int32)))
+ULONG = register_base_type(BaseType("ulong", np.dtype(np.uint32)))
+FLOAT = register_base_type(BaseType("float", np.dtype(np.float32)))
+DOUBLE = register_base_type(BaseType("double", np.dtype(np.float64)))
+#: 3-byte RGB struct — the cell type of the paper's animation MDD (Table 5).
+RGB = register_base_type(BaseType("rgb", _RGB_DTYPE))

@@ -1,0 +1,92 @@
+"""MDD types: base type + definition domain.
+
+An MDD *type* (paper Section 3) fixes two properties of its instances:
+
+* the cell base type (hence the cell size), and
+* the *definition domain* — a d-dimensional interval that may be open
+  (``*``) on any side, bounding where cells may ever exist.
+
+Instances of the type additionally carry a *current domain* — the minimal
+interval covering the cells present right now — which lives on the object
+(:mod:`repro.core.mdd`), not on the type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.cells import BaseType, base_type
+from repro.core.errors import DomainError, TypeSystemError
+from repro.core.geometry import MInterval
+
+
+@dataclass(frozen=True)
+class MDDType:
+    """An MDD type: named pairing of a base type and a definition domain.
+
+    >>> t = MDDType("GreyImage", base_type("char"), MInterval.parse("[0:*,0:*]"))
+    >>> t.dim
+    2
+    """
+
+    name: str
+    base: BaseType
+    definition_domain: MInterval
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, BaseType):
+            raise TypeSystemError(f"base must be a BaseType, got {self.base!r}")
+        if not isinstance(self.definition_domain, MInterval):
+            raise TypeSystemError(
+                f"definition_domain must be an MInterval, got "
+                f"{self.definition_domain!r}"
+            )
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d`` of instances."""
+        return self.definition_domain.dim
+
+    @property
+    def cell_size(self) -> int:
+        """Cell size in bytes."""
+        return self.base.size
+
+    def admits(self, domain: MInterval) -> bool:
+        """True if ``domain`` is a legal (current or tile) domain for
+        instances of this type: bounded and inside the definition domain."""
+        return domain.is_bounded and self.definition_domain.contains(domain)
+
+    def validate_domain(self, domain: MInterval, what: str = "domain") -> None:
+        """Raise :class:`DomainError` unless :meth:`admits` holds."""
+        if domain.dim != self.dim:
+            raise DomainError(
+                f"{what} {domain} has dim {domain.dim}, type {self.name!r} "
+                f"has dim {self.dim}"
+            )
+        if not domain.is_bounded:
+            raise DomainError(f"{what} {domain} must have fixed bounds")
+        if not self.definition_domain.contains(domain):
+            raise DomainError(
+                f"{what} {domain} escapes definition domain "
+                f"{self.definition_domain} of type {self.name!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}<{self.base},{self.definition_domain}>"
+
+
+def mdd_type(
+    name: str,
+    base: Union[str, BaseType],
+    domain: Union[str, MInterval],
+) -> MDDType:
+    """Convenience constructor accepting string forms.
+
+    >>> mdd_type("Cube", "ulong", "[1:730,1:60,1:100]").cell_size
+    4
+    """
+    resolved_base = base_type(base) if isinstance(base, str) else base
+    resolved_domain = MInterval.parse(domain) if isinstance(domain, str) else domain
+    return MDDType(name, resolved_base, resolved_domain)

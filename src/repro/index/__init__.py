@@ -1,0 +1,22 @@
+"""Spatial indexes on tiles: R+-tree-like tree and a flat directory."""
+
+from repro.index.base import (
+    IndexEntry,
+    SearchResult,
+    SpatialIndex,
+    entry_bytes,
+)
+from repro.index.directory import DirectoryIndex
+from repro.index.grid import GridIndex, grid_index_factory
+from repro.index.rplustree import RPlusTreeIndex
+
+__all__ = [
+    "DirectoryIndex",
+    "GridIndex",
+    "IndexEntry",
+    "RPlusTreeIndex",
+    "SearchResult",
+    "SpatialIndex",
+    "entry_bytes",
+    "grid_index_factory",
+]

@@ -1,0 +1,292 @@
+"""R+-tree-like spatial index on tiles.
+
+The paper's storage design combines arbitrary tiling with "multidimensional
+R+-tree-like indexes" [9].  Tiles are disjoint boxes, which makes the
+R+-tree's defining property — non-overlapping index regions, entries
+duplicated into every region they straddle — natural:
+
+* **bulk load** builds a kd-style disjoint decomposition: entries are
+  recursively split by a hyperplane on the widest axis; an entry
+  straddling the plane is referenced from both sides (R+-tree
+  duplication), so sibling regions never overlap;
+* **incremental insert** follows the classic choose-leaf / split-on-
+  overflow path (minimal-enlargement descent, widest-axis distribution
+  split), used for gradually growing MDDs;
+* **search** descends every child whose region intersects the query,
+  counting visited nodes — each node is one index page for ``t_ix``.
+
+Node capacity derives from the page size and the per-entry footprint, so
+index height and page counts respond to dimensionality like a paged tree
+would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.errors import IndexError_
+from repro.core.geometry import MInterval
+from repro.index.base import IndexEntry, SearchResult, SpatialIndex, entry_bytes
+from repro.storage.pages import DEFAULT_PAGE_SIZE
+
+
+class _Node:
+    """Tree node: leaves hold IndexEntry, internals hold child nodes."""
+
+    __slots__ = ("leaf", "items", "mbr")
+
+    def __init__(self, leaf: bool, items: Optional[list] = None) -> None:
+        self.leaf = leaf
+        self.items: list = items or []
+        self.mbr: Optional[MInterval] = None
+        self.recompute_mbr()
+
+    def recompute_mbr(self) -> None:
+        boxes = [
+            item.domain if self.leaf else item.mbr for item in self.items
+        ]
+        boxes = [b for b in boxes if b is not None]
+        self.mbr = MInterval.hull_of(boxes) if boxes else None
+
+
+def _enlargement(mbr: Optional[MInterval], box: MInterval) -> int:
+    """Extra cells the MBR gains by absorbing ``box``."""
+    if mbr is None:
+        return box.cell_count
+    return mbr.hull(box).cell_count - mbr.cell_count
+
+
+class RPlusTreeIndex(SpatialIndex):
+    """Paged R+-tree-like index over disjoint tile domains."""
+
+    def __init__(
+        self,
+        dim: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if dim < 1:
+            raise IndexError_(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.page_size = page_size
+        if max_entries is None:
+            max_entries = max(4, page_size // entry_bytes(dim))
+        if max_entries < 2:
+            raise IndexError_(f"max_entries must be >= 2, got {max_entries}")
+        self.max_entries = max_entries
+        self._root = _Node(leaf=True)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves (leaf-only tree has height 1)."""
+        level = 1
+        node = self._root
+        while not node.leaf:
+            level += 1
+            node = node.items[0]
+        return level
+
+    def node_count(self) -> int:
+        """Total nodes (= index pages)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.leaf:
+                stack.extend(node.items)
+        return count
+
+    def entries(self) -> Iterator[IndexEntry]:
+        seen: set[int] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for entry in node.items:
+                    if entry.tile_id not in seen:
+                        seen.add(entry.tile_id)
+                        yield entry
+            else:
+                stack.extend(node.items)
+
+    # ------------------------------------------------------------------
+    # Bulk load (kd decomposition with R+ duplication)
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, entries) -> None:
+        items = list(entries)
+        for entry in items:
+            self._check_entry(entry)
+        unique = {e.tile_id for e in items}
+        if len(unique) != len(items):
+            raise IndexError_("duplicate tile ids in bulk load")
+        if not items:
+            self._root = _Node(leaf=True)
+            self._count = 0
+            return
+        self._root = self._build(items, depth=0)
+        self._count = len(items)
+
+    def _build(self, items: list[IndexEntry], depth: int) -> _Node:
+        if len(items) <= self.max_entries:
+            return _Node(leaf=True, items=items)
+        hull = MInterval.hull_of([e.domain for e in items])
+        axis = max(range(self.dim), key=lambda ax: hull.shape[ax])
+        centers = sorted(
+            (e.domain.lower[axis] + e.domain.upper[axis]) // 2  # type: ignore[operator]
+            for e in items
+        )
+        cut = centers[len(centers) // 2]
+        low = [e for e in items if e.domain.upper[axis] < cut]  # type: ignore[operator]
+        high = [e for e in items if e.domain.lower[axis] >= cut]  # type: ignore[operator]
+        straddle = [
+            e
+            for e in items
+            if e.domain.lower[axis] < cut <= e.domain.upper[axis]  # type: ignore[operator]
+        ]
+        part_low = len(low) + len(straddle)
+        part_high = len(high) + len(straddle)
+        if (
+            part_low == 0
+            or part_high == 0
+            or part_low >= len(items)
+            or part_high >= len(items)
+        ):
+            # Degenerate geometry (everything straddles or falls on one
+            # side): fall back to an even count split, which sacrifices
+            # disjointness for guaranteed progress.
+            ordered = sorted(
+                items,
+                key=lambda e: (e.domain.lower[axis], e.domain.lower),
+            )
+            half = len(ordered) // 2
+            parts = [ordered[:half], ordered[half:]]
+        else:
+            parts = [low + straddle, high + straddle]
+        children = [self._build(part, depth + 1) for part in parts if part]
+        # Flatten when capacity allows direct fan-out.
+        flat: list[_Node] = []
+        for child in children:
+            if not child.leaf and len(flat) + len(child.items) <= self.max_entries:
+                flat.extend(child.items)
+            else:
+                flat.append(child)
+        return _Node(leaf=False, items=flat)
+
+    # ------------------------------------------------------------------
+    # Incremental insert
+    # ------------------------------------------------------------------
+
+    def _check_entry(self, entry: IndexEntry) -> None:
+        if entry.domain.dim != self.dim:
+            raise IndexError_(
+                f"entry {entry.domain} has dim {entry.domain.dim}, "
+                f"index has dim {self.dim}"
+            )
+        if not entry.domain.is_bounded:
+            raise IndexError_(f"entry domain must be bounded: {entry.domain}")
+
+    def insert(self, entry: IndexEntry) -> None:
+        self._check_entry(entry)
+        split = self._insert_into(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(leaf=False, items=[old_root, split])
+        self._count += 1
+
+    def _insert_into(self, node: _Node, entry: IndexEntry) -> Optional[_Node]:
+        """Insert recursively; returns a new sibling when ``node`` split."""
+        if node.leaf:
+            node.items.append(entry)
+            node.recompute_mbr()
+            if len(node.items) > self.max_entries:
+                return self._split(node)
+            return None
+        child = min(
+            node.items,
+            key=lambda c: (_enlargement(c.mbr, entry.domain), c.mbr.cell_count
+                           if c.mbr is not None else 0),
+        )
+        overflow = self._insert_into(child, entry)
+        if overflow is not None:
+            node.items.append(overflow)
+        node.recompute_mbr()
+        if len(node.items) > self.max_entries:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Distribute an overflowing node's items along its widest axis.
+
+        ``node`` keeps the lower half; the returned sibling takes the rest.
+        """
+        assert node.mbr is not None
+        axis = max(range(self.dim), key=lambda ax: node.mbr.shape[ax])
+
+        def low_key(item) -> tuple:
+            box = item.domain if node.leaf else item.mbr
+            return (box.lower[axis], box.lower)
+
+        ordered = sorted(node.items, key=low_key)
+        half = len(ordered) // 2
+        node.items = ordered[:half]
+        node.recompute_mbr()
+        sibling = _Node(leaf=node.leaf, items=ordered[half:])
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Search / remove
+    # ------------------------------------------------------------------
+
+    def search(self, region: MInterval) -> SearchResult:
+        hits: dict[int, IndexEntry] = {}
+        visited = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            if node.mbr is None or not node.mbr.intersects(region):
+                continue
+            if node.leaf:
+                for entry in node.items:
+                    if entry.domain.intersects(region):
+                        hits[entry.tile_id] = entry
+            else:
+                for child in node.items:
+                    if child.mbr is not None and child.mbr.intersects(region):
+                        stack.append(child)
+        return SearchResult(entries=list(hits.values()), nodes_visited=visited)
+
+    def remove(self, tile_id: int) -> bool:
+        """Drop every reference to ``tile_id`` (no rebalancing)."""
+        removed = False
+
+        def prune(node: _Node) -> None:
+            nonlocal removed
+            if node.leaf:
+                before = len(node.items)
+                node.items = [e for e in node.items if e.tile_id != tile_id]
+                if len(node.items) != before:
+                    removed = True
+                    node.recompute_mbr()
+                return
+            for child in node.items:
+                prune(child)
+            node.items = [
+                c for c in node.items if c.items or c is self._root
+            ]
+            node.recompute_mbr()
+
+        prune(self._root)
+        if removed:
+            self._count -= 1
+        return removed

@@ -1,0 +1,27 @@
+"""Query layer: access model, engine, RasQL subset, timing breakdown."""
+
+from repro.query.access import Access, AccessKind, AccessPattern, classify
+from repro.query.engine import AGGREGATES, QueryEngine
+from repro.query.olap import RollUp, aggregate_by_category
+from repro.query.rasql import Select, execute, parse, tokenize
+from repro.query.result import QueryResult
+from repro.query.timing import LoadStats, QueryTiming, speedup
+
+__all__ = [
+    "AGGREGATES",
+    "Access",
+    "RollUp",
+    "AccessKind",
+    "AccessPattern",
+    "LoadStats",
+    "QueryEngine",
+    "QueryResult",
+    "QueryTiming",
+    "Select",
+    "aggregate_by_category",
+    "classify",
+    "execute",
+    "parse",
+    "speedup",
+    "tokenize",
+]

@@ -1,0 +1,107 @@
+"""The access model of Section 5.1.
+
+Individual region accesses fall into four cases:
+
+* (a) ``WHOLE``      — the whole object;
+* (b) ``SUBARRAY``   — a fully specified subinterval of the same dim;
+* (c) ``PARTIAL``    — linear ranges selected along some axes only
+                        (dicing/slicing, sub-aggregation);
+* (d) ``SECTION``    — fixed coordinate along one or more axes
+                        (dimension-reducing cut).
+
+``classify`` names the case for a query region against a current domain;
+``Access`` couples a region with its kind and is what access logs record.
+An :class:`AccessPattern` is a weighted collection of accesses — the input
+the statistic tiling strategy and the ablation benches consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import QueryError
+from repro.core.geometry import MInterval
+
+
+class AccessKind(enum.Enum):
+    """The four basic access types of Section 5.1."""
+
+    WHOLE = "whole"
+    SUBARRAY = "subarray"
+    PARTIAL = "partial"
+    SECTION = "section"
+
+
+def classify(region: MInterval, domain: MInterval) -> AccessKind:
+    """Classify a (possibly open-bounded) query region against a domain.
+
+    Axes left open (``*``) or spanning the full domain extent count as
+    unrestricted; degenerate axes (single coordinate) make the access a
+    section; everything restricted on all axes is a plain subarray.
+    """
+    if region.dim != domain.dim:
+        raise QueryError(
+            f"region dim {region.dim} does not match domain dim {domain.dim}"
+        )
+    restricted: list[bool] = []
+    degenerate: list[bool] = []
+    for axis in range(region.dim):
+        lo = region.lower[axis]
+        hi = region.upper[axis]
+        full_lo = lo is None or (
+            domain.lower[axis] is not None and lo <= domain.lower[axis]
+        )
+        full_hi = hi is None or (
+            domain.upper[axis] is not None and hi >= domain.upper[axis]
+        )
+        restricted.append(not (full_lo and full_hi))
+        # A pinned coordinate only makes a section when it actually
+        # restricts the axis (a domain axis of extent one stays "whole").
+        degenerate.append(lo is not None and lo == hi and restricted[-1])
+    if any(degenerate):
+        return AccessKind.SECTION
+    if not any(restricted):
+        return AccessKind.WHOLE
+    if all(restricted):
+        return AccessKind.SUBARRAY
+    return AccessKind.PARTIAL
+
+
+@dataclass(frozen=True)
+class Access:
+    """One logged access: region plus classification."""
+
+    region: MInterval
+    kind: AccessKind
+
+    @classmethod
+    def to(cls, region: MInterval, domain: MInterval) -> "Access":
+        return cls(region, classify(region, domain))
+
+
+@dataclass
+class AccessPattern:
+    """A weighted set of accesses (cf. Sarawagi & Stonebraker's model [13],
+    extended with exact positions as the paper requires)."""
+
+    accesses: list[MInterval] = field(default_factory=list)
+    weights: list[float] = field(default_factory=list)
+
+    def add(self, region: MInterval, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise QueryError(f"access weight must be positive, got {weight}")
+        self.accesses.append(region)
+        self.weights.append(weight)
+
+    def expanded(self) -> list[MInterval]:
+        """Regions repeated proportionally to their (integer) weights —
+        the flat list statistic tiling consumes."""
+        flat: list[MInterval] = []
+        for region, weight in zip(self.accesses, self.weights):
+            flat.extend([region] * max(1, round(weight)))
+        return flat
+
+    def __len__(self) -> int:
+        return len(self.accesses)

@@ -1,0 +1,141 @@
+"""Query engine: executes range queries and aggregates over stored MDDs.
+
+The engine is the RasDaMan-evaluator stand-in: it resolves query regions,
+drives the index → disk → compose pipeline of :class:`StoredMDD`, applies
+aggregation operations, and (optionally) records every access into an
+:class:`~repro.stats.log.AccessLog` so statistic tiling can learn from a
+session's history.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.geometry import MInterval
+from repro.query.access import Access, classify
+from repro.query.result import QueryResult
+
+
+if TYPE_CHECKING:  # imported for annotations only (avoids a cycle with storage)
+    from repro.storage.tilestore import Database, StoredMDD
+
+AggFunc = Callable[[np.ndarray], Union[int, float]]
+
+#: RasQL condenser operations supported by the engine.
+AGGREGATES: dict[str, AggFunc] = {
+    "add_cells": lambda a: a.sum().item(),
+    "avg_cells": lambda a: a.mean().item(),
+    "max_cells": lambda a: a.max().item(),
+    "min_cells": lambda a: a.min().item(),
+    "count_cells": lambda a: int(np.count_nonzero(a)),
+}
+
+
+class QueryEngine:
+    """Evaluates region and aggregate queries against a database."""
+
+    def __init__(self, database: Database, access_log=None) -> None:
+        self.database = database
+        self.access_log = access_log
+
+    # ------------------------------------------------------------------
+    # Object resolution
+    # ------------------------------------------------------------------
+
+    def object(self, collection: str, name: Optional[str] = None) -> StoredMDD:
+        """Find an object; with no name the collection must hold exactly one."""
+        coll = self.database.collection(collection)
+        if name is not None:
+            try:
+                return coll[name]
+            except KeyError:
+                raise QueryError(
+                    f"no object {name!r} in collection {collection!r}"
+                ) from None
+        if len(coll) != 1:
+            raise QueryError(
+                f"collection {collection!r} holds {len(coll)} objects; "
+                f"name one explicitly"
+            )
+        return next(iter(coll.values()))
+
+    # ------------------------------------------------------------------
+    # Query forms
+    # ------------------------------------------------------------------
+
+    def range_query(
+        self, obj: StoredMDD, region: MInterval
+    ) -> QueryResult:
+        """Access types (a)-(c): trim the object to a region."""
+        data, timing = obj.read(region)
+        self._log(obj, region)
+        return QueryResult(
+            value=data,
+            timing=timing,
+            region=obj.resolve_region(region),
+            object_name=obj.name,
+        )
+
+    def whole_object(self, obj: StoredMDD) -> QueryResult:
+        """Access type (a)."""
+        if obj.current_domain is None:
+            raise QueryError(f"object {obj.name!r} holds no tiles yet")
+        return self.range_query(obj, obj.current_domain)
+
+    def section_query(
+        self, obj: StoredMDD, axis: int, coordinate: int
+    ) -> QueryResult:
+        """Access type (d): dimension-reducing slice."""
+        data, timing = obj.read_section(axis, coordinate)
+        if obj.current_domain is not None:
+            self._log(obj, obj.current_domain.section(axis, coordinate))
+        return QueryResult(
+            value=data, timing=timing, region=None, object_name=obj.name
+        )
+
+    def aggregate_query(
+        self, obj: StoredMDD, region: MInterval, op: str
+    ) -> QueryResult:
+        """Condense a region with one of the RasQL condensers.
+
+        Aggregation time is part of post-processing, so it adds to
+        ``t_cpu``.
+        """
+        try:
+            func = AGGREGATES[op]
+        except KeyError:
+            raise QueryError(
+                f"unknown aggregate {op!r}; known: {sorted(AGGREGATES)}"
+            ) from None
+        data, timing = obj.read(region)
+        if data.dtype.fields is not None:
+            raise QueryError(
+                f"aggregate {op!r} needs a numeric base type, object "
+                f"{obj.name!r} has {obj.mdd_type.base.name!r}"
+            )
+        started = time.perf_counter()
+        value = func(data)
+        timing.t_cpu += (time.perf_counter() - started) * 1000.0
+        self._log(obj, region)
+        return QueryResult(
+            value=value,
+            timing=timing,
+            region=obj.resolve_region(region),
+            object_name=obj.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics hook
+    # ------------------------------------------------------------------
+
+    def _log(self, obj: StoredMDD, region: MInterval) -> None:
+        if self.access_log is None or obj.current_domain is None:
+            return
+        resolved = obj.resolve_region(region)
+        self.access_log.record(
+            obj.name, Access(resolved, classify(region, obj.current_domain))
+        )

@@ -1,0 +1,477 @@
+"""Mini-RasQL: the query-language subset the paper's system exposes.
+
+Supported statements::
+
+    SELECT c[32:59, *:*, 28:35] FROM cubes AS c
+    SELECT c[182, *:*, *:*]     FROM cubes AS c      -- section (dim drop)
+    SELECT add_cells(c[*:*, 28:42, *:*]) FROM cubes AS c
+    SELECT (c[0:9,0:9] + 100) * 2 FROM imgs AS c     -- induced operations
+    SELECT c[0:9,0:9] > 128 FROM imgs AS c           -- induced comparison
+    SELECT add_cells(c) / count_cells(c) FROM cubes AS c
+    SELECT c FROM cubes AS c                          -- whole objects
+    SELECT avg_cells(c) FROM cubes AS c WHERE max_cells(c) > 0
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT expr FROM ident (AS ident)? (WHERE expr)?
+    expr       := additive (RELOP additive)?          RELOP: < <= > >= = !=
+    additive   := term (('+'|'-') term)*
+    term       := factor (('*'|'/') factor)*
+    factor     := NUMBER | agg | trimmed | '(' expr ')' | '-' factor
+    agg        := AGGNAME '(' expr ')'
+    trimmed    := ident ('[' axis (',' axis)* ']')?
+    axis       := bound ':' bound | INT               -- INT alone slices
+    bound      := ('-')? INT | '*'
+
+Induced operations apply cell-wise with numpy broadcasting; aggregates
+(*condensers*) reduce arrays to scalars and may appear inside arithmetic.
+A query runs once per object in the FROM collection, yielding one
+:class:`~repro.query.result.QueryResult` each — mirroring RasQL's
+set-oriented semantics.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.core.errors import QueryError, RasQLSyntaxError
+from repro.core.geometry import MInterval
+from repro.query.engine import AGGREGATES, QueryEngine
+from repro.query.result import QueryResult
+from repro.query.timing import QueryTiming
+
+if TYPE_CHECKING:  # annotation-only import (avoids a cycle with storage)
+    from repro.storage.tilestore import StoredMDD
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d+|\d+)"
+    r"|(?P<name>[A-Za-z_]\w*)"
+    r"|(?P<sym><=|>=|!=|[\[\]():,*+\-/<>=]))"
+)
+
+_KEYWORDS = {"select", "from", "as", "where"}
+
+_RELOPS = {"<", "<=", ">", ">=", "=", "!="}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int' | 'float' | 'name' | 'sym' | 'kw' | 'end'
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split a statement into tokens (trailing ``end`` sentinel included)."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise RasQLSyntaxError(
+                f"unexpected character {text[position]!r} at {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "number":
+            literal = match.group("number")
+            kind = "float" if "." in literal else "int"
+            tokens.append(Token(kind, literal, match.start()))
+        elif match.lastgroup == "name":
+            word = match.group("name")
+            kind = "kw" if word.lower() in _KEYWORDS else "name"
+            tokens.append(Token(kind, word, match.start()))
+        else:
+            tokens.append(Token("sym", match.group("sym"), match.start()))
+    tokens.append(Token("end", "", len(text)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+AxisSpec = Union[tuple[Optional[int], Optional[int]], int]
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Trim:
+    var: Var
+    axes: tuple[AxisSpec, ...]
+
+
+@dataclass(frozen=True)
+class Num:
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Agg:
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: "Expr"
+
+
+Expr = Union[Var, Trim, Num, Agg, "BinOp", "Neg"]
+
+
+@dataclass(frozen=True)
+class Select:
+    expr: Expr
+    collection: str
+    alias: Optional[str]
+    where: Optional[Expr] = None
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def at_sym(self, *texts: str) -> bool:
+        token = self.peek()
+        return token.kind == "sym" and token.text in texts
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.advance()
+        if token.kind != kind or (text is not None and token.text.lower() != text):
+            wanted = text or kind
+            raise RasQLSyntaxError(
+                f"expected {wanted!r} at position {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Select:
+        self.expect("kw", "select")
+        expr = self.parse_expr()
+        self.expect("kw", "from")
+        collection = self.expect("name").text
+        alias: Optional[str] = None
+        if self.peek().kind == "kw" and self.peek().text.lower() == "as":
+            self.advance()
+            alias = self.expect("name").text
+        where: Optional[Expr] = None
+        if self.peek().kind == "kw" and self.peek().text.lower() == "where":
+            self.advance()
+            where = self.parse_expr()
+        self.expect("end")
+        return Select(expr, collection, alias, where)
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_additive()
+        if self.at_sym(*_RELOPS):
+            op = self.advance().text
+            right = self.parse_additive()
+            return BinOp(op, left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        node = self.parse_term()
+        while self.at_sym("+", "-"):
+            op = self.advance().text
+            node = BinOp(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_factor()
+        while self.at_sym("*", "/"):
+            op = self.advance().text
+            node = BinOp(op, node, self.parse_factor())
+        return node
+
+    def parse_factor(self) -> Expr:
+        token = self.peek()
+        if token.kind in ("int", "float"):
+            self.advance()
+            value = float(token.text) if token.kind == "float" else int(token.text)
+            return Num(value)
+        if self.at_sym("-"):
+            self.advance()
+            return Neg(self.parse_factor())
+        if self.at_sym("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("sym", ")")
+            return inner
+        if token.kind == "name" and token.text.lower() in AGGREGATES:
+            op = self.advance().text.lower()
+            self.expect("sym", "(")
+            operand = self.parse_expr()
+            self.expect("sym", ")")
+            return Agg(op, operand)
+        return self.parse_trimmed()
+
+    def parse_trimmed(self) -> Union[Var, Trim]:
+        var = Var(self.expect("name").text)
+        if not self.at_sym("["):
+            return var
+        self.advance()
+        axes: list[AxisSpec] = [self.parse_axis()]
+        while self.at_sym(","):
+            self.advance()
+            axes.append(self.parse_axis())
+        self.expect("sym", "]")
+        return Trim(var, tuple(axes))
+
+    def parse_axis(self) -> AxisSpec:
+        low = self.parse_bound()
+        if self.at_sym(":"):
+            self.advance()
+            high = self.parse_bound()
+            return (low, high)
+        if low is None:
+            raise RasQLSyntaxError(
+                f"a bare '*' is not a slice coordinate "
+                f"(position {self.peek().position})"
+            )
+        return low  # slice: single coordinate, drops the axis
+
+    def parse_bound(self) -> Optional[int]:
+        token = self.peek()
+        if self.at_sym("*"):
+            self.advance()
+            return None
+        negative = False
+        if self.at_sym("-"):
+            self.advance()
+            negative = True
+            token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            value = int(token.text)
+            return -value if negative else value
+        raise RasQLSyntaxError(
+            f"expected integer or '*' at position {token.position}, "
+            f"got {token.text!r}"
+        )
+
+
+def parse(statement: str) -> Select:
+    """Parse one RasQL statement into its AST."""
+    return _Parser(tokenize(statement)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+_NUMPY_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.true_divide,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "=": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def _trim_region_and_slices(
+    trim: Trim, obj: "StoredMDD"
+) -> tuple[MInterval, tuple[int, ...]]:
+    """Translate trim axes into a query region plus axes to squeeze."""
+    if len(trim.axes) != obj.dim:
+        raise RasQLSyntaxError(
+            f"{len(trim.axes)} axis specs for {obj.dim}-d object {obj.name!r}"
+        )
+    lo: list[Optional[int]] = []
+    hi: list[Optional[int]] = []
+    sliced: list[int] = []
+    for axis, spec in enumerate(trim.axes):
+        if isinstance(spec, int):
+            lo.append(spec)
+            hi.append(spec)
+            sliced.append(axis)
+        else:
+            lo.append(spec[0])
+            hi.append(spec[1])
+    return MInterval(lo, hi), tuple(sliced)
+
+
+class _Evaluator:
+    """Evaluates one Select AST against one stored MDD object."""
+
+    def __init__(
+        self, engine: QueryEngine, select: Select, obj: "StoredMDD"
+    ) -> None:
+        self.engine = engine
+        self.select = select
+        self.obj = obj
+
+    def _check_alias(self, var: Var) -> None:
+        select = self.select
+        if select.alias is not None and var.name != select.alias:
+            raise RasQLSyntaxError(
+                f"unknown variable {var.name!r} (alias is {select.alias!r})"
+            )
+        if select.alias is None and var.name != select.collection:
+            raise RasQLSyntaxError(
+                f"unknown variable {var.name!r} (no AS alias declared; "
+                f"use the collection name {select.collection!r})"
+            )
+
+    def run(self) -> QueryResult:
+        value, timing = self.eval(self.select.expr)
+        region = None
+        if isinstance(self.select.expr, (Var, Trim)):
+            # Pure region reads keep their resolved region on the result.
+            if isinstance(self.select.expr, Var):
+                region = self.obj.current_domain
+            else:
+                trim_region, sliced = _trim_region_and_slices(
+                    self.select.expr, self.obj
+                )
+                if not sliced:
+                    region = self.obj.resolve_region(trim_region)
+        return QueryResult(
+            value=value,
+            timing=timing,
+            region=region,
+            object_name=self.obj.name,
+        )
+
+    def eval(self, node: Expr) -> tuple[object, QueryTiming]:
+        if isinstance(node, Num):
+            return node.value, QueryTiming()
+        if isinstance(node, Var):
+            self._check_alias(node)
+            result = self.engine.whole_object(self.obj)
+            return result.value, result.timing
+        if isinstance(node, Trim):
+            return self._eval_trim(node)
+        if isinstance(node, Agg):
+            return self._eval_agg(node)
+        if isinstance(node, Neg):
+            value, timing = self.eval(node.operand)
+            started = time.perf_counter()
+            if isinstance(value, np.ndarray):
+                if value.dtype.kind == "u":  # avoid unsigned wraparound
+                    value = value.astype(np.int64)
+                negated: object = -value
+            else:
+                negated = -value
+            timing.t_cpu += (time.perf_counter() - started) * 1000.0
+            return negated, timing
+        if isinstance(node, BinOp):
+            return self._eval_binop(node)
+        raise RasQLSyntaxError(f"cannot evaluate node {node!r}")
+
+    def _eval_trim(self, trim: Trim) -> tuple[object, QueryTiming]:
+        self._check_alias(trim.var)
+        region, sliced = _trim_region_and_slices(trim, self.obj)
+        result = self.engine.range_query(self.obj, region)
+        data = result.array
+        for axis in sorted(sliced, reverse=True):
+            data = np.squeeze(data, axis=axis)
+        return data, result.timing
+
+    def _eval_agg(self, agg: Agg) -> tuple[object, QueryTiming]:
+        value, timing = self.eval(agg.operand)
+        if not isinstance(value, np.ndarray):
+            raise QueryError(
+                f"condenser {agg.op!r} needs an array operand, got a scalar"
+            )
+        if value.dtype.fields is not None:
+            raise QueryError(
+                f"condenser {agg.op!r} needs a numeric base type, object "
+                f"{self.obj.name!r} has {self.obj.mdd_type.base.name!r}"
+            )
+        started = time.perf_counter()
+        scalar = AGGREGATES[agg.op](value)
+        timing.t_cpu += (time.perf_counter() - started) * 1000.0
+        return scalar, timing
+
+    def _eval_binop(self, binop: BinOp) -> tuple[object, QueryTiming]:
+        left, left_timing = self.eval(binop.left)
+        right, right_timing = self.eval(binop.right)
+        timing = left_timing.add(right_timing)
+        left_arr = np.asarray(left)
+        right_arr = np.asarray(right)
+        if (
+            left_arr.ndim > 0
+            and right_arr.ndim > 0
+            and left_arr.shape != right_arr.shape
+        ):
+            raise QueryError(
+                f"induced {binop.op!r} on mismatched shapes "
+                f"{left_arr.shape} and {right_arr.shape}"
+            )
+        for side in (left_arr, right_arr):
+            if side.dtype.fields is not None:
+                raise QueryError(
+                    f"induced {binop.op!r} is not defined on struct cells"
+                )
+        started = time.perf_counter()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = _NUMPY_OPS[binop.op](left_arr, right_arr)
+        timing.t_cpu += (time.perf_counter() - started) * 1000.0
+        if value.ndim == 0:
+            return value.item(), timing
+        return value, timing
+
+
+def execute(engine: QueryEngine, statement: str) -> list[QueryResult]:
+    """Run a RasQL statement: one result per qualifying object.
+
+    With a WHERE clause, the condition is evaluated per object and must
+    come out as a scalar; only objects with a truthy condition produce a
+    result (RasQL's collection-filtering semantics).  The condition's
+    cost is charged to the surviving results' timings.
+    """
+    select = parse(statement)
+    results: list[QueryResult] = []
+    for obj in engine.database.objects(select.collection):
+        evaluator = _Evaluator(engine, select, obj)
+        where_timing: Optional[QueryTiming] = None
+        if select.where is not None:
+            condition, where_timing = evaluator.eval(select.where)
+            if isinstance(condition, np.ndarray):
+                raise QueryError(
+                    "WHERE condition must reduce to a scalar; wrap the "
+                    "array in a condenser such as count_cells(...)"
+                )
+            if not condition:
+                continue
+        result = evaluator.run()
+        if where_timing is not None:
+            result.timing.add(where_timing)
+        results.append(result)
+    return results

@@ -1,0 +1,55 @@
+"""Query results: data plus the timing breakdown that produced them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.geometry import MInterval
+from repro.query.timing import QueryTiming
+
+Scalar = Union[int, float]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query: an array or scalar, its region, the timing."""
+
+    value: Union[np.ndarray, Scalar]
+    timing: QueryTiming
+    region: Optional[MInterval] = None
+    object_name: str = ""
+
+    @property
+    def is_scalar(self) -> bool:
+        return not isinstance(self.value, np.ndarray)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The result as an ndarray (raises for scalar results)."""
+        if not isinstance(self.value, np.ndarray):
+            raise TypeError(
+                f"result of query on {self.object_name!r} is scalar "
+                f"({self.value!r}), not an array"
+            )
+        return self.value
+
+    @property
+    def scalar(self) -> Scalar:
+        """The result as a Python scalar (raises for array results)."""
+        if isinstance(self.value, np.ndarray):
+            raise TypeError(
+                f"result of query on {self.object_name!r} is an array of "
+                f"shape {self.value.shape}, not a scalar"
+            )
+        return self.value
+
+    def __repr__(self) -> str:
+        kind = (
+            f"array{self.value.shape}"
+            if isinstance(self.value, np.ndarray)
+            else f"scalar({self.value!r})"
+        )
+        return f"QueryResult({self.object_name!r}, {kind}, {self.timing})"

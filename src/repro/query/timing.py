@@ -1,0 +1,116 @@
+"""Query timing breakdown — the measured quantities of Section 6.
+
+The paper reports, per query:
+
+* ``t_o``   — time to retrieve intersected tiles from disk;
+* ``t_ix``  — time to find the affected tiles in the index;
+* ``t_cpu`` — post-processing time composing tile parts into the result;
+* ``t_totalaccess = t_o + t_ix``;
+* ``t_totalcpu    = t_o + t_ix + t_cpu``.
+
+Here ``t_o`` and the page component of ``t_ix`` come from the simulated
+disk (deterministic); ``t_cpu`` and the CPU component of ``t_ix`` are real
+measured time of the numpy composition work.  All figures are
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class QueryTiming:
+    """Per-query cost breakdown in milliseconds plus activity counters."""
+
+    t_ix: float = 0.0
+    t_o: float = 0.0
+    t_cpu: float = 0.0
+    tiles_read: int = 0
+    bytes_read: int = 0
+    pages_read: int = 0
+    index_nodes: int = 0
+    cells_result: int = 0
+    cells_fetched: int = 0
+
+    @property
+    def t_totalaccess(self) -> float:
+        """Total retrieval time from disk: ``t_o + t_ix``."""
+        return self.t_o + self.t_ix
+
+    @property
+    def t_totalcpu(self) -> float:
+        """Total query execution time: ``t_o + t_ix + t_cpu``."""
+        return self.t_o + self.t_ix + self.t_cpu
+
+    @property
+    def read_amplification(self) -> float:
+        """Cells fetched per result cell (1.0 = perfectly tiled)."""
+        if self.cells_result == 0:
+            return float("inf")
+        return self.cells_fetched / self.cells_result
+
+    def add(self, other: "QueryTiming") -> "QueryTiming":
+        """Accumulate another timing into this one (in place) and return it."""
+        self.t_ix += other.t_ix
+        self.t_o += other.t_o
+        self.t_cpu += other.t_cpu
+        self.tiles_read += other.tiles_read
+        self.bytes_read += other.bytes_read
+        self.pages_read += other.pages_read
+        self.index_nodes += other.index_nodes
+        self.cells_result += other.cells_result
+        self.cells_fetched += other.cells_fetched
+        return self
+
+    def scaled(self, factor: float) -> "QueryTiming":
+        """Time components scaled by ``factor`` (for averaging runs)."""
+        return QueryTiming(
+            t_ix=self.t_ix * factor,
+            t_o=self.t_o * factor,
+            t_cpu=self.t_cpu * factor,
+            tiles_read=self.tiles_read,
+            bytes_read=self.bytes_read,
+            pages_read=self.pages_read,
+            index_nodes=self.index_nodes,
+            cells_result=self.cells_result,
+            cells_fetched=self.cells_fetched,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"t_ix={self.t_ix:.2f}ms t_o={self.t_o:.2f}ms "
+            f"t_cpu={self.t_cpu:.2f}ms total={self.t_totalcpu:.2f}ms "
+            f"(tiles={self.tiles_read}, pages={self.pages_read})"
+        )
+
+
+def speedup(baseline: QueryTiming, tuned: QueryTiming) -> dict[str, float]:
+    """Baseline-over-tuned ratios for the three reported components.
+
+    Matches the paper's Tables 4 and 6 (values > 1 mean ``tuned`` wins).
+    """
+
+    def ratio(b: float, t: float) -> float:
+        return b / t if t > 0 else float("inf")
+
+    return {
+        "t_o": ratio(baseline.t_o, tuned.t_o),
+        "t_totalaccess": ratio(baseline.t_totalaccess, tuned.t_totalaccess),
+        "t_totalcpu": ratio(baseline.t_totalcpu, tuned.t_totalcpu),
+    }
+
+
+@dataclass
+class LoadStats:
+    """Cost of loading an array into a stored MDD (paper's load-time note)."""
+
+    tiling_ms: float = 0.0
+    store_ms: float = 0.0
+    tile_count: int = 0
+    bytes_stored: int = 0
+    index_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.tiling_ms + self.store_ms + self.index_ms

@@ -1,0 +1,102 @@
+"""Tiling advisor: turn an access history into a tiling strategy.
+
+The paper's final automation step: "automatic tiling based on access
+statistics derives the best tiling for an object".  The advisor inspects
+an object's :class:`~repro.stats.log.AccessLog` slice and picks
+
+* **aligned (default)** when the history is empty or dominated by
+  whole-object reads;
+* **aligned with a starred configuration** when section accesses always
+  fix the same axes (the Figure 4 preferential-direction case);
+* **statistic tiling** (clustered areas of interest) otherwise.
+
+The returned strategy is ready to pass to ``StoredMDD.load_array``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.geometry import MInterval
+from repro.query.access import Access, AccessKind
+from repro.tiling.aligned import AlignedTiling, TileConfig
+from repro.tiling.base import DEFAULT_MAX_TILE_SIZE, TilingStrategy
+from repro.tiling.statistic import StatisticTiling
+
+
+@dataclass(frozen=True)
+class Advice:
+    """The advisor's output: a strategy plus its reasoning."""
+
+    strategy: TilingStrategy
+    reason: str
+
+
+def _fixed_axes(accesses: Sequence[Access]) -> Optional[tuple[int, ...]]:
+    """Axes every section access pins to a single coordinate, or None."""
+    sections = [a for a in accesses if a.kind == AccessKind.SECTION]
+    if not sections:
+        return None
+    common: Optional[set[int]] = None
+    for access in sections:
+        pinned = {
+            axis
+            for axis in range(access.region.dim)
+            if access.region.lower[axis] == access.region.upper[axis]
+        }
+        common = pinned if common is None else common & pinned
+    if not common:
+        return None
+    return tuple(sorted(common))
+
+
+def advise(
+    accesses: Sequence[Access],
+    frequency_threshold: int = 2,
+    distance_threshold: int = 0,
+    max_tile_size: int = DEFAULT_MAX_TILE_SIZE,
+) -> Advice:
+    """Recommend a tiling strategy for an object's access history."""
+    if not accesses:
+        return Advice(
+            AlignedTiling(None, max_tile_size),
+            "no access history: default aligned tiling",
+        )
+
+    histogram: dict[AccessKind, int] = {kind: 0 for kind in AccessKind}
+    for access in accesses:
+        histogram[access.kind] += 1
+    total = len(accesses)
+
+    if histogram[AccessKind.WHOLE] * 2 > total:
+        return Advice(
+            AlignedTiling(None, max_tile_size),
+            f"{histogram[AccessKind.WHOLE]}/{total} whole-object reads: "
+            f"aligned tiling",
+        )
+
+    if histogram[AccessKind.SECTION] * 2 > total:
+        pinned = _fixed_axes(accesses)
+        if pinned is not None:
+            dim = accesses[0].region.dim
+            elements: list[object] = ["*"] * dim
+            for axis in pinned:
+                elements[axis] = 1
+            config = TileConfig(elements)
+            return Advice(
+                AlignedTiling(config, max_tile_size),
+                f"sections always fix axes {pinned}: aligned tiling with "
+                f"configuration {config}",
+            )
+
+    regions: list[MInterval] = [a.region for a in accesses]
+    return Advice(
+        StatisticTiling(
+            regions,
+            frequency_threshold=frequency_threshold,
+            distance_threshold=distance_threshold,
+            max_tile_size=max_tile_size,
+        ),
+        f"{total} positional accesses: statistic tiling over the log",
+    )

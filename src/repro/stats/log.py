@@ -1,0 +1,101 @@
+"""Access logs: the raw material of statistic tiling.
+
+RasDaMan derives automatic tiling "from an application or database log
+file of access operations" (Section 5.2).  :class:`AccessLog` records
+every access the query engine executes, keyed by object name, and can be
+saved to / loaded from a JSON-lines file so tiling decisions survive
+sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Union
+
+from repro.core.errors import ReproError
+from repro.core.geometry import MInterval
+from repro.query.access import Access, AccessKind
+
+
+class AccessLog:
+    """Per-object record of executed accesses."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[Access]] = defaultdict(list)
+
+    def record(self, object_name: str, access: Access) -> None:
+        """Append one access for an object."""
+        self._records[object_name].append(access)
+
+    def accesses(self, object_name: str) -> list[Access]:
+        """All recorded accesses for an object (chronological)."""
+        return list(self._records.get(object_name, []))
+
+    def regions(self, object_name: str) -> list[MInterval]:
+        """Just the regions — the input statistic tiling expects."""
+        return [a.region for a in self._records.get(object_name, [])]
+
+    def objects(self) -> tuple[str, ...]:
+        return tuple(sorted(self._records))
+
+    def count(self, object_name: str) -> int:
+        return len(self._records.get(object_name, []))
+
+    def clear(self, object_name: Union[str, None] = None) -> None:
+        """Forget one object's history, or everything."""
+        if object_name is None:
+            self._records.clear()
+        else:
+            self._records.pop(object_name, None)
+
+    def kind_histogram(self, object_name: str) -> dict[AccessKind, int]:
+        """How often each access type (a)-(d) occurred — tuning guidance."""
+        histogram: dict[AccessKind, int] = {kind: 0 for kind in AccessKind}
+        for access in self._records.get(object_name, []):
+            histogram[access.kind] += 1
+        return histogram
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the log as JSON lines (one access per line)."""
+        path = Path(path)
+        with open(path, "w") as handle:
+            for name, accesses in sorted(self._records.items()):
+                for access in accesses:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "object": name,
+                                "region": str(access.region),
+                                "kind": access.kind.value,
+                            }
+                        )
+                        + "\n"
+                    )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AccessLog":
+        """Read a log previously written by :meth:`save`."""
+        log = cls()
+        path = Path(path)
+        if not path.exists():
+            raise ReproError(f"no access log at {path}")
+        with open(path) as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    region = MInterval.parse(entry["region"])
+                    kind = AccessKind(entry["kind"])
+                    name = entry["object"]
+                except (KeyError, ValueError) as exc:
+                    raise ReproError(
+                        f"{path}:{line_number}: corrupt log entry ({exc})"
+                    ) from exc
+                log.record(name, Access(region, kind))
+        return log

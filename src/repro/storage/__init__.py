@@ -1,0 +1,60 @@
+"""Storage substrate: pages, BLOBs, disk model, buffer pool, tile store."""
+
+from repro.storage.backends import FileBlobStore, MemoryBlobStore
+from repro.storage.blob import BlobRecord, BlobStore
+from repro.storage.catalog import open_database, save_database
+from repro.storage.bufferpool import BufferPool
+from repro.storage.compression import (
+    compress,
+    decompress,
+    known_codecs,
+    rle_decode,
+    rle_encode,
+    select_codec,
+)
+from repro.storage.disk import (
+    CpuParameters,
+    DiskCounters,
+    DiskParameters,
+    SimulatedDisk,
+)
+from repro.storage.pages import (
+    DEFAULT_PAGE_SIZE,
+    PageAllocator,
+    PageRange,
+    pages_needed,
+)
+from repro.storage.tilestore import (
+    Database,
+    StoredMDD,
+    TileEntry,
+    default_index_factory,
+)
+
+__all__ = [
+    "BlobRecord",
+    "BlobStore",
+    "BufferPool",
+    "Database",
+    "DEFAULT_PAGE_SIZE",
+    "CpuParameters",
+    "DiskCounters",
+    "DiskParameters",
+    "FileBlobStore",
+    "MemoryBlobStore",
+    "PageAllocator",
+    "PageRange",
+    "SimulatedDisk",
+    "StoredMDD",
+    "TileEntry",
+    "compress",
+    "decompress",
+    "default_index_factory",
+    "known_codecs",
+    "pages_needed",
+    "rle_decode",
+    "rle_encode",
+    "open_database",
+    "save_database",
+    "select_codec",
+]

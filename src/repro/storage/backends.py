@@ -1,0 +1,160 @@
+"""Concrete BLOB store backends: in-memory and page-file.
+
+``MemoryBlobStore`` keeps payloads in a dict — the default for tests and
+benchmarks, where I/O time comes from the deterministic disk model rather
+than the host machine.
+
+``FileBlobStore`` writes payloads into a real page file at their allocated
+page offsets, with a JSON catalog sidecar, so databases survive process
+restarts.  It demonstrates that the page placement the disk model charges
+for is the placement actually used on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.errors import StorageError
+from repro.storage.blob import BlobRecord, BlobStore
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange
+
+
+class MemoryBlobStore(BlobStore):
+    """Dictionary-backed store; payloads never touch the filesystem."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._payloads: dict[int, bytes] = {}
+
+    def _write_payload(self, record: BlobRecord, payload: bytes) -> None:
+        self._payloads[record.blob_id] = payload
+
+    def _read_payload(self, record: BlobRecord) -> bytes:
+        return self._payloads[record.blob_id]
+
+    def _delete_payload(self, record: BlobRecord) -> None:
+        self._payloads.pop(record.blob_id, None)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total real payload bytes held."""
+        return sum(len(p) for p in self._payloads.values())
+
+
+class FileBlobStore(BlobStore):
+    """Page-file backed store with a JSON catalog sidecar.
+
+    Layout: ``<path>`` is the page file (BLOB ``k`` lives at byte offset
+    ``pages.start * page_size``); ``<path>.catalog.json`` records the
+    catalog.  Call :meth:`sync` (or use as a context manager) to persist
+    the catalog; :meth:`open` reloads an existing store.
+    """
+
+    CATALOG_SUFFIX = ".catalog.json"
+
+    def __init__(
+        self, path: Union[str, Path], page_size: int = DEFAULT_PAGE_SIZE
+    ) -> None:
+        super().__init__(page_size)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # "a+b" must be avoided: O_APPEND redirects every write to the file
+        # end, ignoring seek positions, which would corrupt page placement.
+        mode = "r+b" if self.path.exists() else "w+b"
+        self._file = open(self.path, mode)
+
+    # -- persistence -------------------------------------------------------
+
+    @property
+    def catalog_path(self) -> Path:
+        return self.path.with_name(self.path.name + self.CATALOG_SUFFIX)
+
+    def sync(self) -> None:
+        """Flush the page file and write the catalog sidecar."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        payload = {
+            "page_size": self.page_size,
+            "next_id": self._next_id,
+            "high_water": self._allocator.high_water,
+            "blobs": [
+                {
+                    "id": r.blob_id,
+                    "size": r.byte_size,
+                    "stored_size": r.stored_size,
+                    "start": r.pages.start,
+                    "count": r.pages.count,
+                    "virtual": r.virtual,
+                    "codec": r.codec,
+                }
+                for r in self._catalog.values()
+            ],
+        }
+        tmp = self.catalog_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self.catalog_path)
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "FileBlobStore":
+        """Reload a previously synced store."""
+        path = Path(path)
+        catalog_path = path.with_name(path.name + cls.CATALOG_SUFFIX)
+        if not catalog_path.exists():
+            raise StorageError(f"no catalog at {catalog_path}")
+        meta = json.loads(catalog_path.read_text())
+        store = cls(path, page_size=meta["page_size"])
+        store._next_id = meta["next_id"]
+        store._allocator._next_page = meta["high_water"]
+        for entry in meta["blobs"]:
+            record = BlobRecord(
+                blob_id=entry["id"],
+                byte_size=entry["size"],
+                pages=PageRange(entry["start"], entry["count"]),
+                virtual=entry["virtual"],
+                codec=entry["codec"],
+                stored_size=entry["stored_size"],
+            )
+            store._catalog[record.blob_id] = record
+        return store
+
+    def close(self) -> None:
+        self.sync()
+        self._file.close()
+
+    def __enter__(self) -> "FileBlobStore":
+        return self
+
+    def __exit__(self, *exc: object) -> Optional[bool]:
+        self.close()
+        return None
+
+    # -- backend hooks -------------------------------------------------------
+
+    def _write_payload(self, record: BlobRecord, payload: bytes) -> None:
+        if len(payload) > record.pages.count * self.page_size:
+            raise StorageError(
+                f"payload of {len(payload)} bytes overflows page range "
+                f"{record.pages}"
+            )
+        self._file.seek(record.pages.start * self.page_size)
+        self._file.write(payload)
+        record.stored_size = len(payload)
+
+    def _read_payload(self, record: BlobRecord) -> bytes:
+        self._file.seek(record.pages.start * self.page_size)
+        stored = record.stored_size
+        assert stored is not None
+        raw = self._file.read(stored)
+        if len(raw) != stored:
+            raise StorageError(
+                f"short read for blob {record.blob_id}: wanted {stored} "
+                f"bytes, got {len(raw)}"
+            )
+        return raw
+
+    def _delete_payload(self, record: BlobRecord) -> None:
+        # Pages are recycled by the allocator; bytes stay until overwritten.
+        return None

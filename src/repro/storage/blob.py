@@ -1,0 +1,135 @@
+"""BLOB store interface and catalog entries.
+
+Cells of each tile are stored in a separate BLOB (Section 5).  A BLOB
+store maps integer BLOB ids to byte payloads placed in page ranges; the
+page placement is what the disk model charges for.
+
+Two payload flavours exist:
+
+* *real* — bytes are kept (memory) or written (file backend);
+* *virtual* — only the size is recorded and reads synthesise zero bytes.
+  Virtual payloads exist for benchmarks whose data volume (the paper's
+  375 MB extended cubes) matters only through its page-access pattern.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.errors import BlobNotFoundError, StorageError
+from repro.storage.pages import (
+    DEFAULT_PAGE_SIZE,
+    PageAllocator,
+    PageRange,
+    pages_needed,
+)
+
+
+@dataclass
+class BlobRecord:
+    """Catalog entry for one BLOB."""
+
+    blob_id: int
+    byte_size: int
+    pages: PageRange
+    virtual: bool = False
+    codec: str = "none"
+    stored_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.stored_size is None:
+            self.stored_size = self.byte_size
+
+
+class BlobStore(abc.ABC):
+    """Abstract page-placed BLOB store."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 1:
+            raise StorageError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._allocator = PageAllocator()
+        self._catalog: dict[int, BlobRecord] = {}
+        self._next_id = 1
+
+    # -- catalog ---------------------------------------------------------
+
+    def record(self, blob_id: int) -> BlobRecord:
+        """Catalog entry for a BLOB (raises when unknown)."""
+        try:
+            return self._catalog[blob_id]
+        except KeyError:
+            raise BlobNotFoundError(f"no blob {blob_id}") from None
+
+    def __contains__(self, blob_id: int) -> bool:
+        return blob_id in self._catalog
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    def blob_ids(self) -> Iterator[int]:
+        return iter(self._catalog)
+
+    @property
+    def total_pages(self) -> int:
+        """Pages of the underlying page file (high-water mark)."""
+        return self._allocator.high_water
+
+    # -- writes ----------------------------------------------------------
+
+    def put(self, payload: bytes, codec: str = "none") -> int:
+        """Store a real payload, returning the new BLOB id."""
+        blob_id = self._next_id
+        self._next_id += 1
+        pages = self._allocator.allocate(pages_needed(len(payload), self.page_size))
+        record = BlobRecord(
+            blob_id, len(payload), pages, virtual=False, codec=codec
+        )
+        self._write_payload(record, payload)
+        self._catalog[blob_id] = record
+        return blob_id
+
+    def put_virtual(self, byte_size: int) -> int:
+        """Register a size-only BLOB (reads synthesise zeros)."""
+        if byte_size < 0:
+            raise StorageError(f"negative virtual size {byte_size}")
+        blob_id = self._next_id
+        self._next_id += 1
+        pages = self._allocator.allocate(pages_needed(byte_size, self.page_size))
+        self._catalog[blob_id] = BlobRecord(
+            blob_id, byte_size, pages, virtual=True
+        )
+        return blob_id
+
+    def delete(self, blob_id: int) -> None:
+        """Drop a BLOB, returning its pages to the allocator."""
+        record = self.record(blob_id)
+        if not record.virtual:
+            self._delete_payload(record)
+        self._allocator.release(record.pages)
+        del self._catalog[blob_id]
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, blob_id: int) -> bytes:
+        """Fetch a BLOB payload (zeros for virtual BLOBs)."""
+        record = self.record(blob_id)
+        if record.virtual:
+            return bytes(record.byte_size)
+        return self._read_payload(record)
+
+    # -- backend hooks -----------------------------------------------------
+
+    @abc.abstractmethod
+    def _write_payload(self, record: BlobRecord, payload: bytes) -> None:
+        """Persist the payload at the record's page range."""
+
+    @abc.abstractmethod
+    def _read_payload(self, record: BlobRecord) -> bytes:
+        """Load the payload bytes for a real BLOB."""
+
+    @abc.abstractmethod
+    def _delete_payload(self, record: BlobRecord) -> None:
+        """Release backend resources of a real BLOB."""

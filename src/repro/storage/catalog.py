@@ -1,0 +1,169 @@
+"""Whole-database persistence: save and reopen a Database directory.
+
+The paper's system keeps its tile catalog inside the O2 base DBMS; here a
+database directory plays that role:
+
+    <dir>/blobs.pages               page file with every BLOB
+    <dir>/blobs.pages.catalog.json  BLOB placement (FileBlobStore sidecar)
+    <dir>/catalog.json              collections, objects, types, tile tables
+
+``save_database`` works from any store: with a :class:`FileBlobStore` the
+payloads are already on disk and only catalogs are written; with a
+:class:`MemoryBlobStore` every payload is copied into a fresh page file
+(BLOB ids are preserved so tile tables stay valid).
+
+``open_database`` rebuilds objects by re-attaching BLOBs — no cell data
+is copied — and repopulates each object's spatial index.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.cells import base_type
+from repro.core.errors import StorageError
+from repro.core.geometry import MInterval
+from repro.core.mddtype import MDDType
+from repro.storage.backends import FileBlobStore, MemoryBlobStore
+from repro.storage.disk import CpuParameters, DiskParameters
+from repro.storage.tilestore import Database, StoredMDD
+
+CATALOG_NAME = "catalog.json"
+PAGES_NAME = "blobs.pages"
+CATALOG_VERSION = 1
+
+
+def _serialise_type(mdd_type: MDDType) -> dict:
+    return {
+        "name": mdd_type.name,
+        "base": mdd_type.base.name,
+        "definition_domain": str(mdd_type.definition_domain),
+    }
+
+
+def _deserialise_type(payload: dict) -> MDDType:
+    return MDDType(
+        payload["name"],
+        base_type(payload["base"]),
+        MInterval.parse(payload["definition_domain"]),
+    )
+
+
+def _serialise_object(obj: StoredMDD) -> dict:
+    return {
+        "name": obj.name,
+        "type": _serialise_type(obj.mdd_type),
+        "tiles": [
+            {
+                "domain": str(entry.domain),
+                "blob": entry.blob_id,
+                "codec": entry.codec,
+                "virtual": entry.virtual,
+            }
+            for entry in obj.tile_entries()
+        ],
+    }
+
+
+def save_database(database: Database, directory: Union[str, Path]) -> Path:
+    """Persist a database (BLOBs + catalogs) into ``directory``.
+
+    Returns the directory path.  Existing catalogs in the directory are
+    overwritten; an existing page file is only reused when the database
+    is already backed by it.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    pages_path = directory / PAGES_NAME
+
+    store = database.store
+    if isinstance(store, FileBlobStore):
+        store.sync()
+        if store.path.resolve() != pages_path.resolve():
+            shutil.copy2(store.path, pages_path)
+            shutil.copy2(
+                store.catalog_path,
+                pages_path.with_name(pages_path.name + FileBlobStore.CATALOG_SUFFIX),
+            )
+    elif isinstance(store, MemoryBlobStore):
+        _copy_memory_store(store, pages_path)
+    else:
+        raise StorageError(
+            f"cannot persist store of type {type(store).__name__}"
+        )
+
+    catalog = {
+        "version": CATALOG_VERSION,
+        "collections": {
+            coll_name: [
+                _serialise_object(obj) for obj in objects.values()
+            ]
+            for coll_name, objects in database.collections.items()
+        },
+    }
+    tmp = directory / (CATALOG_NAME + ".tmp")
+    tmp.write_text(json.dumps(catalog, indent=1))
+    tmp.replace(directory / CATALOG_NAME)
+    return directory
+
+
+def _copy_memory_store(store: MemoryBlobStore, pages_path: Path) -> None:
+    """Materialise an in-memory store as a page file, keeping BLOB ids
+    and page placement identical."""
+    if pages_path.exists():
+        pages_path.unlink()
+    with FileBlobStore(pages_path, page_size=store.page_size) as file_store:
+        for blob_id in sorted(store.blob_ids()):
+            record = store.record(blob_id)
+            if record.virtual:
+                copied = file_store.put_virtual(record.byte_size)
+            else:
+                copied = file_store.put(store.get(blob_id), codec=record.codec)
+            if copied != blob_id:
+                raise StorageError(
+                    f"blob id drift while persisting ({blob_id} -> {copied}); "
+                    f"stores with deleted blobs need a FileBlobStore backend"
+                )
+
+
+def open_database(
+    directory: Union[str, Path],
+    disk_parameters: Optional[DiskParameters] = None,
+    cpu_parameters: Optional[CpuParameters] = None,
+    buffer_bytes: int = 0,
+) -> Database:
+    """Reopen a database previously written by :func:`save_database`.
+
+    Objects are rebuilt by re-attaching their BLOBs; tile payloads are
+    not read until queried.
+    """
+    directory = Path(directory)
+    catalog_path = directory / CATALOG_NAME
+    if not catalog_path.exists():
+        raise StorageError(f"no database catalog at {catalog_path}")
+    catalog = json.loads(catalog_path.read_text())
+    if catalog.get("version") != CATALOG_VERSION:
+        raise StorageError(
+            f"unsupported catalog version {catalog.get('version')!r}"
+        )
+
+    store = FileBlobStore.open(directory / PAGES_NAME)
+    database = Database(
+        store=store,
+        disk_parameters=disk_parameters,
+        cpu_parameters=cpu_parameters,
+        buffer_bytes=buffer_bytes,
+    )
+    for coll_name, objects in catalog["collections"].items():
+        database.create_collection(coll_name)
+        for payload in objects:
+            mdd_type = _deserialise_type(payload["type"])
+            obj = database.create_object(coll_name, mdd_type, payload["name"])
+            for tile in payload["tiles"]:
+                obj.attach_tile(
+                    MInterval.parse(tile["domain"]), tile["blob"], tile["codec"]
+                )
+    return database

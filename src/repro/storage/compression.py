@@ -1,0 +1,104 @@
+"""Selective tile compression (paper Section 8 / RasDaMan feature).
+
+The RasDaMan storage manager supports *selective compression of blocks* —
+important for sparse data, where many tiles are mostly default values.
+Three codecs are provided:
+
+* ``none`` — identity;
+* ``rle``  — byte-level run-length encoding, ideal for constant runs of
+  default cells (the chunk-offset-style case of sparse OLAP tiles);
+* ``zlib`` — DEFLATE via the standard library.
+
+``select_codec`` implements the *selective* part: a tile is stored
+compressed only when compression actually pays (saves at least one page
+or a configurable ratio).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+from repro.core.errors import StorageError
+
+Codec = tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]
+
+
+def rle_encode(payload: bytes) -> bytes:
+    """Byte run-length encoding: pairs ``(count - 1, value)``, runs <= 256."""
+    out = bytearray()
+    n = len(payload)
+    i = 0
+    while i < n:
+        value = payload[i]
+        run = 1
+        while i + run < n and run < 256 and payload[i + run] == value:
+            run += 1
+        out.append(run - 1)
+        out.append(value)
+        i += run
+    return bytes(out)
+
+
+def rle_decode(payload: bytes) -> bytes:
+    """Inverse of :func:`rle_encode`."""
+    if len(payload) % 2:
+        raise StorageError("corrupt RLE payload (odd length)")
+    out = bytearray()
+    for i in range(0, len(payload), 2):
+        out.extend(payload[i + 1 : i + 2] * (payload[i] + 1))
+    return bytes(out)
+
+
+_CODECS: dict[str, Codec] = {
+    "none": (lambda b: b, lambda b: b),
+    "rle": (rle_encode, rle_decode),
+    "zlib": (
+        lambda b: zlib.compress(b, level=6),
+        zlib.decompress,
+    ),
+}
+
+
+def known_codecs() -> tuple[str, ...]:
+    """Names of the registered codecs."""
+    return tuple(sorted(_CODECS))
+
+
+def compress(payload: bytes, codec: str) -> bytes:
+    """Encode ``payload`` with the named codec."""
+    try:
+        encode, _decode = _CODECS[codec]
+    except KeyError:
+        raise StorageError(f"unknown codec {codec!r}") from None
+    return encode(payload)
+
+
+def decompress(payload: bytes, codec: str) -> bytes:
+    """Decode ``payload`` with the named codec."""
+    try:
+        _encode, decode = _CODECS[codec]
+    except KeyError:
+        raise StorageError(f"unknown codec {codec!r}") from None
+    return decode(payload)
+
+
+def select_codec(
+    payload: bytes,
+    candidates: tuple[str, ...] = ("zlib",),
+    min_ratio: float = 0.9,
+) -> tuple[str, bytes]:
+    """Selective compression: best candidate, or ``none`` when nothing
+    shrinks the payload below ``min_ratio`` of its raw size.
+
+    Returns ``(codec_name, encoded_payload)``.
+    """
+    if not payload:
+        return "none", payload
+    best_name, best = "none", payload
+    bound = int(len(payload) * min_ratio)
+    for name in candidates:
+        encoded = compress(payload, name)
+        if len(encoded) <= bound and len(encoded) < len(best):
+            best_name, best = name, encoded
+    return best_name, best

@@ -1,0 +1,95 @@
+"""Page abstraction and page-range allocation.
+
+The storage system reads and writes whole pages (Section 2: "accesses by
+the storage system are to whole pages"), so tile sizes should approximate
+integral multiples of the page size.  BLOBs occupy contiguous page ranges
+allocated by :class:`PageAllocator`; freed ranges are recycled first-fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import PageError
+
+#: Default page size in bytes (the database page of the cost formulas).
+DEFAULT_PAGE_SIZE = 8192
+
+
+def pages_needed(byte_count: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Number of whole pages required to hold ``byte_count`` bytes."""
+    if byte_count < 0:
+        raise PageError(f"negative byte count {byte_count}")
+    if page_size < 1:
+        raise PageError(f"page size must be positive, got {page_size}")
+    return max(1, -(-byte_count // page_size))
+
+
+@dataclass(frozen=True)
+class PageRange:
+    """A contiguous run of pages ``[start, start + count)``."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.count < 1:
+            raise PageError(f"invalid page range {self.start}+{self.count}")
+
+    @property
+    def end(self) -> int:
+        """One past the last page id."""
+        return self.start + self.count
+
+    def follows(self, other: "PageRange") -> bool:
+        """True when this range starts exactly where ``other`` ends —
+        reading it after ``other`` needs no seek."""
+        return self.start == other.end
+
+
+class PageAllocator:
+    """First-fit allocator of contiguous page ranges with free-list reuse."""
+
+    def __init__(self) -> None:
+        self._next_page = 0
+        self._free: list[PageRange] = []
+
+    @property
+    def high_water(self) -> int:
+        """Total pages ever allocated (ignoring reuse) — file size proxy."""
+        return self._next_page
+
+    def allocate(self, count: int) -> PageRange:
+        """Allocate a contiguous run of ``count`` pages."""
+        if count < 1:
+            raise PageError(f"cannot allocate {count} pages")
+        for i, hole in enumerate(self._free):
+            if hole.count >= count:
+                taken = PageRange(hole.start, count)
+                if hole.count == count:
+                    del self._free[i]
+                else:
+                    self._free[i] = PageRange(hole.start + count, hole.count - count)
+                return taken
+        taken = PageRange(self._next_page, count)
+        self._next_page += count
+        return taken
+
+    def release(self, page_range: PageRange) -> None:
+        """Return a range to the free list (coalescing adjacent holes)."""
+        merged = page_range
+        keep: list[PageRange] = []
+        for hole in self._free:
+            if hole.end == merged.start:
+                merged = PageRange(hole.start, hole.count + merged.count)
+            elif merged.end == hole.start:
+                merged = PageRange(merged.start, merged.count + hole.count)
+            else:
+                keep.append(hole)
+        keep.append(merged)
+        keep.sort(key=lambda r: r.start)
+        self._free = keep
+
+    def free_pages(self) -> int:
+        """Total pages currently in the free list."""
+        return sum(hole.count for hole in self._free)

@@ -1,0 +1,626 @@
+"""Persistent MDD objects: tiles as BLOBs plus a spatial index.
+
+This is the storage manager of Section 5: an MDD object is a set of
+multidimensional tiles and an index on tiles; cells of each tile are
+stored in a separate BLOB.  :class:`StoredMDD` binds together
+
+* an :class:`~repro.core.mddtype.MDDType`,
+* a tile table (stable tile id → domain, BLOB id, codec),
+* a :class:`~repro.index.base.SpatialIndex` on the tile domains, and
+* the shared :class:`~repro.storage.disk.SimulatedDisk` /
+  :class:`~repro.storage.bufferpool.BufferPool` of the owning
+  :class:`Database`.
+
+Reads produce a dense result array and a :class:`QueryTiming` with the
+paper's ``t_ix`` / ``t_o`` / ``t_cpu`` breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import DomainError, QueryError, StorageError
+from repro.core.geometry import MInterval
+from repro.core.mdd import Tile
+from repro.core.mddtype import MDDType
+from repro.core.order import row_major_key
+from repro.index.base import IndexEntry, SpatialIndex
+from repro.index.rplustree import RPlusTreeIndex
+from repro.query.timing import LoadStats, QueryTiming
+from repro.storage.backends import MemoryBlobStore
+from repro.storage.blob import BlobStore
+from repro.storage.bufferpool import BufferPool
+from repro.storage.compression import decompress, select_codec
+from repro.storage.disk import CpuParameters, DiskParameters, SimulatedDisk
+
+IndexFactory = Callable[[int, int], SpatialIndex]
+
+
+def default_index_factory(dim: int, page_size: int) -> SpatialIndex:
+    """The system default: an R+-tree-like index."""
+    return RPlusTreeIndex(dim, page_size=page_size)
+
+
+@dataclass
+class TileEntry:
+    """Tile-table row: where one tile's cells live."""
+
+    tile_id: int
+    domain: MInterval
+    blob_id: int
+    codec: str = "none"
+    virtual: bool = False
+
+
+class StoredMDD:
+    """A persistent MDD object backed by BLOB tiles and a spatial index."""
+
+    def __init__(
+        self,
+        database: "Database",
+        mdd_type: MDDType,
+        name: str,
+        index: Optional[SpatialIndex] = None,
+    ) -> None:
+        self.database = database
+        self.mdd_type = mdd_type
+        self.name = name
+        self.index = index if index is not None else database.make_index(
+            mdd_type.dim
+        )
+        self._tiles: dict[int, TileEntry] = {}
+        self._next_tile_id = 1
+        self._current_domain: Optional[MInterval] = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def current_domain(self) -> Optional[MInterval]:
+        return self._current_domain
+
+    @property
+    def tile_count(self) -> int:
+        return len(self._tiles)
+
+    @property
+    def dim(self) -> int:
+        return self.mdd_type.dim
+
+    def tile_entries(self) -> tuple[TileEntry, ...]:
+        """Tile-table rows in insertion order."""
+        return tuple(self._tiles.values())
+
+    def stored_bytes(self) -> int:
+        """Bytes on disk across all tiles (after compression)."""
+        store = self.database.store
+        return sum(store.record(t.blob_id).byte_size for t in self._tiles.values())
+
+    def logical_bytes(self) -> int:
+        """Uncompressed cell bytes across all tiles."""
+        cell = self.mdd_type.cell_size
+        return sum(t.domain.cell_count * cell for t in self._tiles.values())
+
+    # ------------------------------------------------------------------
+    # Loading (phase two of tiling)
+    # ------------------------------------------------------------------
+
+    def insert_tile(self, tile: Tile) -> int:
+        """Store one tile (cells copied to a BLOB, domain indexed)."""
+        self._admit_domain(tile.domain)
+        payload = tile.to_bytes()
+        codec = "none"
+        if self.database.compression:
+            codec, payload = select_codec(payload, self.database.codecs)
+        blob_id = self.database.store.put(payload, codec=codec)
+        return self._register(tile.domain, blob_id, codec, virtual=False)
+
+    def attach_tile(
+        self, domain: MInterval, blob_id: int, codec: str = "none"
+    ) -> int:
+        """Re-register an existing BLOB as a tile (catalog reload path).
+
+        Used when reopening a file-backed database: the BLOB already holds
+        the tile's cells, so no data is copied — only the tile table and
+        the index are rebuilt.
+        """
+        record = self.database.store.record(blob_id)  # raises when missing
+        self._admit_domain(domain)
+        expected = domain.cell_count * self.mdd_type.cell_size
+        if codec == "none" and record.byte_size != expected:
+            raise StorageError(
+                f"blob {blob_id} holds {record.byte_size} bytes, tile "
+                f"{domain} needs {expected}"
+            )
+        return self._register(domain, blob_id, codec, virtual=record.virtual)
+
+    def insert_virtual_tile(self, domain: MInterval) -> int:
+        """Register a tile with synthesized content (benchmark-scale data).
+
+        The BLOB has the right size and page placement but no real bytes;
+        reads return default-valued cells.
+        """
+        self._admit_domain(domain)
+        blob_id = self.database.store.put_virtual(
+            domain.cell_count * self.mdd_type.cell_size
+        )
+        return self._register(domain, blob_id, "none", virtual=True)
+
+    def _admit_domain(self, domain: MInterval) -> None:
+        self.mdd_type.validate_domain(domain, what="tile domain")
+        hits = self.index.search(domain)
+        if hits.entries:
+            raise DomainError(
+                f"tile {domain} overlaps stored tile "
+                f"{hits.entries[0].domain} of {self.name!r}"
+            )
+
+    def _register(
+        self, domain: MInterval, blob_id: int, codec: str, virtual: bool
+    ) -> int:
+        tile_id = self._next_tile_id
+        self._next_tile_id += 1
+        self._tiles[tile_id] = TileEntry(tile_id, domain, blob_id, codec, virtual)
+        self.index.insert(IndexEntry(domain, tile_id))
+        if self._current_domain is None:
+            self._current_domain = domain
+        else:
+            self._current_domain = self._current_domain.hull(domain)
+        return tile_id
+
+    def load_array(
+        self,
+        array: np.ndarray,
+        strategy,
+        origin: Optional[Sequence[int]] = None,
+        skip_default_tiles: bool = False,
+    ) -> LoadStats:
+        """Tile and store a dense array (the typical object load path).
+
+        Runs the strategy's phase one, then stores tiles ordered by the
+        database's tile clustering order so neighbouring tiles land on
+        neighbouring pages.  Returns a :class:`LoadStats` splitting tiling
+        time from data-insertion time (the paper notes tiling cost is
+        negligible against insert cost).
+
+        With ``skip_default_tiles`` the object only partially covers its
+        domain: tiles consisting entirely of the base type's default
+        value are not materialised (the paper's "partial cover of data
+        cubes", important for sparse OLAP data).  Reads synthesise the
+        default for the uncovered areas.
+        """
+        if array.dtype != self.mdd_type.base.dtype:
+            array = array.astype(self.mdd_type.base.dtype)
+        if origin is None:
+            dd = self.mdd_type.definition_domain
+            origin = tuple(0 if l is None else l for l in dd.lower)
+        region = MInterval.from_shape(array.shape, origin)
+
+        stats = LoadStats()
+        started = time.perf_counter()
+        spec = strategy.tile(region, self.mdd_type.cell_size)
+        stats.tiling_ms = (time.perf_counter() - started) * 1000.0
+
+        default_cell = self.mdd_type.base.default_cell()
+        ordered = sorted(
+            spec.tiles, key=lambda t: self.database.tile_key(t.lowest)
+        )
+        started = time.perf_counter()
+        stored = 0
+        for tile_domain in ordered:
+            data = array[tile_domain.to_slices(origin)]
+            if skip_default_tiles and (data == default_cell).all():
+                continue
+            self.insert_tile(Tile(tile_domain, data))
+            stored += 1
+        if stored == 0:
+            raise StorageError(
+                f"array for {self.name!r} holds only default values; "
+                f"nothing to store with skip_default_tiles"
+            )
+        # Partial coverage must not shrink the current domain below the
+        # loaded region (the closure is over what the user loaded).
+        if self._current_domain is not None:
+            self._current_domain = self._current_domain.hull(region)
+        stats.store_ms = (time.perf_counter() - started) * 1000.0
+        stats.tile_count = stored
+        stats.bytes_stored = self.stored_bytes()
+        return stats
+
+    def load_virtual(self, domain: MInterval, strategy) -> LoadStats:
+        """Like :meth:`load_array` but with synthesized tile contents."""
+        stats = LoadStats()
+        started = time.perf_counter()
+        spec = strategy.tile(domain, self.mdd_type.cell_size)
+        stats.tiling_ms = (time.perf_counter() - started) * 1000.0
+        ordered = sorted(
+            spec.tiles, key=lambda t: self.database.tile_key(t.lowest)
+        )
+        started = time.perf_counter()
+        for tile_domain in ordered:
+            self.insert_virtual_tile(tile_domain)
+        stats.store_ms = (time.perf_counter() - started) * 1000.0
+        stats.tile_count = len(ordered)
+        stats.bytes_stored = self.stored_bytes()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def resolve_region(self, region: MInterval) -> MInterval:
+        """Resolve open bounds against the current domain and clip."""
+        if self._current_domain is None:
+            raise QueryError(f"object {self.name!r} holds no tiles yet")
+        if region.dim != self.dim:
+            raise QueryError(
+                f"query dim {region.dim} does not match object dim {self.dim}"
+            )
+        resolved = region.resolve(self._current_domain)
+        clipped = resolved.intersection(self._current_domain)
+        if clipped is None:
+            raise QueryError(
+                f"region {region} outside current domain {self._current_domain}"
+            )
+        return clipped
+
+    def read(self, region: MInterval) -> tuple[np.ndarray, QueryTiming]:
+        """Range query: dense result array plus timing breakdown.
+
+        The paper's pipeline: (1) index lookup charging ``t_ix``;
+        (2) BLOB retrieval of every intersected tile, sorted by page
+        position, charging ``t_o``; (3) composition of tile fragments into
+        the result array, measured as ``t_cpu``.
+        """
+        region = self.resolve_region(region)
+        timing = QueryTiming(cells_result=region.cell_count)
+        disk = self.database.disk
+
+        # (1) index lookup
+        started = time.perf_counter()
+        result = self.index.search(region)
+        cpu_ix = (time.perf_counter() - started) * 1000.0
+        page_ix = sum(disk.charge_index_node() for _ in range(result.nodes_visited))
+        timing.t_ix = cpu_ix + page_ix
+        timing.index_nodes = result.nodes_visited
+
+        # (2) tile retrieval, in page order for sequential runs
+        entries = sorted(
+            (self._tiles[e.tile_id] for e in result.entries),
+            key=lambda t: disk.blob_pages(t.blob_id).start,
+        )
+        payloads: list[tuple[TileEntry, bytes]] = []
+        for entry in entries:
+            payload, cost = self.database.read_blob(entry.blob_id)
+            timing.t_o += cost
+            timing.tiles_read += 1
+            timing.bytes_read += len(payload)
+            timing.pages_read += disk.blob_pages(entry.blob_id).count
+            timing.cells_fetched += entry.domain.cell_count
+            payloads.append((entry, payload))
+
+        # (3) composition: modelled copy cost (era-calibrated) plus the
+        # real numpy time; border tiles pay the strided rate.
+        started = time.perf_counter()
+        dtype = self.mdd_type.base.dtype
+        cell_size = self.mdd_type.cell_size
+        out = np.zeros(region.shape, dtype=dtype)
+        default = self.mdd_type.base.default
+        if default != 0:
+            out[...] = default
+        aligned_bytes = 0
+        border_bytes = 0
+        for entry, payload in payloads:
+            part = entry.domain.intersection(region)
+            assert part is not None
+            if part == entry.domain:
+                aligned_bytes += entry.domain.cell_count * cell_size
+            else:
+                border_bytes += entry.domain.cell_count * cell_size
+            if entry.virtual:
+                continue  # synthesized tiles carry default cells
+            raw = decompress(payload, entry.codec)
+            tile_data = np.frombuffer(raw, dtype=dtype).reshape(
+                entry.domain.shape
+            )
+            out[part.to_slices(region.lowest)] = tile_data[
+                part.to_slices(entry.domain.lowest)
+            ]
+        measured_ms = (time.perf_counter() - started) * 1000.0
+        timing.t_cpu = measured_ms + self.database.cpu_parameters.compose_ms(
+            aligned_bytes, border_bytes
+        )
+        return out, timing
+
+    def read_blocks(
+        self, region: MInterval
+    ) -> "Iterator[tuple[MInterval, np.ndarray, QueryTiming]]":
+        """Stream a range query tile by tile (memory-bounded scans).
+
+        Yields ``(part, data, timing)`` triples: ``part`` is the clipped
+        region the fragment covers, ``data`` its dense cells, ``timing``
+        the cost charged for that tile (the index lookup is charged to
+        the first fragment).  Fragments of uncovered areas are not
+        yielded — callers wanting defaults should track coverage or use
+        :meth:`read`.  The union of parts plus uncovered space equals the
+        resolved region; fragments arrive in page order.
+        """
+        region = self.resolve_region(region)
+        disk = self.database.disk
+
+        started = time.perf_counter()
+        result = self.index.search(region)
+        cpu_ix = (time.perf_counter() - started) * 1000.0
+        page_ix = sum(
+            disk.charge_index_node() for _ in range(result.nodes_visited)
+        )
+        pending_ix = cpu_ix + page_ix
+        pending_nodes = result.nodes_visited
+
+        entries = sorted(
+            (self._tiles[e.tile_id] for e in result.entries),
+            key=lambda t: disk.blob_pages(t.blob_id).start,
+        )
+        dtype = self.mdd_type.base.dtype
+        for entry in entries:
+            timing = QueryTiming()
+            timing.t_ix = pending_ix
+            timing.index_nodes = pending_nodes
+            pending_ix = 0.0
+            pending_nodes = 0
+            payload, cost = self.database.read_blob(entry.blob_id)
+            timing.t_o = cost
+            timing.tiles_read = 1
+            timing.bytes_read = len(payload)
+            timing.pages_read = disk.blob_pages(entry.blob_id).count
+            timing.cells_fetched = entry.domain.cell_count
+            part = entry.domain.intersection(region)
+            assert part is not None
+            timing.cells_result = part.cell_count
+            started = time.perf_counter()
+            if entry.virtual:
+                data = np.zeros(part.shape, dtype=dtype)
+                default = self.mdd_type.base.default
+                if default != 0:
+                    data[...] = default
+            else:
+                raw = decompress(payload, entry.codec)
+                tile_data = np.frombuffer(raw, dtype=dtype).reshape(
+                    entry.domain.shape
+                )
+                data = tile_data[part.to_slices(entry.domain.lowest)].copy()
+            timing.t_cpu = (
+                (time.perf_counter() - started) * 1000.0
+                + self.database.cpu_parameters.compose_ms(
+                    *(
+                        (entry.domain.cell_count * self.mdd_type.cell_size, 0)
+                        if part == entry.domain
+                        else (0, entry.domain.cell_count * self.mdd_type.cell_size)
+                    )
+                )
+            )
+            yield part, data, timing
+
+    def read_section(
+        self, axis: int, coordinate: int
+    ) -> tuple[np.ndarray, QueryTiming]:
+        """Access type (d): fix a coordinate, drop that axis."""
+        if self._current_domain is None:
+            raise QueryError(f"object {self.name!r} holds no tiles yet")
+        slab = self._current_domain.section(axis, coordinate)
+        data, timing = self.read(slab)
+        return data.squeeze(axis=axis), timing
+
+    # ------------------------------------------------------------------
+    # Updates / deletion
+    # ------------------------------------------------------------------
+
+    def update(self, region: MInterval, values: np.ndarray) -> int:
+        """Overwrite covered cells of ``region`` (read-modify-write tiles)."""
+        self.mdd_type.validate_domain(region, what="update region")
+        if tuple(values.shape) != region.shape:
+            raise DomainError(
+                f"values shape {tuple(values.shape)} does not match {region}"
+            )
+        written = 0
+        dtype = self.mdd_type.base.dtype
+        for entry in self.index.search(region).entries:
+            tile_entry = self._tiles[entry.tile_id]
+            if tile_entry.virtual:
+                raise StorageError(
+                    f"cannot update virtual tile {tile_entry.domain}"
+                )
+            payload, _cost = self.database.read_blob(tile_entry.blob_id)
+            raw = decompress(payload, tile_entry.codec)
+            data = (
+                np.frombuffer(raw, dtype=dtype)
+                .reshape(tile_entry.domain.shape)
+                .copy()
+            )
+            part = tile_entry.domain.intersection(region)
+            assert part is not None
+            data[part.to_slices(tile_entry.domain.lowest)] = values[
+                part.to_slices(region.lowest)
+            ]
+            self._replace_payload(tile_entry, data.tobytes(order="C"))
+            written += part.cell_count
+        return written
+
+    def _replace_payload(self, tile_entry: TileEntry, payload: bytes) -> None:
+        self.database.invalidate_blob(tile_entry.blob_id)
+        self.database.store.delete(tile_entry.blob_id)
+        codec = "none"
+        if self.database.compression:
+            codec, payload = select_codec(payload, self.database.codecs)
+        tile_entry.blob_id = self.database.store.put(payload, codec=codec)
+        tile_entry.codec = codec
+
+    def delete_region(self, region: MInterval) -> int:
+        """Shrinkage (Section 2): drop every tile fully inside ``region``.
+
+        Tiles that only partially overlap the region are kept whole —
+        tiles are the unit of storage, so removal granularity is the
+        tile (callers wanting finer removal can :meth:`update` cells to
+        the default value instead).  The current domain shrinks to the
+        hull of the remaining tiles.  Returns the number of tiles
+        dropped.
+        """
+        self.mdd_type.validate_domain(region, what="delete region")
+        victims = [
+            entry
+            for entry in self._tiles.values()
+            if region.contains(entry.domain)
+        ]
+        for entry in victims:
+            self.database.invalidate_blob(entry.blob_id)
+            self.database.store.delete(entry.blob_id)
+            self.index.remove(entry.tile_id)
+            del self._tiles[entry.tile_id]
+        if self._tiles:
+            self._current_domain = MInterval.hull_of(
+                entry.domain for entry in self._tiles.values()
+            )
+        else:
+            self._current_domain = None
+        return len(victims)
+
+    def retile(self, strategy, skip_default_tiles: bool = False) -> LoadStats:
+        """Reorganise the object's storage under a new tiling strategy.
+
+        The closing step of the statistic-tiling loop: once the access
+        log suggests a better layout, the object is read back tile by
+        tile, re-partitioned, and rewritten — logically unchanged (same
+        current domain, same cell values, partial coverage preserved as
+        default values becoming materialised cells).
+
+        Returns the :class:`LoadStats` of the reload.
+        """
+        if self._current_domain is None:
+            raise QueryError(f"object {self.name!r} holds no tiles to retile")
+        if any(entry.virtual for entry in self._tiles.values()):
+            raise StorageError(
+                f"object {self.name!r} has virtual tiles; retiling would "
+                f"materialise synthesized data"
+            )
+        data, _timing = self.read(self._current_domain)
+        origin = self._current_domain.lowest
+        old_domain = self._current_domain
+        self.drop()
+        stats = self.load_array(
+            data, strategy, origin=origin,
+            skip_default_tiles=skip_default_tiles,
+        )
+        assert self._current_domain == old_domain
+        return stats
+
+    def drop(self) -> None:
+        """Delete all tiles and index entries of this object."""
+        for tile_entry in self._tiles.values():
+            self.database.invalidate_blob(tile_entry.blob_id)
+            self.database.store.delete(tile_entry.blob_id)
+        self._tiles.clear()
+        self.index = self.database.make_index(self.dim)
+        self._current_domain = None
+
+    def __repr__(self) -> str:
+        return (
+            f"StoredMDD({self.name!r}, type={self.mdd_type.name}, "
+            f"tiles={self.tile_count}, domain={self._current_domain})"
+        )
+
+
+class Database:
+    """Shared storage context: BLOB store, disk model, pool, collections.
+
+    The unit a RasQL session talks to.  Collections are named sets of
+    stored MDD objects, mirroring the ODMG collections RasDaMan queries
+    range over.
+    """
+
+    def __init__(
+        self,
+        store: Optional[BlobStore] = None,
+        disk_parameters: Optional[DiskParameters] = None,
+        cpu_parameters: Optional[CpuParameters] = None,
+        buffer_bytes: int = 0,
+        index_factory: IndexFactory = default_index_factory,
+        tile_key=row_major_key,
+        compression: bool = False,
+        codecs: tuple[str, ...] = ("zlib",),
+    ) -> None:
+        self.store = store if store is not None else MemoryBlobStore()
+        if disk_parameters is None:
+            disk_parameters = DiskParameters(page_size=self.store.page_size)
+        self.disk = SimulatedDisk(self.store, disk_parameters)
+        self.cpu_parameters = (
+            cpu_parameters if cpu_parameters is not None else CpuParameters()
+        )
+        self.pool = (
+            BufferPool(self.disk, buffer_bytes) if buffer_bytes > 0 else None
+        )
+        self._index_factory = index_factory
+        self.tile_key = tile_key
+        self.compression = compression
+        self.codecs = codecs
+        self.collections: dict[str, dict[str, StoredMDD]] = {}
+
+    # -- plumbing shared by objects ---------------------------------------
+
+    def make_index(self, dim: int) -> SpatialIndex:
+        """New spatial index from the configured factory."""
+        return self._index_factory(dim, self.store.page_size)
+
+    def read_blob(self, blob_id: int) -> tuple[bytes, float]:
+        """BLOB payload and charged milliseconds, via the pool if any."""
+        if self.pool is not None:
+            return self.pool.read_blob(blob_id)
+        return self.disk.read_blob(blob_id)
+
+    def invalidate_blob(self, blob_id: int) -> None:
+        """Drop a BLOB from the buffer pool (after update/delete)."""
+        if self.pool is not None:
+            self.pool.invalidate(blob_id)
+
+    # -- collection management ----------------------------------------------
+
+    def create_collection(self, name: str) -> dict[str, StoredMDD]:
+        """Create an empty named collection (errors when it exists)."""
+        if name in self.collections:
+            raise StorageError(f"collection {name!r} already exists")
+        self.collections[name] = {}
+        return self.collections[name]
+
+    def collection(self, name: str) -> dict[str, StoredMDD]:
+        """Objects of a collection by name (errors when absent)."""
+        try:
+            return self.collections[name]
+        except KeyError:
+            raise StorageError(f"no collection {name!r}") from None
+
+    def create_object(
+        self, collection: str, mdd_type: MDDType, name: str
+    ) -> StoredMDD:
+        """Create an empty stored MDD inside a collection."""
+        coll = self.collections.setdefault(collection, {})
+        if name in coll:
+            raise StorageError(
+                f"object {name!r} already exists in collection {collection!r}"
+            )
+        obj = StoredMDD(self, mdd_type, name)
+        coll[name] = obj
+        return obj
+
+    def objects(self, collection: str) -> tuple[StoredMDD, ...]:
+        """All stored MDD objects of a collection."""
+        return tuple(self.collection(collection).values())
+
+    def reset_clock(self) -> None:
+        """Zero the disk counters (cold measurement boundary)."""
+        self.disk.reset()
+        if self.pool is not None:
+            self.pool.clear()

@@ -1,0 +1,84 @@
+"""Tiling strategies (the paper's core contribution, Section 5.2)."""
+
+from repro.tiling.aligned import (
+    AlignedTiling,
+    RegularTiling,
+    SingleTileTiling,
+    TileConfig,
+    compute_tile_format,
+)
+from repro.tiling.base import (
+    DEFAULT_MAX_TILE_SIZE,
+    KB,
+    TilingSpec,
+    TilingStrategy,
+    blocks_from_axis_breaks,
+    grid_partition,
+)
+from repro.tiling.cuts import CutsTiling, LinearBlobTiling
+from repro.tiling.directional import (
+    DirectionalTiling,
+    category_intervals,
+)
+from repro.tiling.interest import (
+    AreasOfInterestTiling,
+    axis_partitions_from_areas,
+    intersect_code,
+    merge_same_code,
+)
+from repro.tiling.sarawagi import (
+    OptimalChunkTiling,
+    expected_chunks,
+    optimal_chunk_format,
+    pattern_cost,
+)
+from repro.tiling.statistic import (
+    AccessCluster,
+    StatisticTiling,
+    box_distance,
+    cluster_accesses,
+    derive_areas_of_interest,
+)
+from repro.tiling.validate import (
+    AccessCost,
+    access_cost,
+    check_partition,
+    is_aligned,
+    workload_amplification,
+)
+
+__all__ = [
+    "AccessCluster",
+    "AccessCost",
+    "AlignedTiling",
+    "AreasOfInterestTiling",
+    "CutsTiling",
+    "DEFAULT_MAX_TILE_SIZE",
+    "DirectionalTiling",
+    "KB",
+    "LinearBlobTiling",
+    "OptimalChunkTiling",
+    "RegularTiling",
+    "SingleTileTiling",
+    "StatisticTiling",
+    "TileConfig",
+    "TilingSpec",
+    "TilingStrategy",
+    "access_cost",
+    "axis_partitions_from_areas",
+    "blocks_from_axis_breaks",
+    "box_distance",
+    "category_intervals",
+    "check_partition",
+    "cluster_accesses",
+    "compute_tile_format",
+    "derive_areas_of_interest",
+    "expected_chunks",
+    "grid_partition",
+    "intersect_code",
+    "is_aligned",
+    "merge_same_code",
+    "optimal_chunk_format",
+    "pattern_cost",
+    "workload_amplification",
+]

@@ -1,0 +1,65 @@
+"""Tiling by cuts along a direction, and BLOB-style linear tiling.
+
+Section 4 of the paper singles out *tiling by cuts along a direction k*:
+tiles are slabs delimited by planes of constant ``x_k``, extending fully
+along every other axis.  This generalises the linear tiling of BLOBs — but
+along any chosen direction, not just the storage linearisation order.
+
+Figure 4's animation example (frame-by-frame access along y) is
+``CutsTiling(axis=1)`` on a ``(x, y, z)`` object.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval
+from repro.tiling.aligned import AlignedTiling, TileConfig
+from repro.tiling.base import DEFAULT_MAX_TILE_SIZE, TilingStrategy
+
+
+class CutsTiling(TilingStrategy):
+    """Slab tiling orthogonal to one axis (paper: tiling by cuts).
+
+    Equivalent to aligned tiling with configuration ``*`` on every axis
+    except ``axis``, which gets relative size 1 — slabs are made as thick
+    as ``MaxTileSize`` allows.  When even a single-slice slab exceeds the
+    bound, the slice is sub-split by aligned tiling so the size contract
+    still holds.
+    """
+
+    def __init__(
+        self, axis: int, max_tile_size: int = DEFAULT_MAX_TILE_SIZE
+    ) -> None:
+        super().__init__(max_tile_size)
+        if axis < 0:
+            raise TilingError(f"axis must be non-negative, got {axis}")
+        self.axis = axis
+
+    @property
+    def name(self) -> str:
+        return f"Cuts(axis={self.axis},{self.max_tile_size}B)"
+
+    def partition(self, domain: MInterval, cell_size: int) -> list[MInterval]:
+        if self.axis >= domain.dim:
+            raise TilingError(
+                f"cut axis {self.axis} out of range for domain {domain}"
+            )
+        elements: list[object] = ["*"] * domain.dim
+        elements[self.axis] = 1
+        aligned = AlignedTiling(TileConfig(elements), self.max_tile_size)
+        return aligned.partition(domain, cell_size)
+
+
+class LinearBlobTiling(CutsTiling):
+    """Traditional DBMS BLOB tiling: cuts along the first (slowest) axis.
+
+    Kept as a named strategy because the paper repeatedly contrasts
+    arbitrary tiling with the one-directional linear BLOB layout.
+    """
+
+    def __init__(self, max_tile_size: int = DEFAULT_MAX_TILE_SIZE) -> None:
+        super().__init__(0, max_tile_size)
+
+    @property
+    def name(self) -> str:
+        return f"LinearBlob({self.max_tile_size}B)"

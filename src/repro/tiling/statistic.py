@@ -1,0 +1,149 @@
+"""Statistic tiling: derive areas of interest from an access log.
+
+Implements the paper's fourth strategy (Section 5.2, *Statistic Tiling*):
+given a list of past accesses — from an application or database log — the
+algorithm
+
+1. clusters accesses closer than ``DistanceThreshold`` into candidate
+   areas (merging an access into a cluster grows the cluster's hull and
+   its hit count);
+2. keeps only clusters hit more than ``FrequencyThreshold`` times,
+   avoiding tiny tiles for one-off accesses;
+3. hands the surviving areas to the areas-of-interest algorithm.
+
+When no cluster survives the frequency filter the strategy degrades to the
+default aligned tiling, matching the system's default behaviour for
+objects without tuning information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval
+from repro.tiling.aligned import AlignedTiling
+from repro.tiling.base import DEFAULT_MAX_TILE_SIZE, TilingStrategy
+from repro.tiling.interest import AreasOfInterestTiling
+
+
+def box_distance(a: MInterval, b: MInterval) -> int:
+    """Chebyshev gap between two bounded boxes (0 when they touch/overlap).
+
+    The maximum over axes of the empty space between the projections; two
+    accesses are "close" when every axis gap is small.
+    """
+    gap = 0
+    for al, au, bl, bu in zip(a.lower, a.upper, b.lower, b.upper):
+        assert al is not None and au is not None
+        assert bl is not None and bu is not None
+        if au < bl:
+            axis_gap = bl - au - 1
+        elif bu < al:
+            axis_gap = al - bu - 1
+        else:
+            axis_gap = 0
+        gap = max(gap, axis_gap)
+    return gap
+
+
+@dataclass
+class AccessCluster:
+    """A group of nearby accesses: covering hull plus hit count."""
+
+    hull: MInterval
+    count: int = 1
+
+    def absorb(self, access: MInterval) -> None:
+        self.hull = self.hull.hull(access)
+        self.count += 1
+
+
+def cluster_accesses(
+    accesses: Sequence[MInterval],
+    distance_threshold: int,
+) -> list[AccessCluster]:
+    """Greedy clustering: each access joins the first cluster within
+    ``distance_threshold`` (by :func:`box_distance` to the cluster hull),
+    else founds a new one.  Deterministic in input order."""
+    clusters: list[AccessCluster] = []
+    for access in accesses:
+        if not access.is_bounded:
+            raise TilingError(f"access log entries must be bounded: {access}")
+        for cluster in clusters:
+            if box_distance(cluster.hull, access) <= distance_threshold:
+                cluster.absorb(access)
+                break
+        else:
+            clusters.append(AccessCluster(access))
+    return clusters
+
+
+def derive_areas_of_interest(
+    accesses: Sequence[MInterval],
+    frequency_threshold: int,
+    distance_threshold: int,
+) -> list[MInterval]:
+    """The filtering step of statistic tiling: clusters that were hit more
+    than ``frequency_threshold`` times become areas of interest."""
+    clusters = cluster_accesses(accesses, distance_threshold)
+    return [c.hull for c in clusters if c.count >= frequency_threshold]
+
+
+class StatisticTiling(TilingStrategy):
+    """Automatic tiling from access statistics (paper: Statistic Tiling).
+
+    Args:
+        accesses: logged access regions (most recent log window).
+        frequency_threshold: minimum hits for a cluster to count.
+        distance_threshold: maximum box gap for two accesses to merge.
+        max_tile_size: byte bound on every resulting tile.
+    """
+
+    def __init__(
+        self,
+        accesses: Sequence[MInterval],
+        frequency_threshold: int = 2,
+        distance_threshold: int = 0,
+        max_tile_size: int = DEFAULT_MAX_TILE_SIZE,
+    ) -> None:
+        super().__init__(max_tile_size)
+        if frequency_threshold < 1:
+            raise TilingError(
+                f"frequency_threshold must be >= 1, got {frequency_threshold}"
+            )
+        if distance_threshold < 0:
+            raise TilingError(
+                f"distance_threshold must be >= 0, got {distance_threshold}"
+            )
+        self.accesses = tuple(accesses)
+        self.frequency_threshold = frequency_threshold
+        self.distance_threshold = distance_threshold
+
+    @property
+    def name(self) -> str:
+        return (
+            f"Statistic(n={len(self.accesses)},f>={self.frequency_threshold},"
+            f"d<={self.distance_threshold},{self.max_tile_size}B)"
+        )
+
+    def areas_of_interest(self, domain: MInterval) -> list[MInterval]:
+        """The derived areas, clipped to the domain."""
+        areas = derive_areas_of_interest(
+            self.accesses, self.frequency_threshold, self.distance_threshold
+        )
+        clipped: list[MInterval] = []
+        for area in areas:
+            part: Optional[MInterval] = area.intersection(domain)
+            if part is not None:
+                clipped.append(part)
+        return clipped
+
+    def partition(self, domain: MInterval, cell_size: int) -> list[MInterval]:
+        areas = self.areas_of_interest(domain)
+        if not areas:
+            fallback = AlignedTiling(None, self.max_tile_size)
+            return fallback.partition(domain, cell_size)
+        inner = AreasOfInterestTiling(areas, self.max_tile_size)
+        return inner.partition(domain, cell_size)

@@ -1,0 +1,188 @@
+"""Unit tests for aligned tiling: configurations, formats, strategies."""
+
+import math
+
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval, covers_exactly
+from repro.tiling.aligned import (
+    AlignedTiling,
+    RegularTiling,
+    SingleTileTiling,
+    TileConfig,
+    compute_tile_format,
+)
+from repro.tiling.base import KB
+
+
+class TestTileConfig:
+    def test_parse(self):
+        config = TileConfig.parse("[*,1,*]")
+        assert config.starred == (0, 2)
+        assert config.finite == (1,)
+
+    def test_parse_without_brackets(self):
+        assert TileConfig.parse("1,2,3").dim == 3
+
+    def test_elements_normalised_to_float(self):
+        config = TileConfig([2, 1])
+        assert config.elements == (2.0, 1.0)
+
+    def test_none_is_star(self):
+        assert TileConfig([None, 1]).starred == (0,)
+
+    def test_equal(self):
+        assert TileConfig.equal(3).elements == (1.0, 1.0, 1.0)
+
+    def test_str_roundtrip(self):
+        assert str(TileConfig.parse("[*,1,2.5]")) == "[*,1,2.5]"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TilingError):
+            TileConfig([])
+        with pytest.raises(TilingError):
+            TileConfig.parse("[]")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(TilingError):
+            TileConfig([0, 1])
+        with pytest.raises(TilingError):
+            TileConfig([-1.5])
+
+
+class TestComputeTileFormat:
+    def test_paper_formula_all_finite(self):
+        # f = (MaxTileSize / (CellSize * prod r)) ** (1/d), t_i = floor(f r_i)
+        domain = MInterval.parse("[0:999,0:999]")
+        config = TileConfig([1, 1])
+        fmt = compute_tile_format(domain, config, cell_size=1, max_tile_size=10000)
+        assert all(t >= int(math.sqrt(10000)) for t in fmt)
+        product = fmt[0] * fmt[1]
+        assert product <= 10000
+
+    def test_respects_ratios(self):
+        domain = MInterval.parse("[0:999,0:999]")
+        fmt = compute_tile_format(
+            domain, TileConfig([4, 1]), cell_size=1, max_tile_size=4096
+        )
+        assert fmt[0] > 2.5 * fmt[1]  # ratio approximately preserved
+
+    def test_size_bound_held(self):
+        domain = MInterval.parse("[0:729,0:59,0:99]")
+        for size_kb in (32, 64, 128):
+            fmt = compute_tile_format(
+                domain, TileConfig([1, 1, 1]), 4, size_kb * KB
+            )
+            assert fmt[0] * fmt[1] * fmt[2] * 4 <= size_kb * KB
+
+    def test_clamped_to_extent(self):
+        domain = MInterval.parse("[0:4,0:999]")
+        fmt = compute_tile_format(domain, TileConfig([1, 1]), 1, 10000)
+        assert fmt[0] <= 5
+
+    def test_star_maximises_highest_axis_first(self):
+        domain = MInterval.parse("[0:120,0:159,0:119]")
+        fmt = compute_tile_format(domain, TileConfig.parse("[*,1,*]"), 3, 64 * KB)
+        # axis 2 (highest star) gets the full extent first
+        assert fmt[2] == 120
+        assert fmt[1] == 1
+        assert fmt[0] * fmt[2] * 3 <= 64 * KB
+
+    def test_star_budget_exhausted_leaves_length_one(self):
+        domain = MInterval.parse("[0:999,0:999,0:999]")
+        fmt = compute_tile_format(domain, TileConfig.parse("[*,*,*]"), 1, 500)
+        assert fmt[2] == 500  # highest axis eats the whole budget
+        assert fmt[0] == 1 and fmt[1] == 1
+
+    def test_single_cell_budget(self):
+        domain = MInterval.parse("[0:9,0:9]")
+        fmt = compute_tile_format(domain, TileConfig([1, 1]), 4, 4)
+        assert fmt == (1, 1)
+
+    def test_budget_below_cell_rejected(self):
+        with pytest.raises(TilingError):
+            compute_tile_format(
+                MInterval.parse("[0:9]"), TileConfig([1]), 8, 4
+            )
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(TilingError):
+            compute_tile_format(
+                MInterval.parse("[0:9]"), TileConfig([1, 1]), 1, 100
+            )
+
+    def test_default_config_is_domain_proportional(self):
+        # The sales cube's Reg32K format: long in days, short in products.
+        strategy = AlignedTiling(None, 32 * KB)
+        fmt = strategy.tile_format(MInterval.parse("[1:730,1:60,1:100]"), 4)
+        assert fmt[0] > fmt[2] > fmt[1]
+        assert fmt[0] * fmt[1] * fmt[2] * 4 <= 32 * KB
+
+
+class TestAlignedTiling:
+    def test_partition_covers(self):
+        domain = MInterval.parse("[0:99,0:49]")
+        spec = AlignedTiling("[1,1]", 512).tile(domain, 1)
+        assert covers_exactly(spec.tiles, domain)
+
+    def test_accepts_config_forms(self):
+        for config in ("[1,2]", [1, 2], TileConfig([1, 2]), None):
+            strategy = AlignedTiling(config, 1024)
+            spec = strategy.tile(MInterval.parse("[0:49,0:49]"), 1)
+            assert covers_exactly(spec.tiles, MInterval.parse("[0:49,0:49]"))
+
+    def test_open_domain_rejected(self):
+        with pytest.raises(TilingError):
+            AlignedTiling(None, 1024).tile(MInterval.parse("[0:*]"), 1)
+
+    def test_bad_cell_size_rejected(self):
+        with pytest.raises(TilingError):
+            AlignedTiling(None, 1024).tile(MInterval.parse("[0:9]"), 0)
+
+    def test_name_mentions_config(self):
+        assert "[*,1]" in AlignedTiling("[*,1]", 1024).name
+
+    def test_negative_max_tile_size_rejected(self):
+        with pytest.raises(TilingError):
+            AlignedTiling(None, 0)
+
+    def test_figure4_scan_direction(self):
+        # Figure 4: frame-by-frame access along y -> configuration [*,1,*].
+        domain = MInterval.parse("[0:120,0:159,0:119]")
+        spec = AlignedTiling("[*,1,*]", 256 * KB).tile(domain, 3)
+        for tile in spec.tiles:
+            assert tile.shape[1] == 1 or tile.shape[0] == 121
+
+
+class TestRegularTiling:
+    def test_is_regular_grid(self):
+        domain = MInterval.parse("[1:730,1:60,1:100]")
+        spec = RegularTiling(32 * KB).tile(domain, 4)
+        interior_shapes = {
+            t.shape
+            for t in spec.tiles
+            if all(
+                t.upper[ax] < domain.upper[ax] for ax in range(3)
+            )
+        }
+        assert len(interior_shapes) == 1  # all interior tiles identical
+
+    def test_name(self):
+        assert RegularTiling(32 * KB).name == "Regular(32768B)"
+
+
+class TestSingleTile:
+    def test_whole_domain_one_tile(self):
+        domain = MInterval.parse("[0:99,0:99]")
+        spec = SingleTileTiling().tile(domain, 8)
+        assert spec.tiles == (domain,)
+
+    def test_ignores_size_bound(self):
+        domain = MInterval.parse("[0:999,0:999]")
+        spec = SingleTileTiling(max_tile_size=16).tile(domain, 8)
+        assert spec.tile_count == 1
+
+    def test_open_domain_rejected(self):
+        with pytest.raises(TilingError):
+            SingleTileTiling().tile(MInterval.parse("[0:*]"), 1)

@@ -1,0 +1,83 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.backends import MemoryBlobStore
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import DiskParameters, SimulatedDisk
+
+
+def make_pool(capacity, page_size=1024):
+    store = MemoryBlobStore(page_size=page_size)
+    disk = SimulatedDisk(store, DiskParameters(page_size=page_size))
+    return store, disk, BufferPool(disk, capacity)
+
+
+class TestHitsAndMisses:
+    def test_first_read_misses_then_hits(self):
+        store, disk, pool = make_pool(10_000)
+        blob_id = store.put(b"x" * 100)
+        payload1, cost1 = pool.read_blob(blob_id)
+        payload2, cost2 = pool.read_blob(blob_id)
+        assert payload1 == payload2 == b"x" * 100
+        assert cost1 > 0
+        assert cost2 == 0.0
+        assert pool.hits == 1 and pool.misses == 1
+        assert disk.counters.blob_reads == 1
+
+    def test_hit_rate(self):
+        store, _disk, pool = make_pool(10_000)
+        blob_id = store.put(b"y" * 10)
+        pool.read_blob(blob_id)
+        pool.read_blob(blob_id)
+        pool.read_blob(blob_id)
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_pool_hit_rate_zero(self):
+        _store, _disk, pool = make_pool(1000)
+        assert pool.hit_rate == 0.0
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        store, disk, pool = make_pool(250)
+        a = store.put(b"a" * 100)
+        b = store.put(b"b" * 100)
+        c = store.put(b"c" * 100)
+        pool.read_blob(a)
+        pool.read_blob(b)
+        pool.read_blob(a)  # a becomes most recent
+        pool.read_blob(c)  # evicts b
+        assert pool.read_blob(b)[1] > 0.0   # miss
+        assert pool.used_bytes <= 250
+
+    def test_oversized_payload_not_cached(self):
+        store, _disk, pool = make_pool(50)
+        blob_id = store.put(b"z" * 100)
+        pool.read_blob(blob_id)
+        assert pool.used_bytes == 0
+        _payload, cost = pool.read_blob(blob_id)
+        assert cost > 0  # still a miss
+
+    def test_invalidate(self):
+        store, _disk, pool = make_pool(1000)
+        blob_id = store.put(b"v" * 100)
+        pool.read_blob(blob_id)
+        pool.invalidate(blob_id)
+        assert pool.used_bytes == 0
+        _payload, cost = pool.read_blob(blob_id)
+        assert cost > 0
+
+    def test_clear(self):
+        store, _disk, pool = make_pool(1000)
+        for _ in range(3):
+            pool.read_blob(store.put(b"k" * 10))
+        pool.clear()
+        assert pool.used_bytes == 0
+
+    def test_negative_capacity_rejected(self):
+        store = MemoryBlobStore()
+        disk = SimulatedDisk(store)
+        with pytest.raises(StorageError):
+            BufferPool(disk, -1)

@@ -1,0 +1,107 @@
+"""Unit tests for base types and the MDD typing system."""
+
+import numpy as np
+import pytest
+
+from repro.core.cells import (
+    BaseType,
+    RGB,
+    base_type,
+    known_base_types,
+    register_base_type,
+)
+from repro.core.errors import DomainError, TypeSystemError
+from repro.core.geometry import MInterval
+from repro.core.mddtype import MDDType, mdd_type
+
+
+class TestBaseTypes:
+    def test_standard_sizes(self):
+        expected = {
+            "bool": 1,
+            "char": 1,
+            "octet": 1,
+            "short": 2,
+            "ushort": 2,
+            "long": 4,
+            "ulong": 4,
+            "float": 4,
+            "double": 8,
+            "rgb": 3,
+        }
+        for name, size in expected.items():
+            assert base_type(name).size == size, name
+
+    def test_rgb_is_three_byte_struct(self):
+        assert RGB.dtype.itemsize == 3
+        assert set(RGB.dtype.fields) == {"r", "g", "b"}
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeSystemError):
+            base_type("quaternion")
+
+    def test_known_base_types_sorted(self):
+        names = known_base_types()
+        assert list(names) == sorted(names)
+        assert "ulong" in names
+
+    def test_register_idempotent(self):
+        again = register_base_type(BaseType("char", np.dtype(np.uint8)))
+        assert again.size == 1
+
+    def test_register_conflicting_dtype_raises(self):
+        with pytest.raises(TypeSystemError):
+            register_base_type(BaseType("char", np.dtype(np.int64)))
+
+    def test_default_cell(self):
+        filled = BaseType("x7", np.dtype(np.int16), default=42)
+        assert filled.default_cell()[()] == 42
+        assert base_type("ulong").default_cell()[()] == 0
+
+    def test_str(self):
+        assert str(base_type("double")) == "double"
+
+
+class TestMDDType:
+    def test_construction(self):
+        t = mdd_type("Cube", "ulong", "[1:730,1:60,1:100]")
+        assert t.dim == 3
+        assert t.cell_size == 4
+        assert "Cube" in str(t)
+
+    def test_open_definition_domain(self):
+        t = mdd_type("Series", "double", "[0:*]")
+        assert t.dim == 1
+        assert t.admits(MInterval.parse("[0:100000]"))
+
+    def test_admits(self):
+        t = mdd_type("Img", "char", "[0:99,0:99]")
+        assert t.admits(MInterval.parse("[10:20,0:99]"))
+        assert not t.admits(MInterval.parse("[10:120,0:99]"))
+        assert not t.admits(MInterval.parse("[10:*,0:99]"))
+
+    def test_validate_domain_errors(self):
+        t = mdd_type("Img", "char", "[0:99,0:99]")
+        with pytest.raises(DomainError):
+            t.validate_domain(MInterval.parse("[0:9]"))  # dim mismatch
+        with pytest.raises(DomainError):
+            t.validate_domain(MInterval.parse("[0:*,0:9]"))  # open
+        with pytest.raises(DomainError):
+            t.validate_domain(MInterval.parse("[0:100,0:9]"))  # escape
+
+    def test_accepts_base_type_instance(self):
+        t = mdd_type("X", base_type("short"), MInterval.parse("[0:9]"))
+        assert t.cell_size == 2
+
+    def test_rejects_non_base_type(self):
+        with pytest.raises(TypeSystemError):
+            MDDType("X", "short", MInterval.parse("[0:9]"))  # type: ignore[arg-type]
+
+    def test_rejects_non_interval_domain(self):
+        with pytest.raises(TypeSystemError):
+            MDDType("X", base_type("short"), "[0:9]")  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        t = mdd_type("X", "short", "[0:9]")
+        with pytest.raises(AttributeError):
+            t.name = "Y"  # type: ignore[misc]

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface (cheap commands only)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ICDE 1999" in out
+        assert "disk model" in out
+
+    def test_spec(self, capsys):
+        assert main(["spec"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 3" in out
+        assert "Table 5" in out
+        assert "[32:59,28:42,28:35]" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["paint"])
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "reproduction" in result.stdout

@@ -1,0 +1,98 @@
+"""Unit and property tests for tile compression codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.storage.compression import (
+    compress,
+    decompress,
+    known_codecs,
+    rle_decode,
+    rle_encode,
+    select_codec,
+)
+
+
+class TestRLE:
+    def test_constant_run_compresses_hard(self):
+        raw = b"\x00" * 10_000
+        encoded = rle_encode(raw)
+        assert len(encoded) < 100
+        assert rle_decode(encoded) == raw
+
+    def test_alternating_bytes_expand(self):
+        raw = bytes([i % 2 for i in range(100)])
+        encoded = rle_encode(raw)
+        assert len(encoded) == 200  # RLE worst case doubles
+        assert rle_decode(encoded) == raw
+
+    def test_run_longer_than_256_split(self):
+        raw = b"\x07" * 300
+        assert rle_decode(rle_encode(raw)) == raw
+
+    def test_empty(self):
+        assert rle_encode(b"") == b""
+        assert rle_decode(b"") == b""
+
+    def test_corrupt_odd_length_rejected(self):
+        with pytest.raises(StorageError):
+            rle_decode(b"\x01")
+
+    @given(st.binary(max_size=2000))
+    def test_roundtrip_property(self, raw):
+        assert rle_decode(rle_encode(raw)) == raw
+
+
+class TestZlib:
+    def test_roundtrip(self):
+        raw = b"multidimensional " * 100
+        encoded = compress(raw, "zlib")
+        assert len(encoded) < len(raw)
+        assert decompress(encoded, "zlib") == raw
+
+    @given(st.binary(max_size=2000))
+    def test_roundtrip_property(self, raw):
+        assert decompress(compress(raw, "zlib"), "zlib") == raw
+
+
+class TestRegistry:
+    def test_known_codecs(self):
+        assert set(known_codecs()) >= {"none", "rle", "zlib"}
+
+    def test_none_is_identity(self):
+        assert compress(b"abc", "none") == b"abc"
+        assert decompress(b"abc", "none") == b"abc"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(StorageError):
+            compress(b"x", "lzma")
+        with pytest.raises(StorageError):
+            decompress(b"x", "lzma")
+
+
+class TestSelective:
+    def test_compressible_payload_selected(self):
+        raw = b"\x00" * 8192
+        codec, encoded = select_codec(raw, candidates=("rle", "zlib"))
+        assert codec in ("rle", "zlib")
+        assert len(encoded) < len(raw)
+        assert decompress(encoded, codec) == raw
+
+    def test_incompressible_stays_raw(self):
+        import os
+
+        raw = os.urandom(4096)
+        codec, encoded = select_codec(raw, candidates=("rle", "zlib"))
+        assert codec == "none"
+        assert encoded == raw
+
+    def test_empty_payload(self):
+        assert select_codec(b"") == ("none", b"")
+
+    def test_min_ratio_respected(self):
+        # Payload compressing to ~95% must be rejected at min_ratio=0.9.
+        raw = bytes(range(256)) * 16
+        codec, _ = select_codec(raw, candidates=("rle",), min_ratio=0.01)
+        assert codec == "none"

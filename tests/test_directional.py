@@ -1,0 +1,134 @@
+"""Unit tests for directional tiling (partitioning the dimensions)."""
+
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval, covers_exactly
+from repro.tiling.base import KB
+from repro.tiling.directional import DirectionalTiling, category_intervals
+
+
+class TestCategoryIntervals:
+    def test_paper_product_classes(self):
+        # Table 1: [1,27,42,60] are the three product classes.
+        assert category_intervals((1, 27, 42, 60), 1, 60) == [
+            (1, 27),
+            (28, 42),
+            (43, 60),
+        ]
+
+    def test_paper_districts(self):
+        spans = category_intervals((1, 27, 35, 41, 59, 73, 89, 97, 100), 1, 100)
+        assert len(spans) == 8
+        assert spans[1] == (28, 35)  # the district queries a-f select
+        assert spans[-1] == (98, 100)
+
+    def test_single_value_means_no_partition(self):
+        assert category_intervals((1,), 1, 60) == [(1, 60)]
+
+    def test_two_values_single_category(self):
+        assert category_intervals((1, 60), 1, 60) == [(1, 60)]
+
+    def test_must_start_at_lower(self):
+        with pytest.raises(TilingError):
+            category_intervals((2, 30, 60), 1, 60)
+
+    def test_must_end_at_upper(self):
+        with pytest.raises(TilingError):
+            category_intervals((1, 30, 59), 1, 60)
+
+    def test_must_be_increasing(self):
+        with pytest.raises(TilingError):
+            category_intervals((1, 30, 30, 60), 1, 60)
+        with pytest.raises(TilingError):
+            category_intervals((1, 40, 30, 60), 1, 60)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TilingError):
+            category_intervals((), 1, 60)
+
+
+class TestBlocks:
+    def test_blocks_cross_product(self):
+        domain = MInterval.parse("[1:60,1:100]")
+        strategy = DirectionalTiling(
+            {0: (1, 27, 42, 60), 1: (1, 50, 100)}, 64 * KB
+        )
+        blocks = strategy.blocks(domain)
+        assert len(blocks) == 6
+        assert covers_exactly(blocks, domain)
+
+    def test_unpartitioned_axis_spans_domain(self):
+        domain = MInterval.parse("[1:60,1:100]")
+        blocks = DirectionalTiling({0: (1, 27, 42, 60)}, 64 * KB).blocks(domain)
+        assert len(blocks) == 3
+        for block in blocks:
+            assert block.lower[1] == 1 and block.upper[1] == 100
+
+    def test_axis_out_of_range(self):
+        with pytest.raises(TilingError):
+            DirectionalTiling({5: (1, 10)}, 64 * KB).blocks(
+                MInterval.parse("[1:10]")
+            )
+
+    def test_blocks_are_iso_oriented_partitions(self):
+        """Any access to whole categories reads exactly the queried bytes."""
+        domain = MInterval.parse("[1:60,1:100]")
+        strategy = DirectionalTiling(
+            {0: (1, 27, 42, 60), 1: (1, 27, 35, 41, 59, 73, 89, 97, 100)},
+            64 * KB,
+        )
+        query = MInterval.parse("[28:42,28:35]")  # one class x one district
+        touched = [b for b in strategy.blocks(domain) if b.intersects(query)]
+        assert len(touched) == 1
+        assert touched[0] == query
+
+
+class TestSubSplitting:
+    def test_oversized_blocks_split(self):
+        domain = MInterval.parse("[0:99,0:99]")
+        strategy = DirectionalTiling({0: (0, 49, 99)}, max_tile_size=1000)
+        spec = strategy.tile(domain, 1)
+        assert covers_exactly(spec.tiles, domain)
+        assert all(t.cell_count <= 1000 for t in spec.tiles)
+        assert spec.tile_count > 2
+
+    def test_small_blocks_stay_whole(self):
+        domain = MInterval.parse("[0:9,0:9]")
+        strategy = DirectionalTiling({0: (0, 4, 9)}, max_tile_size=1024)
+        spec = strategy.tile(domain, 1)
+        assert spec.tile_count == 2
+
+    def test_subtiling_disabled_keeps_blocks(self):
+        domain = MInterval.parse("[0:99,0:99]")
+        strategy = DirectionalTiling(
+            {0: (0, 49, 99)}, max_tile_size=1000, subtiling=False
+        )
+        spec = strategy.tile(domain, 1)
+        assert spec.tile_count == 2  # oversize allowed in phase-one mode
+
+    def test_splits_never_cross_partition_hyperplanes(self):
+        domain = MInterval.parse("[0:99,0:99]")
+        strategy = DirectionalTiling({0: (0, 30, 99)}, max_tile_size=512)
+        for tile in strategy.tile(domain, 1):
+            # no tile spans the cut between 30 and 31
+            assert not (tile.lower[0] <= 30 < tile.upper[0])
+
+    def test_result_partially_aligned(self):
+        from repro.tiling.validate import is_aligned
+
+        domain = MInterval.parse("[0:99,0:99]")
+        aligned_spec = DirectionalTiling({0: (0, 49, 99)}, 100 * KB).tile(domain, 1)
+        assert is_aligned(list(aligned_spec.tiles), domain)
+
+    def test_open_domain_rejected(self):
+        with pytest.raises(TilingError):
+            DirectionalTiling({}, 64 * KB).tile(MInterval.parse("[0:*]"), 1)
+
+    def test_bad_cell_size_rejected(self):
+        with pytest.raises(TilingError):
+            DirectionalTiling({}, 64 * KB).tile(MInterval.parse("[0:9]"), -1)
+
+    def test_name_lists_axes(self):
+        strategy = DirectionalTiling({0: (0, 9), 2: (0, 9)}, 64 * KB)
+        assert "axes=0,2" in strategy.name

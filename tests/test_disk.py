@@ -1,0 +1,158 @@
+"""Unit tests for the deterministic disk timing model."""
+
+import pytest
+
+from repro.storage.backends import MemoryBlobStore
+from repro.storage.disk import (
+    CpuParameters,
+    DiskParameters,
+    SimulatedDisk,
+)
+from repro.storage.pages import PageRange
+
+
+def make_disk(page_size=1024, **overrides):
+    store = MemoryBlobStore(page_size=page_size)
+    params = DiskParameters(page_size=page_size, **overrides)
+    return store, SimulatedDisk(store, params)
+
+
+class TestParameters:
+    def test_transfer_per_page(self):
+        params = DiskParameters(transfer_mb_per_s=1.0, page_size=1024 * 1024)
+        assert params.transfer_ms_per_page() == pytest.approx(1000.0)
+
+    def test_random_access(self):
+        params = DiskParameters(seek_ms=8.0, rotation_ms=8.0)
+        assert params.random_access_ms() == pytest.approx(12.0)
+
+    def test_page_size_must_match_store(self):
+        store = MemoryBlobStore(page_size=1024)
+        with pytest.raises(Exception):
+            SimulatedDisk(store, DiskParameters(page_size=4096))
+
+
+class TestChargePages:
+    def test_first_read_is_random(self):
+        _store, disk = make_disk()
+        cost = disk.charge_pages(PageRange(0, 1))
+        assert cost == pytest.approx(
+            disk.parameters.random_access_ms()
+            + disk.parameters.transfer_ms_per_page()
+        )
+        assert disk.counters.random_accesses == 1
+
+    def test_sequential_read_skips_positioning(self):
+        _store, disk = make_disk()
+        disk.charge_pages(PageRange(0, 2))
+        cost = disk.charge_pages(PageRange(2, 3))
+        assert cost == pytest.approx(3 * disk.parameters.transfer_ms_per_page())
+        assert disk.counters.sequential_reads == 1
+
+    def test_short_skip_pays_settle(self):
+        _store, disk = make_disk()
+        disk.charge_pages(PageRange(0, 1))
+        cost = disk.charge_pages(PageRange(10, 1))
+        assert cost == pytest.approx(
+            disk.parameters.settle_ms + disk.parameters.transfer_ms_per_page()
+        )
+        assert disk.counters.short_skips == 1
+
+    def test_long_skip_is_random(self):
+        _store, disk = make_disk()
+        disk.charge_pages(PageRange(0, 1))
+        disk.charge_pages(PageRange(10_000, 1))
+        assert disk.counters.random_accesses == 2
+
+    def test_backward_skip_is_random(self):
+        _store, disk = make_disk()
+        disk.charge_pages(PageRange(100, 1))
+        disk.charge_pages(PageRange(0, 1))
+        assert disk.counters.random_accesses == 2
+
+    def test_determinism(self):
+        _store1, disk1 = make_disk()
+        _store2, disk2 = make_disk()
+        ranges = [PageRange(0, 2), PageRange(2, 1), PageRange(50, 4)]
+        total1 = sum(disk1.charge_pages(r) for r in ranges)
+        total2 = sum(disk2.charge_pages(r) for r in ranges)
+        assert total1 == total2
+
+
+class TestBlobReads:
+    def test_read_blob_returns_payload_and_cost(self):
+        store, disk = make_disk()
+        blob_id = store.put(b"abc" * 1000)
+        payload, cost = disk.read_blob(blob_id)
+        assert payload == b"abc" * 1000
+        assert cost > 0
+        assert disk.counters.blob_reads == 1
+        assert disk.counters.bytes_read == 3000
+
+    def test_blob_overhead_charged(self):
+        store, disk = make_disk(blob_overhead_ms=5.0)
+        blob_id = store.put(b"x")
+        _payload, cost = disk.read_blob(blob_id)
+        assert cost == pytest.approx(
+            disk.parameters.random_access_ms()
+            + disk.parameters.transfer_ms_per_page()
+            + 5.0
+        )
+
+    def test_adjacent_blobs_read_sequentially(self):
+        store, disk = make_disk()
+        first = store.put(b"a" * 2000)
+        second = store.put(b"b" * 2000)
+        disk.read_blob(first)
+        disk.read_blob(second)
+        assert disk.counters.sequential_reads == 1
+        assert disk.counters.random_accesses == 1
+
+    def test_counters_accumulate_time(self):
+        store, disk = make_disk()
+        blob_id = store.put(b"q" * 5000)
+        _payload, cost = disk.read_blob(blob_id)
+        assert disk.counters.time_ms == pytest.approx(cost)
+
+    def test_reset(self):
+        store, disk = make_disk()
+        blob_id = store.put(b"x" * 100)
+        disk.read_blob(blob_id)
+        old = disk.reset()
+        assert old.blob_reads == 1
+        assert disk.counters.blob_reads == 0
+        # After a reset the head position is forgotten: random again.
+        disk.read_blob(blob_id)
+        assert disk.counters.random_accesses == 1
+
+
+class TestIndexCharge:
+    def test_index_node_is_random_page(self):
+        _store, disk = make_disk()
+        cost = disk.charge_index_node()
+        assert cost == pytest.approx(
+            disk.parameters.random_access_ms()
+            + disk.parameters.transfer_ms_per_page()
+        )
+
+    def test_index_charge_breaks_sequence(self):
+        store, disk = make_disk()
+        first = store.put(b"a" * 2000)
+        second = store.put(b"b" * 2000)
+        disk.read_blob(first)
+        disk.charge_index_node()
+        disk.read_blob(second)
+        assert disk.counters.sequential_reads == 0
+
+
+class TestCpuParameters:
+    def test_compose_rates(self):
+        cpu = CpuParameters(aligned_mb_per_s=100.0, border_mb_per_s=10.0)
+        mb = 1024 * 1024
+        assert cpu.compose_ms(mb, 0) == pytest.approx(10.0)
+        assert cpu.compose_ms(0, mb) == pytest.approx(100.0)
+        assert cpu.compose_ms(mb, mb) == pytest.approx(110.0)
+
+    def test_border_slower_than_aligned(self):
+        cpu = CpuParameters()
+        assert cpu.compose_ms(0, 1000) > cpu.compose_ms(1000, 0)

@@ -1,0 +1,28 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.cells
+import repro.core.geometry
+import repro.core.mddtype
+import repro.core.order
+import repro.tiling.aligned
+
+MODULES = [
+    repro.core.cells,
+    repro.core.geometry,
+    repro.core.mddtype,
+    repro.core.order,
+    repro.tiling.aligned,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failures in {module.__name__}"
+    )
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

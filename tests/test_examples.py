@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess (as a user would run it) and
+must exit 0 and print its closing summary.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "Directional tiling reads exactly"),
+    ("olap_sales_cube.py", "subaggregation into whole-tile"),
+    ("animation_areas.py", "tuned scheme wins the access pattern"),
+    ("statistic_autotiling.py", "Session 2 (statistic tiling)"),
+    ("rasql_demo.py", "classify("),
+    ("persistent_store.py", "Session 2: reopened store"),
+    ("sparse_olap.py", "Retiling for the hotspot"),
+    ("tile_size_tuning.py", "Validation by execution"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES)
+def test_example_runs(script, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert marker in result.stdout, result.stdout[-2000:]
+
+
+def test_examples_all_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {name for name, _ in CASES}

@@ -1,0 +1,64 @@
+"""Tests for the text figure renderer (stacked time-component bars)."""
+
+import pytest
+
+from repro.bench.figures import figure_for_schemes, stacked_bars
+from repro.query.timing import QueryTiming
+
+
+class TestStackedBars:
+    def test_renders_all_labels(self):
+        text = stacked_bars(
+            {"a": QueryTiming(t_ix=1, t_o=5, t_cpu=2),
+             "bb": QueryTiming(t_ix=1, t_o=10, t_cpu=4)},
+            width=40,
+        )
+        assert " a |" in text
+        assert "bb |" in text
+        assert "t_ix" in text  # legend
+
+    def test_bars_scale_to_peak(self):
+        text = stacked_bars(
+            {"small": QueryTiming(t_o=10), "big": QueryTiming(t_o=100)},
+            width=50,
+        )
+        lines = text.splitlines()
+        small = next(l for l in lines if l.strip().startswith("small"))
+        big = next(l for l in lines if l.strip().startswith("big"))
+        assert big.count("=") > 5 * small.count("=")
+
+    def test_nonzero_components_always_visible(self):
+        text = stacked_bars(
+            {"q": QueryTiming(t_ix=0.001, t_o=1000, t_cpu=0.001)}, width=30
+        )
+        bar_line = text.splitlines()[0]
+        assert "#" in bar_line and "." in bar_line
+
+    def test_zero_components_absent(self):
+        text = stacked_bars({"q": QueryTiming(t_o=10)}, width=30)
+        bar = text.splitlines()[0].split("|")[1]
+        assert "#" not in bar and "." not in bar
+
+    def test_title(self):
+        text = stacked_bars({"q": QueryTiming(t_o=1)}, title="Figure X")
+        assert text.splitlines()[0] == "Figure X"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars({})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars({"q": QueryTiming()})
+
+
+class TestFigureForSchemes:
+    def test_groups_by_query(self):
+        per_scheme = {
+            "Dir": {"e": QueryTiming(t_o=5), "f": QueryTiming(t_o=7)},
+            "Reg": {"e": QueryTiming(t_o=9), "f": QueryTiming(t_o=11)},
+        }
+        text = figure_for_schemes(per_scheme, ["e", "f"], title="T")
+        lines = text.splitlines()
+        order = [l.split("|")[0].strip() for l in lines[1:-1]]
+        assert order == ["e/Dir", "e/Reg", "f/Dir", "f/Reg"]

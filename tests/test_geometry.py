@@ -1,0 +1,342 @@
+"""Unit tests for the geometry kernel (MInterval and friends)."""
+
+import pytest
+
+from repro.core.errors import (
+    DimensionMismatchError,
+    GeometryError,
+    OpenBoundError,
+)
+from repro.core.geometry import (
+    MInterval,
+    OPEN,
+    covers_exactly,
+    pairwise_disjoint,
+    point_lower_than,
+    total_cells,
+)
+
+
+class TestConstruction:
+    def test_basic_bounds(self):
+        iv = MInterval([0, 10], [9, 19])
+        assert iv.lower == (0, 10)
+        assert iv.upper == (9, 19)
+        assert iv.dim == 2
+
+    def test_of_constructor(self):
+        iv = MInterval.of((0, 9), (10, 19))
+        assert iv == MInterval([0, 10], [9, 19])
+
+    def test_from_shape(self):
+        iv = MInterval.from_shape((3, 4))
+        assert iv == MInterval.parse("[0:2,0:3]")
+
+    def test_from_shape_with_origin(self):
+        iv = MInterval.from_shape((3, 4), origin=(10, 20))
+        assert iv == MInterval.parse("[10:12,20:23]")
+
+    def test_from_shape_rejects_zero_extent(self):
+        with pytest.raises(GeometryError):
+            MInterval.from_shape((3, 0))
+
+    def test_single_point_interval(self):
+        iv = MInterval([5], [5])
+        assert iv.cell_count == 1
+        assert iv.shape == (1,)
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(GeometryError):
+            MInterval([10], [9])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            MInterval([0, 0], [9])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            MInterval([], [])
+
+    def test_non_int_bound_rejected(self):
+        with pytest.raises(GeometryError):
+            MInterval([0.5], [9])
+
+    def test_bool_bound_rejected(self):
+        with pytest.raises(GeometryError):
+            MInterval([True], [9])
+
+    def test_negative_coordinates_allowed(self):
+        iv = MInterval([-10], [-1])
+        assert iv.cell_count == 10
+
+
+class TestParseFormat:
+    def test_parse_simple(self):
+        assert MInterval.parse("[1:730,1:60,1:100]").shape == (730, 60, 100)
+
+    def test_parse_open_bounds(self):
+        iv = MInterval.parse("[32:59,*:*,28:35]")
+        assert iv.lower == (32, None, 28)
+        assert iv.upper == (59, None, 35)
+
+    def test_parse_negative(self):
+        iv = MInterval.parse("[-5:-1]")
+        assert iv.shape == (5,)
+
+    def test_roundtrip(self):
+        for text in ("[0:9]", "[1:2,3:4]", "[*:5,-3:*]"):
+            assert str(MInterval.parse(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("0:9", "[0-9]", "[]", "[0:9,]", "[a:b]", "[0]"):
+            with pytest.raises((GeometryError, ValueError)):
+                MInterval.parse(bad)
+
+    def test_repr_contains_notation(self):
+        assert "[0:9]" in repr(MInterval.parse("[0:9]"))
+
+
+class TestOpenBounds:
+    def test_is_bounded(self):
+        assert MInterval.parse("[0:9]").is_bounded
+        assert not MInterval.parse("[0:*]").is_bounded
+
+    def test_shape_requires_bounds(self):
+        with pytest.raises(OpenBoundError):
+            MInterval.parse("[0:*]").shape
+
+    def test_open_sentinel(self):
+        iv = MInterval([0, OPEN], [9, OPEN])
+        assert not iv.is_bounded
+        assert str(iv) == "[0:9,*:*]"
+
+    def test_resolve_against_domain(self):
+        template = MInterval.parse("[32:59,*:*,28:35]")
+        domain = MInterval.parse("[1:730,1:60,1:100]")
+        assert template.resolve(domain) == MInterval.parse("[32:59,1:60,28:35]")
+
+    def test_resolve_open_domain_fails(self):
+        with pytest.raises(OpenBoundError):
+            MInterval.parse("[*:*]").resolve(MInterval.parse("[0:*]"))
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        iv = MInterval.parse("[0:9,10:19]")
+        assert iv.contains_point((0, 10))
+        assert iv.contains_point((9, 19))
+        assert not iv.contains_point((10, 10))
+        assert not iv.contains_point((0, 9))
+
+    def test_contains_point_open(self):
+        iv = MInterval.parse("[0:*]")
+        assert iv.contains_point((10**9,))
+        assert not iv.contains_point((-1,))
+
+    def test_contains_interval(self):
+        outer = MInterval.parse("[0:9,0:9]")
+        assert outer.contains(MInterval.parse("[2:5,0:9]"))
+        assert not outer.contains(MInterval.parse("[2:10,0:9]"))
+
+    def test_open_contains_bounded(self):
+        assert MInterval.parse("[0:*]").contains(MInterval.parse("[5:100]"))
+        assert not MInterval.parse("[0:*]").contains(MInterval.parse("[-1:3]"))
+
+    def test_bounded_does_not_contain_open(self):
+        assert not MInterval.parse("[0:9]").contains(MInterval.parse("[0:*]"))
+
+    def test_intersects(self):
+        a = MInterval.parse("[0:9,0:9]")
+        assert a.intersects(MInterval.parse("[9:12,5:6]"))
+        assert not a.intersects(MInterval.parse("[10:12,5:6]"))
+
+    def test_intersects_touching_faces(self):
+        a = MInterval.parse("[0:4]")
+        b = MInterval.parse("[4:8]")
+        assert a.intersects(b)  # closed intervals share coordinate 4
+
+    def test_in_operator(self):
+        iv = MInterval.parse("[0:9,0:9]")
+        assert (3, 3) in iv
+        assert MInterval.parse("[1:2,1:2]") in iv
+        assert "nonsense" not in iv
+
+    def test_is_adjacent(self):
+        a = MInterval.parse("[0:4,0:9]")
+        b = MInterval.parse("[5:8,0:9]")
+        assert a.is_adjacent(b, axis=0)
+        assert b.is_adjacent(a, axis=0)
+        assert not a.is_adjacent(b, axis=1)
+
+    def test_is_adjacent_needs_matching_cross_section(self):
+        a = MInterval.parse("[0:4,0:9]")
+        c = MInterval.parse("[5:8,0:8]")
+        assert not a.is_adjacent(c, axis=0)
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[5:15,3:4]")
+        assert a.intersection(b) == MInterval.parse("[5:9,3:4]")
+
+    def test_intersection_disjoint_is_none(self):
+        assert MInterval.parse("[0:4]").intersection(MInterval.parse("[6:9]")) is None
+
+    def test_intersection_with_open(self):
+        a = MInterval.parse("[*:*,0:9]")
+        b = MInterval.parse("[5:15,3:20]")
+        assert a.intersection(b) == MInterval.parse("[5:15,3:9]")
+
+    def test_hull(self):
+        a = MInterval.parse("[0:4,10:14]")
+        b = MInterval.parse("[8:9,0:1]")
+        assert a.hull(b) == MInterval.parse("[0:9,0:14]")
+
+    def test_hull_open_absorbs(self):
+        a = MInterval.parse("[0:*]")
+        b = MInterval.parse("[5:9]")
+        assert a.hull(b) == MInterval.parse("[0:*]")
+
+    def test_hull_of_many(self):
+        parts = [MInterval.parse(t) for t in ("[0:1]", "[5:6]", "[3:3]")]
+        assert MInterval.hull_of(parts) == MInterval.parse("[0:6]")
+
+    def test_hull_of_empty_raises(self):
+        with pytest.raises(GeometryError):
+            MInterval.hull_of([])
+
+    def test_translate(self):
+        iv = MInterval.parse("[0:9,0:9]").translate((5, -5))
+        assert iv == MInterval.parse("[5:14,-5:4]")
+
+    def test_translate_keeps_open(self):
+        iv = MInterval.parse("[0:*]").translate((3,))
+        assert iv == MInterval.parse("[3:*]")
+
+    def test_split(self):
+        low, high = MInterval.parse("[0:9]").split(0, 4)
+        assert low == MInterval.parse("[0:3]")
+        assert high == MInterval.parse("[4:9]")
+
+    def test_split_at_bounds_rejected(self):
+        iv = MInterval.parse("[0:9]")
+        with pytest.raises(GeometryError):
+            iv.split(0, 0)
+        with pytest.raises(GeometryError):
+            iv.split(0, 10)
+
+    def test_split_partitions(self):
+        iv = MInterval.parse("[0:9,0:9]")
+        low, high = iv.split(1, 7)
+        assert covers_exactly([low, high], iv)
+
+    def test_difference_disjoint(self):
+        a = MInterval.parse("[0:4]")
+        assert a.difference(MInterval.parse("[6:9]")) == [a]
+
+    def test_difference_covered(self):
+        a = MInterval.parse("[2:4]")
+        assert a.difference(MInterval.parse("[0:9]")) == []
+
+    def test_difference_partitions(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[3:5,4:8]")
+        pieces = a.difference(b)
+        assert covers_exactly(pieces + [b.intersection(a)], a)
+
+    def test_difference_corner(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[8:12,8:12]")
+        pieces = a.difference(b)
+        assert total_cells(pieces) == 100 - 4
+
+
+class TestArrayIntegration:
+    def test_to_slices_default_origin(self):
+        iv = MInterval.parse("[10:12,20:23]")
+        assert iv.to_slices() == (slice(0, 3), slice(0, 4))
+
+    def test_to_slices_custom_origin(self):
+        iv = MInterval.parse("[10:12,20:23]")
+        assert iv.to_slices((10, 18)) == (slice(0, 3), slice(2, 6))
+
+    def test_linear_offset_row_major(self):
+        iv = MInterval.parse("[0:1,0:2]")
+        offsets = [iv.linear_offset(p) for p in iv.points()]
+        assert offsets == list(range(6))
+
+    def test_linear_offset_roundtrip(self):
+        iv = MInterval.parse("[3:5,-2:1,7:9]")
+        for offset in range(iv.cell_count):
+            point = iv.point_at_offset(offset)
+            assert iv.linear_offset(point) == offset
+
+    def test_linear_offset_outside_raises(self):
+        with pytest.raises(GeometryError):
+            MInterval.parse("[0:4]").linear_offset((5,))
+
+    def test_point_at_offset_bounds(self):
+        iv = MInterval.parse("[0:4]")
+        with pytest.raises(GeometryError):
+            iv.point_at_offset(5)
+
+    def test_points_order_is_lower_than(self):
+        iv = MInterval.parse("[0:1,0:1]")
+        points = list(iv.points())
+        assert points == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        for earlier, later in zip(points, points[1:]):
+            assert point_lower_than(earlier, later)
+
+
+class TestSections:
+    def test_section(self):
+        iv = MInterval.parse("[0:9,0:9]")
+        assert iv.section(0, 5) == MInterval.parse("[5:5,0:9]")
+
+    def test_section_outside_raises(self):
+        with pytest.raises(GeometryError):
+            MInterval.parse("[0:9]").section(0, 10)
+
+    def test_section_open_axis(self):
+        iv = MInterval.parse("[*:*,0:9]")
+        assert iv.section(0, 1000) == MInterval.parse("[1000:1000,0:9]")
+
+    def test_project_out(self):
+        iv = MInterval.parse("[5:5,0:9]")
+        assert iv.project_out(0) == MInterval.parse("[0:9]")
+
+    def test_project_out_last_axis_raises(self):
+        with pytest.raises(GeometryError):
+            MInterval.parse("[0:9]").project_out(0)
+
+
+class TestCollections:
+    def test_hash_and_equality(self):
+        a = MInterval.parse("[0:9]")
+        b = MInterval.parse("[0:9]")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_inequality_with_other_types(self):
+        assert MInterval.parse("[0:9]") != "interval"
+
+    def test_pairwise_disjoint(self):
+        tiles = [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")]
+        assert pairwise_disjoint(tiles)
+        assert not pairwise_disjoint(tiles + [MInterval.parse("[4:5]")])
+
+    def test_covers_exactly(self):
+        whole = MInterval.parse("[0:9]")
+        assert covers_exactly(
+            [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")], whole
+        )
+        assert not covers_exactly([MInterval.parse("[0:4]")], whole)
+        assert not covers_exactly(
+            [MInterval.parse("[0:4]"), MInterval.parse("[6:9]")], whole
+        )
+
+    def test_point_lower_than_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            point_lower_than((1, 2), (1,))

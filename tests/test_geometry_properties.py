@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the geometry kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import MInterval, covers_exactly, total_cells
+
+
+@st.composite
+def intervals(draw, dim=None, max_extent=20, coord_range=30):
+    """Random bounded MIntervals of dimension 1-3 (or a fixed dim)."""
+    if dim is None:
+        dim = draw(st.integers(min_value=1, max_value=3))
+    lo = []
+    hi = []
+    for _ in range(dim):
+        low = draw(st.integers(min_value=-coord_range, max_value=coord_range))
+        extent = draw(st.integers(min_value=1, max_value=max_extent))
+        lo.append(low)
+        hi.append(low + extent - 1)
+    return MInterval(lo, hi)
+
+
+@st.composite
+def interval_pairs(draw):
+    first = draw(intervals())
+    second = draw(intervals(dim=first.dim))
+    return first, second
+
+
+@given(interval_pairs())
+def test_intersection_commutes(pair):
+    a, b = pair
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(interval_pairs())
+def test_intersection_contained_in_both(pair):
+    a, b = pair
+    inter = a.intersection(b)
+    if inter is not None:
+        assert a.contains(inter)
+        assert b.contains(inter)
+
+
+@given(interval_pairs())
+def test_intersects_iff_intersection_exists(pair):
+    a, b = pair
+    assert a.intersects(b) == (a.intersection(b) is not None)
+
+
+@given(interval_pairs())
+def test_hull_contains_both(pair):
+    a, b = pair
+    hull = a.hull(b)
+    assert hull.contains(a)
+    assert hull.contains(b)
+
+
+@given(interval_pairs())
+def test_hull_is_minimal_by_cells(pair):
+    a, b = pair
+    hull = a.hull(b)
+    # Every axis bound of the hull comes from one of the inputs.
+    for axis in range(a.dim):
+        assert hull.lower[axis] in (a.lower[axis], b.lower[axis])
+        assert hull.upper[axis] in (a.upper[axis], b.upper[axis])
+
+
+@given(interval_pairs())
+def test_difference_partitions_minuend(pair):
+    a, b = pair
+    pieces = a.difference(b)
+    inter = a.intersection(b)
+    parts = pieces + ([inter] if inter is not None else [])
+    assert covers_exactly(parts, a)
+
+
+@given(interval_pairs())
+def test_difference_avoids_subtrahend(pair):
+    a, b = pair
+    for piece in a.difference(b):
+        assert not piece.intersects(b)
+
+
+@given(intervals())
+def test_linear_offset_bijective(interval):
+    seen = set()
+    for point in interval.points():
+        offset = interval.linear_offset(point)
+        assert 0 <= offset < interval.cell_count
+        assert offset not in seen
+        seen.add(offset)
+        assert interval.point_at_offset(offset) == point
+    assert len(seen) == interval.cell_count
+
+
+@given(intervals())
+def test_points_count_matches_cell_count(interval):
+    assert sum(1 for _ in interval.points()) == interval.cell_count
+
+
+@given(
+    intervals(),
+    st.integers(min_value=0, max_value=2),
+    st.data(),
+)
+def test_split_partitions(interval, axis_seed, data):
+    axis = axis_seed % interval.dim
+    lo = interval.lower[axis]
+    hi = interval.upper[axis]
+    if lo == hi:
+        return  # nothing to split
+    cut = data.draw(st.integers(min_value=lo + 1, max_value=hi))
+    low, high = interval.split(axis, cut)
+    assert covers_exactly([low, high], interval)
+    assert low.upper[axis] == cut - 1
+    assert high.lower[axis] == cut
+
+
+@given(intervals(), st.lists(st.integers(-5, 5), min_size=3, max_size=3))
+def test_translate_preserves_shape(interval, offsets):
+    offset = tuple(offsets[: interval.dim])
+    moved = interval.translate(offset)
+    assert moved.shape == interval.shape
+    assert moved.translate(tuple(-o for o in offset)) == interval
+
+
+@given(interval_pairs())
+def test_total_cells_additive_for_disjoint(pair):
+    a, b = pair
+    if not a.intersects(b):
+        assert total_cells([a, b]) == a.cell_count + b.cell_count

@@ -1,0 +1,90 @@
+"""Unit tests for the benchmark harness on a small synthetic workload."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import geometric_mean, run_benchmark
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.tiling.aligned import AlignedTiling, RegularTiling
+from repro.tiling.interest import AreasOfInterestTiling
+
+DOMAIN = MInterval.parse("[0:63,0:63]")
+IMG = mdd_type("Img", "char", str(DOMAIN))
+HOTSPOT = MInterval.parse("[10:29,40:59]")
+QUERIES = {
+    "hot": HOTSPOT,
+    "row": MInterval.parse("[5:5,*:*]"),
+    "all": MInterval.parse("[*:*,*:*]"),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    data = (np.indices((64, 64)).sum(axis=0) % 200).astype(np.uint8)
+    schemes = {
+        "Reg": RegularTiling(256),
+        "AI": AreasOfInterestTiling([HOTSPOT], 512),
+        "Square": AlignedTiling("[1,1]", 256),
+    }
+    return run_benchmark(schemes, IMG, data, QUERIES, runs=2)
+
+
+class TestRunBenchmark:
+    def test_all_cells_measured(self, results):
+        assert set(results.runs) == {"Reg", "AI", "Square"}
+        for run in results.runs.values():
+            assert set(run.timings) == set(QUERIES)
+            assert run.load.tile_count == run.mdd.tile_count
+
+    def test_each_scheme_gets_its_own_database(self, results):
+        dbs = {id(run.database) for run in results.runs.values()}
+        assert len(dbs) == 3
+
+    def test_interest_scheme_wins_hotspot(self, results):
+        assert results.runs["AI"].timings["hot"].read_amplification == 1.0
+        assert results.runs["Reg"].timings["hot"].read_amplification > 1.0
+
+    def test_average(self, results):
+        run = results.runs["Reg"]
+        manual = np.mean([run.timings[q].t_totalcpu for q in ("hot", "row")])
+        assert run.average("t_totalcpu", ("hot", "row")) == pytest.approx(manual)
+
+    def test_best_scheme_subsets(self, results):
+        best_hot = results.best_scheme("t_totalcpu", subset=("hot",))
+        assert best_hot == "AI"
+        best_of_two = results.best_scheme(
+            "t_totalcpu", subset=("hot",), names=("Reg", "Square")
+        )
+        assert best_of_two in ("Reg", "Square")
+
+    def test_speedups_structure(self, results):
+        table = results.speedups("AI", "Reg")
+        assert set(table) == set(QUERIES)
+        assert table["hot"]["t_o"] > 0
+        assert set(table["hot"]) == {"t_o", "t_totalaccess", "t_totalcpu"}
+
+    def test_virtual_benchmark_needs_domain(self):
+        with pytest.raises(ValueError):
+            run_benchmark({"Reg": RegularTiling(256)}, IMG, None, QUERIES)
+
+    def test_virtual_benchmark(self):
+        results = run_benchmark(
+            {"Reg": RegularTiling(256)},
+            IMG,
+            data=None,
+            queries=QUERIES,
+            domain=DOMAIN,
+            runs=1,
+        )
+        timing = results.runs["Reg"].timings["hot"]
+        assert timing.t_o > 0
+        assert timing.bytes_read > 0
+
+
+class TestGeometricMean:
+    def test_matches_numpy(self):
+        values = [1.5, 2.0, 4.0]
+        assert geometric_mean(values) == pytest.approx(
+            float(np.prod(values) ** (1 / 3))
+        )

@@ -1,0 +1,125 @@
+"""Tests for the computed grid index (aligned-tiling fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import IndexError_
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.index.base import IndexEntry
+from repro.index.grid import GridIndex, grid_index_factory
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import AlignedTiling
+from repro.tiling.base import grid_partition
+
+DOMAIN = MInterval.parse("[0:99,0:59]")
+FORMAT = (20, 15)
+
+
+def loaded_index():
+    index = GridIndex(DOMAIN, FORMAT)
+    tiles = grid_partition(DOMAIN, FORMAT)
+    for i, tile in enumerate(tiles):
+        index.insert(IndexEntry(tile, i))
+    return index, tiles
+
+
+class TestGridArithmetic:
+    def test_cell_of_point(self):
+        index = GridIndex(DOMAIN, FORMAT)
+        assert index.grid_cell_of((0, 0)) == (0, 0)
+        assert index.grid_cell_of((19, 14)) == (0, 0)
+        assert index.grid_cell_of((20, 15)) == (1, 1)
+        assert index.grid_cell_of((99, 59)) == (4, 3)
+
+    def test_point_outside_rejected(self):
+        index = GridIndex(DOMAIN, FORMAT)
+        with pytest.raises(IndexError_):
+            index.grid_cell_of((100, 0))
+
+    def test_cell_domain(self):
+        index = GridIndex(DOMAIN, FORMAT)
+        assert index.cell_domain((0, 0)) == MInterval.parse("[0:19,0:14]")
+        assert index.cell_domain((4, 3)) == MInterval.parse("[80:99,45:59]")
+
+    def test_border_clipping(self):
+        index = GridIndex(MInterval.parse("[0:9]"), (4,))
+        assert index.cell_domain((2,)) == MInterval.parse("[8:9]")
+
+    def test_construction_validation(self):
+        with pytest.raises(IndexError_):
+            GridIndex(MInterval.parse("[0:*]"), (4,))
+        with pytest.raises(IndexError_):
+            GridIndex(DOMAIN, (4,))
+        with pytest.raises(IndexError_):
+            GridIndex(DOMAIN, (0, 5))
+
+
+class TestIndexProtocol:
+    def test_search_matches_brute_force(self):
+        index, tiles = loaded_index()
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            lo = [int(rng.integers(0, 90)), int(rng.integers(0, 50))]
+            hi = [min(99, lo[0] + int(rng.integers(0, 40))),
+                  min(59, lo[1] + int(rng.integers(0, 30)))]
+            region = MInterval(lo, hi)
+            got = {e.tile_id for e in index.search(region).entries}
+            want = {i for i, t in enumerate(tiles) if t.intersects(region)}
+            assert got == want
+
+    def test_lookup_is_one_page(self):
+        index, _tiles = loaded_index()
+        assert index.search(MInterval.parse("[0:99,0:59]")).nodes_visited == 1
+        assert index.search(MInterval.parse("[3:3,3:3]")).nodes_visited == 1
+
+    def test_region_outside_domain(self):
+        index, _tiles = loaded_index()
+        result = index.search(MInterval.parse("[500:600,0:5]"))
+        assert result.entries == []
+
+    def test_off_grid_tile_rejected(self):
+        index = GridIndex(DOMAIN, FORMAT)
+        with pytest.raises(IndexError_):
+            index.insert(IndexEntry(MInterval.parse("[5:24,0:14]"), 1))
+
+    def test_duplicate_cell_rejected(self):
+        index = GridIndex(DOMAIN, FORMAT)
+        tile = MInterval.parse("[0:19,0:14]")
+        index.insert(IndexEntry(tile, 1))
+        with pytest.raises(IndexError_):
+            index.insert(IndexEntry(tile, 2))
+
+    def test_remove(self):
+        index, _tiles = loaded_index()
+        assert index.remove(0)
+        assert not index.remove(0)
+        assert 0 not in {e.tile_id for e in index.entries()}
+
+    def test_partial_grid(self):
+        # Sparse: only some cells occupied (partial cover).
+        index = GridIndex(DOMAIN, FORMAT)
+        index.insert(IndexEntry(MInterval.parse("[0:19,0:14]"), 1))
+        index.insert(IndexEntry(MInterval.parse("[80:99,45:59]"), 2))
+        hits = index.search(MInterval.parse("[0:99,0:59]")).entries
+        assert {e.tile_id for e in hits} == {1, 2}
+        assert len(index) == 2
+
+
+class TestDatabaseIntegration:
+    def test_stored_mdd_with_grid_index(self):
+        img_type = mdd_type("Img", "char", str(DOMAIN))
+        strategy = AlignedTiling(None, 512)
+        tile_format = strategy.tile_format(DOMAIN, 1)
+        db = Database(index_factory=grid_index_factory(DOMAIN, tile_format))
+        obj = db.create_object("imgs", img_type, "img")
+        data = np.arange(6000, dtype=np.uint8).reshape(100, 60)
+        obj.load_array(data, strategy)
+        out, timing = obj.read(MInterval.parse("[13:47,21:44]"))
+        assert (out == data[13:48, 21:45]).all()
+        assert timing.index_nodes == 1  # computed lookup
+
+    def test_factory_dim_check(self):
+        factory = grid_index_factory(DOMAIN, FORMAT)
+        with pytest.raises(IndexError_):
+            factory(3, 8192)

@@ -1,0 +1,156 @@
+"""Unit tests for the areas-of-interest tiling algorithm (paper Fig. 6)."""
+
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval, covers_exactly
+from repro.tiling.base import KB
+from repro.tiling.interest import (
+    AreasOfInterestTiling,
+    axis_partitions_from_areas,
+    intersect_code,
+    merge_same_code,
+)
+
+
+DOMAIN = MInterval.parse("[0:99,0:99]")
+AREA_1 = MInterval.parse("[10:29,10:29]")
+AREA_2 = MInterval.parse("[50:79,40:89]")
+
+
+class TestAxisPartitions:
+    def test_cuts_at_area_edges(self):
+        partitions = axis_partitions_from_areas(DOMAIN, [AREA_1])
+        assert partitions[0] == (10, 30)  # lower edge and one-past-upper
+        assert partitions[1] == (10, 30)
+
+    def test_cut_at_domain_bound_dropped(self):
+        area = MInterval.parse("[0:99,0:49]")
+        partitions = axis_partitions_from_areas(DOMAIN, [area])
+        assert partitions[0] == ()
+        assert partitions[1] == (50,)
+
+    def test_multiple_areas_merge_cut_sets(self):
+        partitions = axis_partitions_from_areas(DOMAIN, [AREA_1, AREA_2])
+        assert partitions[0] == (10, 30, 50, 80)
+        assert partitions[1] == (10, 30, 40, 90)
+
+
+class TestIntersectCode:
+    def test_bitmask_per_area(self):
+        areas = [AREA_1, AREA_2]
+        assert intersect_code(MInterval.parse("[12:15,12:15]"), areas) == 0b01
+        assert intersect_code(MInterval.parse("[55:60,45:50]"), areas) == 0b10
+        assert intersect_code(MInterval.parse("[0:5,0:5]"), areas) == 0
+
+    def test_overlapping_areas_set_both_bits(self):
+        areas = [MInterval.parse("[0:20,0:20]"), MInterval.parse("[10:30,10:30]")]
+        assert intersect_code(MInterval.parse("[12:15,12:15]"), areas) == 0b11
+
+
+class TestMerge:
+    def test_merges_same_code_neighbours(self):
+        blocks = [
+            MInterval.parse("[0:4,0:9]"),
+            MInterval.parse("[5:9,0:9]"),
+        ]
+        merged, codes = merge_same_code(blocks, [0, 0], 1, 1000)
+        assert merged == [MInterval.parse("[0:9,0:9]")]
+        assert codes == [0]
+
+    def test_does_not_merge_different_codes(self):
+        blocks = [
+            MInterval.parse("[0:4,0:9]"),
+            MInterval.parse("[5:9,0:9]"),
+        ]
+        merged, _codes = merge_same_code(blocks, [1, 2], 1, 1000)
+        assert len(merged) == 2
+
+    def test_respects_size_cap(self):
+        blocks = [
+            MInterval.parse("[0:4,0:9]"),
+            MInterval.parse("[5:9,0:9]"),
+        ]
+        merged, _codes = merge_same_code(blocks, [0, 0], 1, 60)
+        assert len(merged) == 2  # 100 cells would exceed 60 bytes
+
+    def test_merges_transitively(self):
+        blocks = [
+            MInterval.parse("[0:2,0:9]"),
+            MInterval.parse("[3:5,0:9]"),
+            MInterval.parse("[6:9,0:9]"),
+        ]
+        merged, _codes = merge_same_code(blocks, [0, 0, 0], 1, 1000)
+        assert merged == [MInterval.parse("[0:9,0:9]")]
+
+    def test_only_box_unions_merge(self):
+        blocks = [
+            MInterval.parse("[0:4,0:4]"),
+            MInterval.parse("[5:9,0:9]"),  # different cross-section
+        ]
+        merged, _codes = merge_same_code(blocks, [0, 0], 1, 1000)
+        assert len(merged) == 2
+
+
+class TestAlgorithm:
+    def test_partition_covers(self):
+        spec = AreasOfInterestTiling([AREA_1, AREA_2], 4 * KB).tile(DOMAIN, 1)
+        assert covers_exactly(spec.tiles, DOMAIN)
+
+    def test_area_access_reads_only_area_bytes(self):
+        """The algorithm's guarantee (Section 5.2)."""
+        spec = AreasOfInterestTiling([AREA_1, AREA_2], 4 * KB).tile(DOMAIN, 1)
+        for area in (AREA_1, AREA_2):
+            touched = [t for t in spec.tiles if t.intersects(area)]
+            touched_cells = sum(t.cell_count for t in touched)
+            assert touched_cells == area.cell_count
+
+    def test_overlapping_areas_supported(self):
+        # The paper's animation areas overlap (head inside body).
+        head = MInterval.parse("[0:120,80:120,25:60]")
+        body = MInterval.parse("[0:120,70:159,25:105]")
+        domain = MInterval.parse("[0:120,0:159,0:119]")
+        spec = AreasOfInterestTiling([head, body], 256 * KB).tile(domain, 3)
+        assert covers_exactly(spec.tiles, domain)
+        for tile in spec.tiles:
+            if tile.intersects(head):
+                assert head.contains(tile)
+
+    def test_classified_blocks_exposes_codes(self):
+        strategy = AreasOfInterestTiling([AREA_1], 4 * KB)
+        blocks, codes = strategy.classified_blocks(DOMAIN, 1)
+        covered = [b for b, c in zip(blocks, codes) if c == 1]
+        assert covers_exactly(covered, AREA_1)
+
+    def test_area_covering_whole_domain(self):
+        spec = AreasOfInterestTiling([DOMAIN], 4 * KB).tile(DOMAIN, 1)
+        assert covers_exactly(spec.tiles, DOMAIN)
+
+    def test_degenerate_single_cell_area(self):
+        area = MInterval.parse("[50:50,50:50]")
+        spec = AreasOfInterestTiling([area], 4 * KB).tile(DOMAIN, 1)
+        exact = [t for t in spec.tiles if t == area]
+        assert len(exact) == 1
+
+    def test_requires_areas(self):
+        with pytest.raises(TilingError):
+            AreasOfInterestTiling([], 4 * KB)
+
+    def test_rejects_unbounded_area(self):
+        with pytest.raises(TilingError):
+            AreasOfInterestTiling([MInterval.parse("[0:*]")], 4 * KB)
+
+    def test_rejects_area_escaping_domain(self):
+        with pytest.raises(TilingError):
+            AreasOfInterestTiling(
+                [MInterval.parse("[0:200,0:9]")], 4 * KB
+            ).tile(DOMAIN, 1)
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(TilingError):
+            AreasOfInterestTiling([MInterval.parse("[0:9]")], 4 * KB).tile(
+                DOMAIN, 1
+            )
+
+    def test_name(self):
+        assert "n=2" in AreasOfInterestTiling([AREA_1, AREA_2], 4 * KB).name

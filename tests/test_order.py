@@ -1,0 +1,86 @@
+"""Unit tests for cell/tile linearisation orders."""
+
+import itertools
+
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.core.order import (
+    column_major_key,
+    hilbert_key,
+    row_major_key,
+    tile_order,
+    z_order_key,
+)
+
+
+class TestRowColumnMajor:
+    def test_row_major_is_identity_tuple(self):
+        assert row_major_key((3, 4)) == (3, 4)
+
+    def test_column_major_reverses(self):
+        assert column_major_key((3, 4)) == (4, 3)
+
+    def test_row_major_sort_matches_lexicographic(self):
+        points = list(itertools.product(range(3), range(3)))
+        assert sorted(points, key=row_major_key) == sorted(points)
+
+
+class TestZOrder:
+    def test_origin_is_zero(self):
+        assert z_order_key((0, 0, 0)) == 0
+
+    def test_bijective_on_small_grid(self):
+        keys = {z_order_key(p, bits=4) for p in itertools.product(range(8), range(8))}
+        assert len(keys) == 64
+
+    def test_interleaving_2d(self):
+        # (1, 0) -> bit pattern ...10, (0, 1) -> ...01
+        assert z_order_key((1, 0), bits=2) == 2
+        assert z_order_key((0, 1), bits=2) == 1
+        assert z_order_key((1, 1), bits=2) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            z_order_key((-1, 0))
+
+    def test_overflow_rejected(self):
+        with pytest.raises(GeometryError):
+            z_order_key((1 << 22, 0), bits=21)
+
+
+class TestHilbert:
+    def test_bijective_on_small_grid(self):
+        keys = {hilbert_key(p, bits=4) for p in itertools.product(range(8), range(8))}
+        assert len(keys) == 64
+
+    def test_bijective_3d(self):
+        pts = itertools.product(range(4), range(4), range(4))
+        keys = {hilbert_key(p, bits=2) for p in pts}
+        assert len(keys) == 64
+
+    def test_unit_steps_along_curve(self):
+        # The Hilbert curve visits neighbours: consecutive ranks differ by
+        # a single unit step in exactly one coordinate.
+        rank_to_point = {
+            hilbert_key(p, bits=3): p
+            for p in itertools.product(range(8), range(8))
+        }
+        for rank in range(63):
+            x1, y1 = rank_to_point[rank]
+            x2, y2 = rank_to_point[rank + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            hilbert_key((-1, 0))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert tile_order("row_major")((1, 2)) == (1, 2)
+        assert tile_order("z")((0, 0)) == 0
+
+    def test_unknown_raises(self):
+        with pytest.raises(GeometryError):
+            tile_order("peano")

@@ -1,0 +1,76 @@
+"""Public-API surface checks: exports resolve, everything is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.tiling",
+    "repro.storage",
+    "repro.index",
+    "repro.query",
+    "repro.stats",
+    "repro.bench",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name  # OPEN is a None sentinel
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_all_resolves(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocumentation:
+    def _public_members(self):
+        for package in PACKAGES:
+            root = importlib.import_module(package)
+            yield package, root
+            if not hasattr(root, "__path__"):
+                continue
+            for info in pkgutil.iter_modules(root.__path__):
+                if info.name.startswith("_"):
+                    continue
+                module = importlib.import_module(f"{package}.{info.name}")
+                yield f"{package}.{info.name}", module
+
+    def test_every_module_has_a_docstring(self):
+        for name, module in self._public_members():
+            assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module_name, module in self._public_members():
+            for attr_name in getattr(module, "__all__", []):
+                obj = getattr(module, attr_name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if obj.__module__.startswith("repro") and not obj.__doc__:
+                        undocumented.append(f"{module_name}.{attr_name}")
+        assert not undocumented, undocumented
+
+    def test_public_methods_documented_on_key_classes(self):
+        from repro import Database, MInterval, StoredMDD
+        from repro.tiling import TilingStrategy
+
+        missing = []
+        for cls in (MInterval, Database, StoredMDD, TilingStrategy):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_") or not callable(member):
+                    continue
+                if not getattr(member, "__doc__", None):
+                    missing.append(f"{cls.__name__}.{name}")
+        assert not missing, missing

@@ -1,0 +1,74 @@
+"""Unit tests for the access model (Section 5.1 classification)."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.geometry import MInterval
+from repro.query.access import Access, AccessKind, AccessPattern, classify
+
+DOMAIN = MInterval.parse("[1:730,1:60,1:100]")
+
+
+class TestClassify:
+    def test_whole_object(self):
+        assert classify(DOMAIN, DOMAIN) == AccessKind.WHOLE
+        assert classify(MInterval.parse("[*:*,*:*,*:*]"), DOMAIN) == AccessKind.WHOLE
+
+    def test_subarray(self):
+        region = MInterval.parse("[32:59,28:42,28:35]")
+        assert classify(region, DOMAIN) == AccessKind.SUBARRAY
+
+    def test_partial_range(self):
+        # restriction on some axes only -> dicing/slicing (type c)
+        region = MInterval.parse("[32:59,*:*,28:35]")
+        assert classify(region, DOMAIN) == AccessKind.PARTIAL
+
+    def test_partial_with_explicit_full_extent(self):
+        region = MInterval.parse("[32:59,1:60,28:35]")
+        assert classify(region, DOMAIN) == AccessKind.PARTIAL
+
+    def test_section(self):
+        region = MInterval.parse("[182:182,*:*,*:*]")
+        assert classify(region, DOMAIN) == AccessKind.SECTION
+
+    def test_section_wins_over_subarray(self):
+        region = MInterval.parse("[182:182,28:42,28:35]")
+        assert classify(region, DOMAIN) == AccessKind.SECTION
+
+    def test_degenerate_domain_axis_not_a_section(self):
+        # An axis of extent one in the domain itself stays "whole".
+        domain = MInterval.parse("[5:5,0:9]")
+        assert classify(MInterval.parse("[5:5,*:*]"), domain) == AccessKind.WHOLE
+
+    def test_dim_mismatch(self):
+        with pytest.raises(QueryError):
+            classify(MInterval.parse("[0:9]"), DOMAIN)
+
+
+class TestAccess:
+    def test_to_classifies(self):
+        access = Access.to(MInterval.parse("[32:59,*:*,28:35]"), DOMAIN)
+        assert access.kind == AccessKind.PARTIAL
+
+
+class TestAccessPattern:
+    def test_weighted_expansion(self):
+        pattern = AccessPattern()
+        a = MInterval.parse("[0:9]")
+        b = MInterval.parse("[20:29]")
+        pattern.add(a, weight=2)
+        pattern.add(b)
+        expanded = pattern.expanded()
+        assert expanded.count(a) == 2
+        assert expanded.count(b) == 1
+        assert len(pattern) == 2
+
+    def test_fractional_weight_rounds(self):
+        pattern = AccessPattern()
+        pattern.add(MInterval.parse("[0:9]"), weight=2.6)
+        assert len(pattern.expanded()) == 3
+
+    def test_nonpositive_weight_rejected(self):
+        pattern = AccessPattern()
+        with pytest.raises(QueryError):
+            pattern.add(MInterval.parse("[0:9]"), weight=0)

@@ -1,0 +1,386 @@
+"""Unit tests for the mini-RasQL tokenizer, parser and evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError, RasQLSyntaxError
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.query.engine import QueryEngine
+from repro.query.rasql import Agg, Select, Trim, Var, execute, parse, tokenize
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import RegularTiling
+
+
+@pytest.fixture()
+def engine():
+    db = Database()
+    cube_type = mdd_type("Cube", "ulong", "[1:30,1:20]")
+    obj = db.create_object("cubes", cube_type, "sales")
+    data = np.arange(600, dtype=np.uint32).reshape(30, 20)
+    obj.load_array(data, RegularTiling(256), origin=(1, 1))
+    return QueryEngine(db), data
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT c[1:2] FROM coll AS c")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "kw", "name", "sym", "int", "sym", "int", "sym",
+            "kw", "name", "kw", "name", "end",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].kind == "kw"
+        assert tokenize("SeLeCt")[0].kind == "kw"
+
+    def test_minus_is_an_operator_token(self):
+        tokens = tokenize("-42")
+        assert tokens[0] == ("sym", "-", 0) or (
+            tokens[0].kind == "sym" and tokens[0].text == "-"
+        )
+        assert tokens[1].kind == "int" and tokens[1].text == "42"
+
+    def test_float_literals(self):
+        token = tokenize("2.5")[0]
+        assert token.kind == "float" and token.text == "2.5"
+
+    def test_two_char_operators(self):
+        kinds = [(t.kind, t.text) for t in tokenize("<= >= != <")[:-1]]
+        assert kinds == [("sym", "<="), ("sym", ">="), ("sym", "!="), ("sym", "<")]
+
+    def test_bad_character(self):
+        with pytest.raises(RasQLSyntaxError):
+            tokenize("SELECT c {bad}")
+
+
+class TestParser:
+    def test_whole_object(self):
+        ast = parse("SELECT c FROM cubes AS c")
+        assert ast == Select(Var("c"), "cubes", "c")
+
+    def test_trim(self):
+        ast = parse("SELECT c[1:5, *:*] FROM cubes AS c")
+        assert isinstance(ast.expr, Trim)
+        assert ast.expr.axes == ((1, 5), (None, None))
+
+    def test_slice_coordinate(self):
+        ast = parse("SELECT c[7, 1:5] FROM cubes AS c")
+        assert ast.expr.axes == (7, (1, 5))
+
+    def test_aggregate(self):
+        ast = parse("SELECT add_cells(c[1:5,1:5]) FROM cubes AS c")
+        assert isinstance(ast.expr, Agg)
+        assert ast.expr.op == "add_cells"
+
+    def test_alias_optional(self):
+        ast = parse("SELECT cubes FROM cubes")
+        assert ast.alias is None
+
+    def test_arithmetic_precedence(self):
+        ast = parse("SELECT c + 2 * 3 FROM cubes AS c")
+        expr = ast.expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        ast = parse("SELECT (c + 2) * 3 FROM cubes AS c")
+        assert ast.expr.op == "*"
+        assert ast.expr.left.op == "+"
+
+    def test_comparison(self):
+        ast = parse("SELECT c[1:5,1:5] > 100 FROM cubes AS c")
+        assert ast.expr.op == ">"
+
+    def test_unary_minus(self):
+        ast = parse("SELECT -c[1:5,1:5] FROM cubes AS c")
+        from repro.query.rasql import Neg
+
+        assert isinstance(ast.expr, Neg)
+
+    def test_negative_bounds_in_trim(self):
+        ast = parse("SELECT c[-5:-1, 0:2] FROM cubes AS c")
+        assert ast.expr.axes[0] == (-5, -1)
+
+    def test_error_cases(self):
+        bad = [
+            "c[1:2] FROM cubes AS c",            # missing SELECT
+            "SELECT FROM cubes AS c",            # missing expr
+            "SELECT c[1:2 FROM cubes AS c",      # unclosed bracket
+            "SELECT c[*] FROM cubes AS c",       # bare * is not a slice
+            "SELECT c[] FROM cubes AS c",        # empty axes
+            "SELECT c FROM cubes AS c extra",    # trailing tokens
+            "SELECT c[1:2,3:4] FROM",            # missing collection
+            "SELECT c + FROM cubes AS c",        # dangling operator
+            "SELECT (c FROM cubes AS c",         # unclosed paren
+        ]
+        for statement in bad:
+            with pytest.raises(RasQLSyntaxError):
+                parse(statement)
+
+
+class TestExecution:
+    def test_trim_query(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[5:10, 3:7] FROM cubes AS c")
+        assert len(results) == 1
+        assert (results[0].array == data[4:10, 2:7]).all()
+
+    def test_open_bounds(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[5:10, *:*] FROM cubes AS c")
+        assert (results[0].array == data[4:10, :]).all()
+
+    def test_whole_object(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c FROM cubes AS c")
+        assert (results[0].array == data).all()
+
+    def test_slice_reduces_dim(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[7, *:*] FROM cubes AS c")
+        assert results[0].array.shape == (20,)
+        assert (results[0].array == data[6]).all()
+
+    def test_aggregates(self, engine):
+        eng, data = engine
+        cases = {
+            "add_cells": data[4:10, 2:7].sum(),
+            "avg_cells": data[4:10, 2:7].mean(),
+            "max_cells": data[4:10, 2:7].max(),
+            "min_cells": data[4:10, 2:7].min(),
+            "count_cells": np.count_nonzero(data[4:10, 2:7]),
+        }
+        for op, expected in cases.items():
+            results = execute(eng, f"SELECT {op}(c[5:10,3:7]) FROM cubes AS c")
+            assert results[0].scalar == pytest.approx(expected), op
+
+    def test_aggregate_whole_object(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT add_cells(c) FROM cubes AS c")
+        assert results[0].scalar == data.sum()
+
+    def test_collection_name_as_variable(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT cubes[5:10,3:7] FROM cubes")
+        assert (results[0].array == data[4:10, 2:7]).all()
+
+    def test_unknown_variable(self, engine):
+        eng, _data = engine
+        with pytest.raises(RasQLSyntaxError):
+            execute(eng, "SELECT x[1:2,1:2] FROM cubes AS c")
+
+    def test_wrong_axis_count(self, engine):
+        eng, _data = engine
+        with pytest.raises(RasQLSyntaxError):
+            execute(eng, "SELECT c[1:2] FROM cubes AS c")
+
+    def test_aggregating_a_slice(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT add_cells(c[7,1:5]) FROM cubes AS c")
+        assert results[0].scalar == data[6, 0:5].sum()
+
+    def test_multiple_objects_in_collection(self):
+        db = Database()
+        t = mdd_type("V", "long", "[0:9]")
+        for name, fill in (("a", 1), ("b", 2)):
+            obj = db.create_object("vs", t, name)
+            obj.load_array(np.full(10, fill, dtype=np.int32), RegularTiling(64))
+        eng = QueryEngine(db)
+        results = execute(eng, "SELECT add_cells(v) FROM vs AS v")
+        assert sorted(r.scalar for r in results) == [10, 20]
+
+    def test_timing_attached(self, engine):
+        eng, _data = engine
+        result = execute(eng, "SELECT c[1:5,1:5] FROM cubes AS c")[0]
+        assert result.timing.t_totalcpu > 0
+
+    def test_result_repr_and_accessors(self, engine):
+        eng, _data = engine
+        array_result = execute(eng, "SELECT c[1:5,1:5] FROM cubes AS c")[0]
+        scalar_result = execute(eng, "SELECT add_cells(c) FROM cubes AS c")[0]
+        assert not array_result.is_scalar
+        assert scalar_result.is_scalar
+        with pytest.raises(TypeError):
+            array_result.scalar
+        with pytest.raises(TypeError):
+            scalar_result.array
+        assert "sales" in repr(array_result)
+
+
+class TestInducedOperations:
+    def test_scalar_addition(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[5:10,3:7] + 100 FROM cubes AS c")
+        assert (results[0].array == data[4:10, 2:7] + 100).all()
+
+    def test_scalar_multiplication_and_precedence(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[5:10,3:7] + 2 * 3 FROM cubes AS c")
+        assert (results[0].array == data[4:10, 2:7] + 6).all()
+
+    def test_parenthesised(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT (c[5:10,3:7] + 1) * 2 FROM cubes AS c")
+        assert (results[0].array == (data[4:10, 2:7] + 1) * 2).all()
+
+    def test_division_is_true_divide(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[5:10,3:7] / 2 FROM cubes AS c")
+        assert np.allclose(results[0].array, data[4:10, 2:7] / 2)
+
+    def test_float_scalar(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[5:10,3:7] * 0.5 FROM cubes AS c")
+        assert np.allclose(results[0].array, data[4:10, 2:7] * 0.5)
+
+    def test_unary_minus(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT -c[5:10,3:7] FROM cubes AS c")
+        assert (results[0].array == -data[4:10, 2:7].astype(np.int64)).all()
+
+    def test_array_plus_array(self, engine):
+        eng, data = engine
+        results = execute(
+            eng, "SELECT c[5:10,3:7] + c[5:10,3:7] FROM cubes AS c"
+        )
+        assert (results[0].array == 2 * data[4:10, 2:7]).all()
+        # both reads counted
+        assert results[0].timing.tiles_read >= 2
+
+    def test_shape_mismatch_rejected(self, engine):
+        eng, _data = engine
+        with pytest.raises(QueryError):
+            execute(eng, "SELECT c[1:5,1:5] + c[1:6,1:5] FROM cubes AS c")
+
+    def test_comparison_yields_bool(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c[5:10,3:7] > 100 FROM cubes AS c")
+        assert results[0].array.dtype == np.bool_
+        assert (results[0].array == (data[4:10, 2:7] > 100)).all()
+
+    def test_count_cells_over_comparison(self, engine):
+        eng, data = engine
+        results = execute(
+            eng, "SELECT count_cells(c[5:10,3:7] > 100) FROM cubes AS c"
+        )
+        assert results[0].scalar == int((data[4:10, 2:7] > 100).sum())
+
+    def test_aggregate_arithmetic(self, engine):
+        eng, data = engine
+        results = execute(
+            eng,
+            "SELECT add_cells(c[5:10,3:7]) / count_cells(c[5:10,3:7] >= 0) "
+            "FROM cubes AS c",
+        )
+        assert results[0].scalar == pytest.approx(data[4:10, 2:7].mean())
+
+    def test_scalar_only_expression(self, engine):
+        eng, _data = engine
+        results = execute(eng, "SELECT 2 + 3 * 4 FROM cubes AS c")
+        assert results[0].scalar == 14
+
+    def test_aggregate_of_scalar_rejected(self, engine):
+        eng, _data = engine
+        with pytest.raises(QueryError):
+            execute(eng, "SELECT add_cells(5) FROM cubes AS c")
+
+    def test_induced_on_struct_cells_rejected(self):
+        db = Database()
+        t = mdd_type("Vid", "rgb", "[0:9,0:9]")
+        obj = db.create_object("v", t, "clip")
+        obj.load_array(np.zeros((10, 10), dtype=t.base.dtype), RegularTiling(1024))
+        eng = QueryEngine(db)
+        with pytest.raises(QueryError):
+            execute(eng, "SELECT v[0:9,0:9] + 1 FROM v AS v")
+
+    def test_induced_timing_accumulates(self, engine):
+        eng, _data = engine
+        result = execute(
+            eng, "SELECT c[1:10,1:10] + c[11:20,1:10] FROM cubes AS c"
+        )[0]
+        assert result.timing.cells_result == 200  # both reads counted
+
+
+class TestWhereClause:
+    @pytest.fixture()
+    def multi(self):
+        db = Database()
+        t = mdd_type("V", "long", "[0:9]")
+        for name, fill in (("low", 1), ("mid", 5), ("high", 9)):
+            obj = db.create_object("vs", t, name)
+            obj.load_array(np.full(10, fill, dtype=np.int32), RegularTiling(64))
+        return QueryEngine(db)
+
+    def test_filters_objects(self, multi):
+        results = execute(
+            multi, "SELECT add_cells(v) FROM vs AS v WHERE max_cells(v) > 4"
+        )
+        assert sorted(r.scalar for r in results) == [50, 90]
+
+    def test_no_survivors(self, multi):
+        results = execute(
+            multi, "SELECT v FROM vs AS v WHERE min_cells(v) > 100"
+        )
+        assert results == []
+
+    def test_where_parsed_into_ast(self):
+        ast = parse("SELECT c FROM cubes AS c WHERE add_cells(c) > 0")
+        assert ast.where is not None
+        assert ast.where.op == ">"
+
+    def test_missing_where_defaults_none(self):
+        assert parse("SELECT c FROM cubes AS c").where is None
+
+    def test_array_condition_rejected(self, multi):
+        with pytest.raises(QueryError):
+            execute(multi, "SELECT v FROM vs AS v WHERE v > 4")
+
+    def test_where_cost_charged(self, multi):
+        plain = execute(multi, "SELECT add_cells(v) FROM vs AS v")
+        filtered = execute(
+            multi, "SELECT add_cells(v) FROM vs AS v WHERE max_cells(v) > 0"
+        )
+        assert len(plain) == len(filtered) == 3
+        for p, f in zip(plain, filtered):
+            assert f.timing.tiles_read >= p.timing.tiles_read
+
+
+class TestEngineDirect:
+    def test_object_lookup(self, engine):
+        eng, _data = engine
+        assert eng.object("cubes").name == "sales"
+        assert eng.object("cubes", "sales").name == "sales"
+        with pytest.raises(QueryError):
+            eng.object("cubes", "missing")
+
+    def test_ambiguous_collection_requires_name(self):
+        db = Database()
+        t = mdd_type("V", "long", "[0:9]")
+        db.create_object("vs", t, "a")
+        db.create_object("vs", t, "b")
+        eng = QueryEngine(db)
+        with pytest.raises(QueryError):
+            eng.object("vs")
+
+    def test_aggregate_on_struct_type_rejected(self):
+        db = Database()
+        t = mdd_type("Vid", "rgb", "[0:9,0:9]")
+        obj = db.create_object("v", t, "clip")
+        data = np.zeros((10, 10), dtype=t.base.dtype)
+        obj.load_array(data, RegularTiling(1024))
+        eng = QueryEngine(db)
+        with pytest.raises(QueryError):
+            eng.aggregate_query(obj, MInterval.parse("[0:9,0:9]"), "add_cells")
+
+    def test_unknown_aggregate_rejected(self, engine):
+        eng, _data = engine
+        obj = eng.object("cubes")
+        with pytest.raises(QueryError):
+            eng.aggregate_query(obj, MInterval.parse("[1:5,1:5]"), "median_cells")
+
+    def test_section_query(self, engine):
+        eng, data = engine
+        result = eng.section_query(eng.object("cubes"), axis=1, coordinate=5)
+        assert (result.array == data[:, 4]).all()

@@ -1,0 +1,87 @@
+"""Property-based tests: random RasQL expressions agree with numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mddtype import mdd_type
+from repro.query.engine import QueryEngine
+from repro.query.rasql import execute
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import RegularTiling
+
+SHAPE = (12, 10)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    db = Database()
+    t = mdd_type("Cube", "long", "[0:11,0:9]")
+    obj = db.create_object("cubes", t, "c0")
+    data = (np.arange(120, dtype=np.int32) % 37 - 18).reshape(SHAPE)
+    obj.load_array(data, RegularTiling(128))
+    return QueryEngine(db), data
+
+
+@st.composite
+def expressions(draw):
+    """A random expression plus the equivalent numpy lambda.
+
+    Grammar sampled: trims with random in-bounds ranges, scalar
+    arithmetic, aggregates, comparisons.
+    """
+    y0 = draw(st.integers(0, SHAPE[0] - 1))
+    y1 = draw(st.integers(y0, SHAPE[0] - 1))
+    x0 = draw(st.integers(0, SHAPE[1] - 1))
+    x1 = draw(st.integers(x0, SHAPE[1] - 1))
+    trim_text = f"c[{y0}:{y1},{x0}:{x1}]"
+
+    def trim_eval(data):
+        return data[y0:y1 + 1, x0:x1 + 1]
+
+    scalar = draw(st.integers(-9, 9))
+    form = draw(st.sampled_from(
+        ["trim", "add", "sub", "mul", "agg_sum", "agg_max", "cmp", "combo"]
+    ))
+    if form == "trim":
+        return trim_text, trim_eval, False
+    if form == "add":
+        return f"{trim_text} + {scalar}", lambda d: trim_eval(d) + scalar, False
+    if form == "sub":
+        return f"{trim_text} - {scalar}", lambda d: trim_eval(d) - scalar, False
+    if form == "mul":
+        return f"{trim_text} * {scalar}", lambda d: trim_eval(d) * scalar, False
+    if form == "agg_sum":
+        return f"add_cells({trim_text})", lambda d: trim_eval(d).sum(), True
+    if form == "agg_max":
+        return f"max_cells({trim_text})", lambda d: trim_eval(d).max(), True
+    if form == "cmp":
+        return (
+            f"{trim_text} > {scalar}",
+            lambda d: trim_eval(d) > scalar,
+            False,
+        )
+    return (
+        f"add_cells(({trim_text} + {scalar}) * 2)",
+        lambda d: ((trim_eval(d) + scalar) * 2).sum(),
+        True,
+    )
+
+
+@given(expressions())
+@settings(max_examples=80, deadline=None)
+def test_expression_matches_numpy(engine, case):
+    eng, data = engine
+    text, reference, is_scalar = case
+    result = execute(eng, f"SELECT {text} FROM cubes AS c")[0]
+    expected = reference(data.astype(np.int64))
+    if is_scalar:
+        assert result.scalar == pytest.approx(float(expected))
+    else:
+        assert np.array_equal(
+            np.asarray(result.value, dtype=np.int64)
+            if result.value.dtype != np.bool_
+            else result.value,
+            expected,
+        )

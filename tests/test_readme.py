@@ -1,0 +1,39 @@
+"""The README's Python examples must actually run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_code(self):
+        blocks = python_blocks()
+        assert len(blocks) >= 2
+
+    def test_python_blocks_execute_in_order(self, tmp_path, capsys):
+        # Later blocks build on the quickstart's names, so the blocks run
+        # cumulatively in one namespace — as a reader following along would.
+        namespace: dict = {}
+        for index, block in enumerate(python_blocks()):
+            # The persistence block writes to /data; use tmp_path instead.
+            block = block.replace("/data/salesdb", str(tmp_path / "salesdb"))
+            exec(compile(block, f"README block {index}", "exec"), namespace)
+
+    def test_mentions_key_entry_points(self):
+        text = README.read_text()
+        for needle in (
+            "pip install -e .",
+            "pytest benchmarks/ --benchmark-only",
+            "python -m repro",
+            "EXPERIMENTS.md",
+            "DESIGN.md",
+        ):
+            assert needle in text, needle

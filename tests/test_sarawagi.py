@@ -1,0 +1,157 @@
+"""Tests for the Sarawagi & Stonebraker [13] shape-optimal chunk baseline."""
+
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval, covers_exactly
+from repro.query.access import AccessPattern
+from repro.tiling.base import KB
+from repro.tiling.sarawagi import (
+    OptimalChunkTiling,
+    expected_chunks,
+    optimal_chunk_format,
+    pattern_cost,
+)
+from repro.tiling.validate import access_cost
+
+DOMAIN = MInterval.parse("[0:255,0:255]")
+
+
+class TestCostModel:
+    def test_single_chunk_when_shape_fits(self):
+        # A 1x1 access on 10x10 chunks touches exactly one chunk.
+        assert expected_chunks((1, 1), (10, 10)) == 1.0
+
+    def test_whole_array_shape(self):
+        # A 100-wide access on 10-wide chunks: (99/10 + 1) = 10.9 expected.
+        assert expected_chunks((100,), (10,)) == pytest.approx(10.9)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(TilingError):
+            expected_chunks((10, 10), (5,))
+
+    def test_pattern_cost_weighted(self):
+        shapes = [(10, 1), (1, 10)]
+        cost = pattern_cost(shapes, [0.5, 0.5], (5, 5))
+        assert cost == pytest.approx(
+            0.5 * expected_chunks((10, 1), (5, 5))
+            + 0.5 * expected_chunks((1, 10), (5, 5))
+        )
+
+    def test_pattern_cost_requires_matching_lists(self):
+        with pytest.raises(TilingError):
+            pattern_cost([(1, 1)], [0.5, 0.5], (5, 5))
+
+
+class TestOptimisation:
+    def test_square_shapes_give_square_chunks(self):
+        fmt = optimal_chunk_format(
+            DOMAIN, [(32, 32)], cell_size=1, max_tile_size=1024
+        )
+        assert abs(fmt[0] - fmt[1]) <= 2
+
+    def test_elongated_shapes_give_elongated_chunks(self):
+        # Accesses are rows -> chunks should stretch along axis 1.
+        fmt = optimal_chunk_format(
+            DOMAIN, [(1, 256)], cell_size=1, max_tile_size=1024
+        )
+        assert fmt[1] > 4 * fmt[0]
+
+    def test_budget_respected(self):
+        for budget in (64, 1024, 16 * KB):
+            fmt = optimal_chunk_format(
+                DOMAIN, [(16, 16), (1, 100)], cell_size=2, max_tile_size=budget
+            )
+            assert fmt[0] * fmt[1] * 2 <= budget
+
+    def test_mixed_pattern_balances(self):
+        rows = optimal_chunk_format(DOMAIN, [(1, 200)], cell_size=1,
+                                    max_tile_size=1024)
+        cols = optimal_chunk_format(DOMAIN, [(200, 1)], cell_size=1,
+                                    max_tile_size=1024)
+        mixed = optimal_chunk_format(
+            DOMAIN, [(1, 200), (200, 1)], cell_size=1, max_tile_size=1024
+        )
+        assert rows[1] > mixed[1] > cols[1]
+
+    def test_probabilities_shift_the_format(self):
+        mostly_rows = optimal_chunk_format(
+            DOMAIN, [(1, 200), (200, 1)], [0.95, 0.05],
+            cell_size=1, max_tile_size=1024,
+        )
+        mostly_cols = optimal_chunk_format(
+            DOMAIN, [(1, 200), (200, 1)], [0.05, 0.95],
+            cell_size=1, max_tile_size=1024,
+        )
+        assert mostly_rows[1] > mostly_cols[1]
+
+    def test_validation(self):
+        with pytest.raises(TilingError):
+            optimal_chunk_format(DOMAIN, [], max_tile_size=1024)
+        with pytest.raises(TilingError):
+            optimal_chunk_format(DOMAIN, [(1, 1)], [0.0], max_tile_size=1024)
+        with pytest.raises(TilingError):
+            optimal_chunk_format(DOMAIN, [(1,)], max_tile_size=1024)
+
+
+class TestStrategy:
+    def test_partition_covers(self):
+        strategy = OptimalChunkTiling([(16, 16)], max_tile_size=1024)
+        spec = strategy.tile(DOMAIN, 1)
+        assert covers_exactly(spec.tiles, DOMAIN)
+        assert all(t.cell_count <= 1024 for t in spec.tiles)
+
+    def test_accepts_access_pattern(self):
+        pattern = AccessPattern()
+        pattern.add(MInterval.parse("[0:0,0:199]"), weight=3)
+        pattern.add(MInterval.parse("[0:31,0:31]"), weight=1)
+        strategy = OptimalChunkTiling(pattern, max_tile_size=1024)
+        fmt = strategy.chunk_format(DOMAIN, 1)
+        assert fmt[1] > fmt[0]  # row accesses dominate
+
+    def test_position_blindness(self):
+        """[13]'s defining limitation: only shapes matter, positions do not.
+
+        Two patterns with identical shapes at different positions must
+        produce identical chunkings — and hence one of them pays for the
+        misalignment that the paper's areas-of-interest tiling avoids.
+        """
+        here = AccessPattern()
+        here.add(MInterval.parse("[0:31,0:31]"))
+        there = AccessPattern()
+        there.add(MInterval.parse("[100:131,77:108]"))
+        fmt_here = OptimalChunkTiling(here, max_tile_size=1024).chunk_format(
+            DOMAIN, 1
+        )
+        fmt_there = OptimalChunkTiling(there, max_tile_size=1024).chunk_format(
+            DOMAIN, 1
+        )
+        assert fmt_here == fmt_there
+
+    def test_interest_tiling_beats_optimal_chunks_on_positions(self):
+        """The paper's core argument quantified: for a fixed hotspot, the
+        position-aware strategy reads fewer cells than [13]'s optimum."""
+        from repro.tiling.interest import AreasOfInterestTiling
+
+        hotspot = MInterval.parse("[100:131,77:108]")
+        pattern = AccessPattern()
+        pattern.add(hotspot)
+        chunk_tiles = OptimalChunkTiling(pattern, max_tile_size=1024).tile(
+            DOMAIN, 1
+        ).tiles
+        interest_tiles = AreasOfInterestTiling([hotspot], 1024).tile(
+            DOMAIN, 1
+        ).tiles
+        chunk_cost = access_cost(chunk_tiles, hotspot)
+        interest_cost = access_cost(interest_tiles, hotspot)
+        assert interest_cost.read_amplification == 1.0
+        assert chunk_cost.read_amplification > 1.0
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(TilingError):
+            OptimalChunkTiling([], max_tile_size=1024)
+        with pytest.raises(TilingError):
+            OptimalChunkTiling([(1, 1)], weights=[0.0], max_tile_size=1024)
+
+    def test_name(self):
+        assert "shapes=1" in OptimalChunkTiling([(4, 4)], max_tile_size=64).name

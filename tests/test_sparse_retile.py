@@ -1,0 +1,135 @@
+"""Unit tests for partial cover (skip_default_tiles) and retiling."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError, StorageError
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import AlignedTiling, RegularTiling
+from repro.tiling.interest import AreasOfInterestTiling
+
+IMG = mdd_type("Img", "char", "[0:99,0:99]")
+
+
+def sparse_image():
+    data = np.zeros((100, 100), dtype=np.uint8)
+    data[10:20, 10:20] = 7
+    data[80:90, 85:95] = 9
+    return data
+
+
+class TestPartialCover:
+    def test_default_tiles_not_stored(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "sparse")
+        data = sparse_image()
+        dense_tiles = RegularTiling(256).tile(
+            MInterval.parse("[0:99,0:99]"), 1
+        ).tile_count
+        stats = obj.load_array(
+            data, RegularTiling(256), skip_default_tiles=True
+        )
+        assert stats.tile_count < dense_tiles
+        assert obj.logical_bytes() < data.nbytes
+
+    def test_reads_unchanged(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "sparse")
+        data = sparse_image()
+        obj.load_array(data, RegularTiling(256), skip_default_tiles=True)
+        out, _ = obj.read(MInterval.parse("[0:99,0:99]"))
+        assert (out == data).all()
+
+    def test_current_domain_spans_loaded_region(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "sparse")
+        obj.load_array(sparse_image(), RegularTiling(256),
+                       skip_default_tiles=True)
+        assert obj.current_domain == MInterval.parse("[0:99,0:99]")
+
+    def test_nonzero_default_value(self):
+        from repro.core.cells import BaseType, register_base_type
+
+        filled = register_base_type(
+            BaseType("char_bg7", np.dtype(np.uint8), default=7)
+        )
+        t = mdd_type("Bg", filled, MInterval.parse("[0:49,0:49]"))
+        data = np.full((50, 50), 7, dtype=np.uint8)
+        data[0:10, 0:10] = 1
+        db = Database()
+        obj = db.create_object("imgs", t, "bg")
+        obj.load_array(data, RegularTiling(128), skip_default_tiles=True)
+        out, _ = obj.read(MInterval.parse("[0:49,0:49]"))
+        assert (out == data).all()
+
+    def test_all_default_array_rejected(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "empty")
+        with pytest.raises(StorageError):
+            obj.load_array(
+                np.zeros((100, 100), np.uint8),
+                RegularTiling(256),
+                skip_default_tiles=True,
+            )
+
+    def test_fewer_bytes_fetched_for_sparse_scan(self):
+        data = sparse_image()
+        dense_db = Database()
+        dense = dense_db.create_object("imgs", IMG, "dense")
+        dense.load_array(data, RegularTiling(256))
+        sparse_db = Database()
+        sparse = sparse_db.create_object("imgs", IMG, "sparse")
+        sparse.load_array(data, RegularTiling(256), skip_default_tiles=True)
+        whole = MInterval.parse("[0:99,0:99]")
+        _o1, t_dense = dense.read(whole)
+        _o2, t_sparse = sparse.read(whole)
+        assert t_sparse.bytes_read < t_dense.bytes_read
+        assert t_sparse.t_o < t_dense.t_o
+
+
+class TestRetile:
+    def test_retile_preserves_content(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "img")
+        data = (np.indices((100, 100)).sum(axis=0) % 200).astype(np.uint8)
+        obj.load_array(data, AlignedTiling(None, 1024))
+        hotspot = MInterval.parse("[20:39,60:79]")
+        stats = obj.retile(AreasOfInterestTiling([hotspot], 1024))
+        assert stats.tile_count == obj.tile_count
+        out, timing = obj.read(hotspot)
+        assert (out == data[20:40, 60:80]).all()
+        assert timing.read_amplification == 1.0
+
+    def test_retile_reclaims_old_blobs(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "img")
+        data = np.arange(10000, dtype=np.uint8).reshape(100, 100)
+        obj.load_array(data, RegularTiling(512))
+        before = len(db.store)
+        obj.retile(RegularTiling(2048))
+        assert len(db.store) < before  # bigger tiles, old blobs deleted
+
+    def test_retile_empty_rejected(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "empty")
+        with pytest.raises(QueryError):
+            obj.retile(RegularTiling(512))
+
+    def test_retile_virtual_rejected(self):
+        db = Database()
+        obj = db.create_object("imgs", IMG, "virt")
+        obj.load_virtual(MInterval.parse("[0:99,0:99]"), RegularTiling(512))
+        with pytest.raises(StorageError):
+            obj.retile(RegularTiling(1024))
+
+    def test_retile_with_offset_origin(self):
+        t = mdd_type("Cube", "ulong", "[1:40,1:40]")
+        db = Database()
+        obj = db.create_object("c", t, "x")
+        data = np.arange(1600, dtype=np.uint32).reshape(40, 40)
+        obj.load_array(data, RegularTiling(1024), origin=(1, 1))
+        obj.retile(RegularTiling(4096))
+        out, _ = obj.read(MInterval.parse("[5:10,5:10]"))
+        assert (out == data[4:10, 4:10]).all()

@@ -1,0 +1,132 @@
+"""Unit tests for statistic tiling (access clustering and thresholds)."""
+
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval, covers_exactly
+from repro.tiling.statistic import (
+    StatisticTiling,
+    box_distance,
+    cluster_accesses,
+    derive_areas_of_interest,
+)
+
+DOMAIN = MInterval.parse("[0:99,0:99]")
+
+
+class TestBoxDistance:
+    def test_overlapping_is_zero(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[5:15,5:15]")
+        assert box_distance(a, b) == 0
+
+    def test_touching_is_zero(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[10:15,0:9]")
+        assert box_distance(a, b) == 0
+
+    def test_gap_counted(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[15:20,0:9]")
+        assert box_distance(a, b) == 5
+
+    def test_chebyshev_takes_max_axis(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[12:20,30:40]")
+        assert box_distance(a, b) == 20
+
+    def test_symmetry(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[50:60,3:5]")
+        assert box_distance(a, b) == box_distance(b, a)
+
+
+class TestClustering:
+    def test_identical_accesses_one_cluster(self):
+        region = MInterval.parse("[10:20,10:20]")
+        clusters = cluster_accesses([region] * 5, distance_threshold=0)
+        assert len(clusters) == 1
+        assert clusters[0].count == 5
+        assert clusters[0].hull == region
+
+    def test_nearby_accesses_merge_and_grow_hull(self):
+        a = MInterval.parse("[10:20,10:20]")
+        b = MInterval.parse("[21:30,10:20]")
+        clusters = cluster_accesses([a, b], distance_threshold=1)
+        assert len(clusters) == 1
+        assert clusters[0].hull == MInterval.parse("[10:30,10:20]")
+
+    def test_distant_accesses_stay_apart(self):
+        a = MInterval.parse("[0:9,0:9]")
+        b = MInterval.parse("[80:89,80:89]")
+        clusters = cluster_accesses([a, b], distance_threshold=5)
+        assert len(clusters) == 2
+
+    def test_unbounded_access_rejected(self):
+        with pytest.raises(TilingError):
+            cluster_accesses([MInterval.parse("[0:*]")], 0)
+
+
+class TestDeriveAreas:
+    def test_frequency_filter(self):
+        hot = MInterval.parse("[10:20,10:20]")
+        cold = MInterval.parse("[70:80,70:80]")
+        areas = derive_areas_of_interest(
+            [hot, hot, hot, cold], frequency_threshold=2, distance_threshold=0
+        )
+        assert areas == [hot]
+
+    def test_no_survivors(self):
+        areas = derive_areas_of_interest(
+            [MInterval.parse("[0:5,0:5]")],
+            frequency_threshold=2,
+            distance_threshold=0,
+        )
+        assert areas == []
+
+
+class TestStatisticTiling:
+    def test_produces_interest_tiling_for_hot_areas(self):
+        hot = MInterval.parse("[10:20,10:20]")
+        strategy = StatisticTiling(
+            [hot] * 3, frequency_threshold=2, distance_threshold=0,
+            max_tile_size=4096,
+        )
+        spec = strategy.tile(DOMAIN, 1)
+        assert covers_exactly(spec.tiles, DOMAIN)
+        touched = [t for t in spec.tiles if t.intersects(hot)]
+        assert sum(t.cell_count for t in touched) == hot.cell_count
+
+    def test_falls_back_to_aligned_without_survivors(self):
+        strategy = StatisticTiling(
+            [MInterval.parse("[5:6,5:6]")],
+            frequency_threshold=10,
+            max_tile_size=4096,
+        )
+        spec = strategy.tile(DOMAIN, 1)
+        assert covers_exactly(spec.tiles, DOMAIN)
+
+    def test_empty_log_falls_back(self):
+        spec = StatisticTiling([], max_tile_size=4096).tile(DOMAIN, 1)
+        assert covers_exactly(spec.tiles, DOMAIN)
+
+    def test_areas_clipped_to_domain(self):
+        outside = MInterval.parse("[90:120,90:120]")
+        strategy = StatisticTiling(
+            [outside] * 3, frequency_threshold=2, max_tile_size=4096
+        )
+        areas = strategy.areas_of_interest(DOMAIN)
+        assert areas == [MInterval.parse("[90:99,90:99]")]
+        spec = strategy.tile(DOMAIN, 1)
+        assert covers_exactly(spec.tiles, DOMAIN)
+
+    def test_parameter_validation(self):
+        with pytest.raises(TilingError):
+            StatisticTiling([], frequency_threshold=0)
+        with pytest.raises(TilingError):
+            StatisticTiling([], distance_threshold=-1)
+
+    def test_name_mentions_thresholds(self):
+        strategy = StatisticTiling([], frequency_threshold=3, distance_threshold=7)
+        assert "f>=3" in strategy.name
+        assert "d<=7" in strategy.name

@@ -1,0 +1,135 @@
+"""Unit tests for access logs and the tiling advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.query.access import Access, AccessKind
+from repro.query.engine import QueryEngine
+from repro.stats.advisor import advise
+from repro.stats.log import AccessLog
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import AlignedTiling, RegularTiling
+from repro.tiling.statistic import StatisticTiling
+
+DOMAIN = MInterval.parse("[0:99,0:99]")
+
+
+def access(text, kind=AccessKind.SUBARRAY):
+    return Access(MInterval.parse(text), kind)
+
+
+class TestAccessLog:
+    def test_record_and_query(self):
+        log = AccessLog()
+        log.record("obj", access("[0:9,0:9]"))
+        log.record("obj", access("[5:9,0:9]"))
+        log.record("other", access("[0:1,0:1]"))
+        assert log.count("obj") == 2
+        assert log.objects() == ("obj", "other")
+        assert log.regions("obj") == [
+            MInterval.parse("[0:9,0:9]"),
+            MInterval.parse("[5:9,0:9]"),
+        ]
+
+    def test_kind_histogram(self):
+        log = AccessLog()
+        log.record("obj", access("[0:9,0:9]", AccessKind.WHOLE))
+        log.record("obj", access("[0:9,0:9]", AccessKind.WHOLE))
+        log.record("obj", access("[0:9,0:9]", AccessKind.SECTION))
+        histogram = log.kind_histogram("obj")
+        assert histogram[AccessKind.WHOLE] == 2
+        assert histogram[AccessKind.SECTION] == 1
+        assert histogram[AccessKind.PARTIAL] == 0
+
+    def test_clear(self):
+        log = AccessLog()
+        log.record("a", access("[0:1,0:1]"))
+        log.record("b", access("[0:1,0:1]"))
+        log.clear("a")
+        assert log.count("a") == 0
+        assert log.count("b") == 1
+        log.clear()
+        assert log.objects() == ()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        log = AccessLog()
+        log.record("obj", access("[0:9,0:9]", AccessKind.PARTIAL))
+        log.record("obj", access("[5:5,0:9]", AccessKind.SECTION))
+        path = tmp_path / "accesses.jsonl"
+        log.save(path)
+        loaded = AccessLog.load(path)
+        assert loaded.accesses("obj") == log.accesses("obj")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            AccessLog.load(tmp_path / "nope.jsonl")
+
+    def test_load_corrupt_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"object": "x"}\n')
+        with pytest.raises(ReproError):
+            AccessLog.load(path)
+
+
+class TestEngineLogging:
+    def test_engine_records_accesses(self):
+        db = Database()
+        t = mdd_type("Img", "char", "[0:99,0:99]")
+        obj = db.create_object("imgs", t, "img")
+        obj.load_array(np.zeros((100, 100), np.uint8), RegularTiling(2048))
+        log = AccessLog()
+        engine = QueryEngine(db, access_log=log)
+        engine.range_query(obj, MInterval.parse("[0:9,*:*]"))
+        engine.section_query(obj, 0, 5)
+        assert log.count("img") == 2
+        kinds = [a.kind for a in log.accesses("img")]
+        assert kinds == [AccessKind.PARTIAL, AccessKind.SECTION]
+
+
+class TestAdvisor:
+    def test_empty_history_defaults_aligned(self):
+        advice = advise([])
+        assert isinstance(advice.strategy, AlignedTiling)
+        assert "default" in advice.reason
+
+    def test_whole_reads_stay_aligned(self):
+        history = [access("[0:99,0:99]", AccessKind.WHOLE)] * 5 + [
+            access("[0:9,0:9]")
+        ]
+        advice = advise(history)
+        assert isinstance(advice.strategy, AlignedTiling)
+
+    def test_sections_get_starred_config(self):
+        history = [
+            access(f"[{i}:{i},0:99]", AccessKind.SECTION) for i in range(6)
+        ]
+        advice = advise(history)
+        assert isinstance(advice.strategy, AlignedTiling)
+        config = advice.strategy.config_for(DOMAIN)
+        assert config.elements[0] == 1.0   # pinned axis short
+        assert config.elements[1] is None  # scan axis starred
+
+    def test_positional_accesses_get_statistic(self):
+        history = [access("[10:20,10:20]")] * 4
+        advice = advise(history, frequency_threshold=2)
+        assert isinstance(advice.strategy, StatisticTiling)
+        spec = advice.strategy.tile(DOMAIN, 1)
+        hot = MInterval.parse("[10:20,10:20]")
+        touched = [t for t in spec.tiles if t.intersects(hot)]
+        assert sum(t.cell_count for t in touched) == hot.cell_count
+
+    def test_mixed_sections_without_common_axis(self):
+        history = [
+            access("[5:5,0:99]", AccessKind.SECTION),
+            access("[0:99,7:7]", AccessKind.SECTION),
+            access("[9:9,0:99]", AccessKind.SECTION),
+        ]
+        advice = advise(history)
+        # no common pinned axis -> falls through to statistic tiling
+        assert isinstance(advice.strategy, StatisticTiling)
+
+    def test_advice_carries_reason(self):
+        assert advise([]).reason

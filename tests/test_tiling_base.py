@@ -1,0 +1,119 @@
+"""Unit tests for the tiling framework (specs, grids, axis breaks)."""
+
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval, covers_exactly
+from repro.tiling.base import (
+    TilingSpec,
+    blocks_from_axis_breaks,
+    grid_partition,
+)
+
+
+class TestGridPartition:
+    def test_exact_grid(self):
+        tiles = grid_partition(MInterval.parse("[0:9,0:9]"), (5, 5))
+        assert len(tiles) == 4
+        assert covers_exactly(tiles, MInterval.parse("[0:9,0:9]"))
+
+    def test_border_tiles_smaller(self):
+        tiles = grid_partition(MInterval.parse("[0:10,0:6]"), (4, 4))
+        assert covers_exactly(tiles, MInterval.parse("[0:10,0:6]"))
+        shapes = {t.shape for t in tiles}
+        assert (4, 4) in shapes
+        assert (3, 3) in shapes  # high-side borders
+
+    def test_anchored_at_lower_corner(self):
+        tiles = grid_partition(MInterval.parse("[5:14]"), (10,))
+        assert tiles == [MInterval.parse("[5:14]")]
+
+    def test_row_major_order(self):
+        tiles = grid_partition(MInterval.parse("[0:3,0:3]"), (2, 2))
+        lowests = [t.lowest for t in tiles]
+        assert lowests == sorted(lowests)
+
+    def test_edge_one(self):
+        tiles = grid_partition(MInterval.parse("[0:2,0:2]"), (1, 3))
+        assert len(tiles) == 3
+
+    def test_dim_mismatch(self):
+        with pytest.raises(TilingError):
+            grid_partition(MInterval.parse("[0:9]"), (2, 2))
+
+    def test_zero_edge_rejected(self):
+        with pytest.raises(TilingError):
+            grid_partition(MInterval.parse("[0:9]"), (0,))
+
+
+class TestBlocksFromAxisBreaks:
+    def test_simple_breaks(self):
+        blocks = blocks_from_axis_breaks(MInterval.parse("[0:9]"), [(5,)])
+        assert blocks == [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")]
+
+    def test_no_breaks_single_block(self):
+        blocks = blocks_from_axis_breaks(MInterval.parse("[0:9,0:9]"), [(), ()])
+        assert blocks == [MInterval.parse("[0:9,0:9]")]
+
+    def test_cover(self):
+        domain = MInterval.parse("[0:9,0:19]")
+        blocks = blocks_from_axis_breaks(domain, [(3, 7), (10,)])
+        assert len(blocks) == 6
+        assert covers_exactly(blocks, domain)
+
+    def test_break_outside_interior_rejected(self):
+        with pytest.raises(TilingError):
+            blocks_from_axis_breaks(MInterval.parse("[0:9]"), [(0,)])
+        with pytest.raises(TilingError):
+            blocks_from_axis_breaks(MInterval.parse("[0:9]"), [(10,)])
+
+    def test_wrong_break_list_count(self):
+        with pytest.raises(TilingError):
+            blocks_from_axis_breaks(MInterval.parse("[0:9,0:9]"), [(5,)])
+
+
+class TestTilingSpec:
+    def test_validate_accepts_partition(self):
+        domain = MInterval.parse("[0:9]")
+        tiles = [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")]
+        spec = TilingSpec(domain, tiles, cell_size=1, max_tile_size=8)
+        assert spec.validate() is spec
+        assert spec.tile_count == 2
+        assert spec.tile_bytes() == [5, 5]
+        assert spec.average_tile_bytes() == 5.0
+
+    def test_validate_rejects_gap(self):
+        spec = TilingSpec(
+            MInterval.parse("[0:9]"), [MInterval.parse("[0:4]")], 1, 100
+        )
+        with pytest.raises(TilingError):
+            spec.validate()
+
+    def test_validate_rejects_overlap(self):
+        spec = TilingSpec(
+            MInterval.parse("[0:9]"),
+            [MInterval.parse("[0:5]"), MInterval.parse("[5:9]")],
+            1,
+            100,
+        )
+        with pytest.raises(TilingError):
+            spec.validate()
+
+    def test_validate_rejects_oversized(self):
+        spec = TilingSpec(
+            MInterval.parse("[0:9]"), [MInterval.parse("[0:9]")], 4, 8
+        )
+        with pytest.raises(TilingError):
+            spec.validate()
+        spec.validate(check_size=False)  # relaxed mode passes
+
+    def test_validate_rejects_empty(self):
+        spec = TilingSpec(MInterval.parse("[0:9]"), [], 1, 100)
+        with pytest.raises(TilingError):
+            spec.validate()
+
+    def test_iterable(self):
+        tiles = [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")]
+        spec = TilingSpec(MInterval.parse("[0:9]"), tiles, 1, 8)
+        assert list(spec) == tiles
+        assert len(spec) == 2

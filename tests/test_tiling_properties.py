@@ -1,0 +1,150 @@
+"""Property-based tests on tiling strategies: every strategy must produce
+an exact partition of the domain with every tile within MaxTileSize."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import MInterval, covers_exactly
+from repro.tiling.aligned import AlignedTiling, TileConfig
+from repro.tiling.cuts import CutsTiling
+from repro.tiling.directional import DirectionalTiling
+from repro.tiling.interest import AreasOfInterestTiling
+from repro.tiling.statistic import StatisticTiling
+
+
+@st.composite
+def domains(draw, max_extent=40):
+    dim = draw(st.integers(min_value=1, max_value=3))
+    lo = []
+    hi = []
+    for _ in range(dim):
+        low = draw(st.integers(min_value=-10, max_value=10))
+        extent = draw(st.integers(min_value=1, max_value=max_extent))
+        lo.append(low)
+        hi.append(low + extent - 1)
+    return MInterval(lo, hi)
+
+
+@st.composite
+def domains_with_config(draw):
+    domain = draw(domains())
+    elements = [
+        draw(st.sampled_from(["*", 1, 2, 3, 0.5])) for _ in range(domain.dim)
+    ]
+    if all(e == "*" for e in elements):
+        elements[0] = 1
+    return domain, TileConfig(elements)
+
+
+@st.composite
+def domains_with_areas(draw):
+    domain = draw(domains(max_extent=30))
+    areas = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        lo = []
+        hi = []
+        for axis in range(domain.dim):
+            a = draw(
+                st.integers(domain.lowest[axis], domain.highest[axis])
+            )
+            b = draw(
+                st.integers(domain.lowest[axis], domain.highest[axis])
+            )
+            lo.append(min(a, b))
+            hi.append(max(a, b))
+        areas.append(MInterval(lo, hi))
+    return domain, areas
+
+
+CELL_SIZE = 2
+MAX_TILE = 64  # bytes -> 32 cells: forces real subdivision on most domains
+
+
+@given(domains_with_config())
+@settings(max_examples=60, deadline=None)
+def test_aligned_partitions_exactly(case):
+    domain, config = case
+    spec = AlignedTiling(config, MAX_TILE).tile(domain, CELL_SIZE)
+    assert covers_exactly(spec.tiles, domain)
+    assert all(t.cell_count * CELL_SIZE <= MAX_TILE for t in spec.tiles)
+
+
+@given(domains())
+@settings(max_examples=60, deadline=None)
+def test_default_aligned_partitions_exactly(domain):
+    spec = AlignedTiling(None, MAX_TILE).tile(domain, CELL_SIZE)
+    assert covers_exactly(spec.tiles, domain)
+    assert all(t.cell_count * CELL_SIZE <= MAX_TILE for t in spec.tiles)
+
+
+@given(domains(), st.integers(min_value=0, max_value=2))
+@settings(max_examples=60, deadline=None)
+def test_cuts_partitions_exactly(domain, axis_seed):
+    axis = axis_seed % domain.dim
+    spec = CutsTiling(axis, MAX_TILE).tile(domain, CELL_SIZE)
+    assert covers_exactly(spec.tiles, domain)
+    assert all(t.cell_count * CELL_SIZE <= MAX_TILE for t in spec.tiles)
+
+
+@given(domains(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_directional_partitions_exactly(domain, data):
+    partitions = {}
+    for axis in range(domain.dim):
+        lo, hi = domain.lowest[axis], domain.highest[axis]
+        if hi - lo < 2 or not data.draw(st.booleans()):
+            continue
+        n_cuts = data.draw(st.integers(min_value=0, max_value=3))
+        interior = sorted(
+            data.draw(
+                st.sets(
+                    st.integers(lo + 1, hi - 1),
+                    min_size=min(n_cuts, hi - lo - 1),
+                    max_size=min(n_cuts, hi - lo - 1),
+                )
+            )
+        )
+        partitions[axis] = tuple([lo] + interior + [hi])
+    spec = DirectionalTiling(partitions, MAX_TILE).tile(domain, CELL_SIZE)
+    assert covers_exactly(spec.tiles, domain)
+    assert all(t.cell_count * CELL_SIZE <= MAX_TILE for t in spec.tiles)
+
+
+@given(domains_with_areas())
+@settings(max_examples=60, deadline=None)
+def test_interest_partitions_exactly(case):
+    domain, areas = case
+    spec = AreasOfInterestTiling(areas, MAX_TILE).tile(domain, CELL_SIZE)
+    assert covers_exactly(spec.tiles, domain)
+    assert all(t.cell_count * CELL_SIZE <= MAX_TILE for t in spec.tiles)
+
+
+@given(domains_with_areas())
+@settings(max_examples=60, deadline=None)
+def test_interest_tiles_never_straddle_area_boundaries(case):
+    """The paper's guarantee: a query for an area of interest reads only
+    bytes of that area — every tile intersecting an area lies inside it."""
+    domain, areas = case
+    spec = AreasOfInterestTiling(areas, MAX_TILE).tile(domain, CELL_SIZE)
+    for area in areas:
+        for tile in spec.tiles:
+            part = tile.intersection(area)
+            if part is not None:
+                assert area.contains(tile), (
+                    f"tile {tile} straddles area {area}"
+                )
+
+
+@given(domains_with_areas(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_statistic_partitions_exactly(case, frequency):
+    domain, areas = case
+    accesses = [a for a in areas for _ in range(2)]
+    spec = StatisticTiling(
+        accesses,
+        frequency_threshold=frequency,
+        distance_threshold=1,
+        max_tile_size=MAX_TILE,
+    ).tile(domain, CELL_SIZE)
+    assert covers_exactly(spec.tiles, domain)
+    assert all(t.cell_count * CELL_SIZE <= MAX_TILE for t in spec.tiles)

@@ -1,0 +1,56 @@
+"""Unit tests for QueryTiming arithmetic and speedup reporting."""
+
+import pytest
+
+from repro.query.timing import LoadStats, QueryTiming, speedup
+
+
+class TestQueryTiming:
+    def test_totals(self):
+        timing = QueryTiming(t_ix=1.0, t_o=10.0, t_cpu=4.0)
+        assert timing.t_totalaccess == pytest.approx(11.0)
+        assert timing.t_totalcpu == pytest.approx(15.0)
+
+    def test_read_amplification(self):
+        timing = QueryTiming(cells_result=100, cells_fetched=250)
+        assert timing.read_amplification == 2.5
+
+    def test_read_amplification_no_result(self):
+        assert QueryTiming().read_amplification == float("inf")
+
+    def test_add_accumulates(self):
+        total = QueryTiming()
+        total.add(QueryTiming(t_ix=1, t_o=2, t_cpu=3, tiles_read=4))
+        total.add(QueryTiming(t_ix=1, t_o=2, t_cpu=3, tiles_read=4))
+        assert total.t_totalcpu == pytest.approx(12.0)
+        assert total.tiles_read == 8
+
+    def test_scaled_scales_times_not_counters(self):
+        timing = QueryTiming(t_ix=2, t_o=4, t_cpu=6, tiles_read=10)
+        half = timing.scaled(0.5)
+        assert half.t_ix == 1 and half.t_o == 2 and half.t_cpu == 3
+        assert half.tiles_read == 10
+
+    def test_str_mentions_components(self):
+        text = str(QueryTiming(t_ix=1, t_o=2, t_cpu=3))
+        assert "t_ix" in text and "t_o" in text and "t_cpu" in text
+
+
+class TestSpeedup:
+    def test_ratios(self):
+        baseline = QueryTiming(t_ix=1, t_o=9, t_cpu=10)
+        tuned = QueryTiming(t_ix=1, t_o=4, t_cpu=5)
+        ratios = speedup(baseline, tuned)
+        assert ratios["t_o"] == pytest.approx(9 / 4)
+        assert ratios["t_totalaccess"] == pytest.approx(10 / 5)
+        assert ratios["t_totalcpu"] == pytest.approx(20 / 10)
+
+    def test_zero_tuned_is_infinite(self):
+        ratios = speedup(QueryTiming(t_o=5), QueryTiming())
+        assert ratios["t_o"] == float("inf")
+
+
+class TestLoadStats:
+    def test_total(self):
+        stats = LoadStats(tiling_ms=1.0, store_ms=2.0, index_ms=3.0)
+        assert stats.total_ms == pytest.approx(6.0)

@@ -1,0 +1,176 @@
+"""Tests for the total-access-time tuner (paper Section 8 future work)
+and for region deletion (shrinkage)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.stats.tuner import (
+    choose_max_tile_size,
+    estimate_index_nodes,
+    estimate_query_cost,
+    estimate_workload_cost,
+)
+from repro.storage.disk import DiskParameters
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import AlignedTiling, RegularTiling
+from repro.tiling.base import KB
+from repro.tiling.interest import AreasOfInterestTiling
+
+
+class TestEstimates:
+    def test_index_nodes_grow_with_tile_count(self):
+        small = estimate_index_nodes(10, 1, dim=2, page_size=512)
+        large = estimate_index_nodes(100_000, 1, dim=2, page_size=512)
+        assert large > small
+
+    def test_index_nodes_grow_with_touched(self):
+        few = estimate_index_nodes(10_000, 1, dim=2, page_size=512)
+        many = estimate_index_nodes(10_000, 5_000, dim=2, page_size=512)
+        assert many > few
+
+    def test_bad_tile_count(self):
+        with pytest.raises(TilingError):
+            estimate_index_nodes(0, 1, 2, 512)
+
+    def test_query_cost_components_positive(self):
+        domain = MInterval.parse("[0:99,0:99]")
+        tiles = RegularTiling(1024).tile(domain, 1).tiles
+        estimate = estimate_query_cost(
+            tiles, MInterval.parse("[0:9,0:9]"), 1, 2, DiskParameters()
+        )
+        assert estimate.t_o_ms > 0
+        assert estimate.t_ix_ms > 0
+        assert estimate.total_ms == estimate.t_o_ms + estimate.t_ix_ms
+
+    def test_workload_cost_mean(self):
+        domain = MInterval.parse("[0:99,0:99]")
+        tiles = RegularTiling(1024).tile(domain, 1).tiles
+        q1 = MInterval.parse("[0:9,0:9]")
+        q2 = MInterval.parse("[0:49,0:49]")
+        mean = estimate_workload_cost(tiles, [q1, q2], 1, 2, DiskParameters())
+        single = estimate_workload_cost(tiles, [q1], 1, 2, DiskParameters())
+        assert mean > single  # q2 is more expensive
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(TilingError):
+            estimate_workload_cost([], [], 1, 2, DiskParameters())
+
+
+class TestChooseMaxTileSize:
+    DOMAIN = MInterval.parse("[0:255,0:255]")
+
+    def test_sweep_returns_all_candidates(self):
+        workload = [MInterval.parse("[0:31,0:31]")]
+        result = choose_max_tile_size(
+            lambda size: AlignedTiling(None, size),
+            self.DOMAIN,
+            1,
+            workload,
+            candidates=[1 * KB, 4 * KB, 16 * KB],
+        )
+        assert set(result.costs) == {1 * KB, 4 * KB, 16 * KB}
+        assert result.best_size in result.costs
+
+    def test_small_queries_prefer_smaller_tiles_than_scans(self):
+        hotspot_workload = [MInterval.parse("[10:19,10:19]")] * 3
+        scan_workload = [MInterval.parse("[*:*,*:*]")] * 3
+        candidates = [512, 4 * KB, 32 * KB]
+        factory = lambda size: AlignedTiling(None, size)  # noqa: E731
+        hot = choose_max_tile_size(
+            factory, self.DOMAIN, 1, hotspot_workload, candidates
+        )
+        scan = choose_max_tile_size(
+            factory, self.DOMAIN, 1, scan_workload, candidates
+        )
+        assert hot.best_size <= scan.best_size
+
+    def test_index_time_can_change_the_choice(self):
+        """With many tiny tiles the index cost dominates; including it
+        must never pick a smaller size than t_o-only optimisation."""
+        workload = [MInterval.parse("[10:17,10:17]")] * 2
+        result = choose_max_tile_size(
+            lambda size: AlignedTiling(None, size),
+            self.DOMAIN,
+            1,
+            workload,
+            candidates=[256, 1 * KB, 8 * KB],
+            disk=DiskParameters(page_size=512),
+        )
+        assert result.best_size >= result.t_o_only_best
+
+    def test_interest_family(self):
+        area = MInterval.parse("[0:63,0:63]")
+        workload = [area] * 4
+        result = choose_max_tile_size(
+            lambda size: AreasOfInterestTiling([area], size),
+            self.DOMAIN,
+            1,
+            workload,
+            candidates=[1 * KB, 4 * KB, 8 * KB],
+        )
+        # Once the area fits one tile (4K+) the tilings coincide and tie;
+        # both beat the fragmented 1K variant.
+        assert result.best_size in (4 * KB, 8 * KB)
+        assert result.costs[4 * KB] == pytest.approx(result.costs[8 * KB])
+        assert result.costs[1 * KB] > result.costs[4 * KB]
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(TilingError):
+            choose_max_tile_size(
+                lambda size: AlignedTiling(None, size),
+                self.DOMAIN, 1, [MInterval.parse("[0:1,0:1]")], [],
+            )
+
+
+class TestDeleteRegion:
+    IMG = mdd_type("Img", "char", "[0:99,0:99]")
+
+    def build(self):
+        db = Database()
+        obj = db.create_object("imgs", self.IMG, "img")
+        data = np.arange(10000, dtype=np.uint8).reshape(100, 100)
+        obj.load_array(data, RegularTiling(512))
+        return db, obj, data
+
+    def test_deletes_contained_tiles_only(self):
+        db, obj, data = self.build()
+        before = obj.tile_count
+        dropped = obj.delete_region(MInterval.parse("[0:49,0:49]"))
+        assert 0 < dropped < before
+        assert obj.tile_count == before - dropped
+
+    def test_current_domain_shrinks(self):
+        db, obj, _data = self.build()
+        obj.delete_region(MInterval.parse("[50:99,0:99]"))
+        assert obj.current_domain is not None
+        assert obj.current_domain.upper[0] < 99
+
+    def test_reads_show_defaults_after_delete(self):
+        db, obj, data = self.build()
+        obj.delete_region(MInterval.parse("[0:24,0:24]"))
+        out, _ = obj.read(MInterval.parse("[0:49,0:49]"))
+        assert (out[0:20, 0:20] == 0).all()  # interior tiles dropped
+        assert (out[30:, 30:] == data[30:50, 30:50]).all()
+
+    def test_blobs_reclaimed(self):
+        db, obj, _data = self.build()
+        before = len(db.store)
+        dropped = obj.delete_region(MInterval.parse("[0:99,0:99]"))
+        assert dropped == before
+        assert len(db.store) == 0
+        assert obj.current_domain is None
+
+    def test_partial_overlap_keeps_tile(self):
+        db, obj, data = self.build()
+        # A region cutting through tiles but containing none whole.
+        tile_domain = obj.tile_entries()[0].domain
+        partial = MInterval(
+            list(tile_domain.lowest),
+            [u - 1 if u > l else u
+             for l, u in zip(tile_domain.lowest, tile_domain.highest)],
+        )
+        if partial != tile_domain:
+            assert obj.delete_region(partial) == 0

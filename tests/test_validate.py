@@ -1,0 +1,100 @@
+"""Unit tests for tiling validators and static access-cost metrics."""
+
+import pytest
+
+from repro.core.errors import TilingError
+from repro.core.geometry import MInterval
+from repro.tiling.aligned import AlignedTiling, RegularTiling
+from repro.tiling.cuts import CutsTiling, LinearBlobTiling
+from repro.tiling.validate import (
+    access_cost,
+    check_partition,
+    is_aligned,
+    workload_amplification,
+)
+
+DOMAIN = MInterval.parse("[0:99,0:99]")
+
+
+class TestCheckPartition:
+    def test_accepts_valid(self):
+        spec = AlignedTiling("[1,1]", 1024).tile(DOMAIN, 1)
+        check_partition(DOMAIN, spec.tiles)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TilingError):
+            check_partition(DOMAIN, [])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(TilingError):
+            check_partition(
+                MInterval.parse("[0:9]"),
+                [MInterval.parse("[0:5]"), MInterval.parse("[5:9]")],
+            )
+
+    def test_rejects_gap(self):
+        with pytest.raises(TilingError):
+            check_partition(
+                MInterval.parse("[0:9]"),
+                [MInterval.parse("[0:3]"), MInterval.parse("[6:9]")],
+            )
+
+
+class TestAccessCost:
+    def test_exact_tiling_has_amplification_one(self):
+        tiles = [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")]
+        cost = access_cost(tiles, MInterval.parse("[0:4]"))
+        assert cost.tiles_touched == 1
+        assert cost.read_amplification == 1.0
+        assert cost.cells_wasted == 0
+
+    def test_misaligned_query_pays(self):
+        tiles = [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")]
+        cost = access_cost(tiles, MInterval.parse("[3:6]"))
+        assert cost.tiles_touched == 2
+        assert cost.cells_read == 10
+        assert cost.read_amplification == 2.5
+
+    def test_query_outside_raises(self):
+        with pytest.raises(TilingError):
+            access_cost([MInterval.parse("[0:4]")], MInterval.parse("[10:12]"))
+
+    def test_workload_amplification_average(self):
+        tiles = [MInterval.parse("[0:4]"), MInterval.parse("[5:9]")]
+        amp = workload_amplification(
+            tiles, [MInterval.parse("[0:4]"), MInterval.parse("[3:6]")]
+        )
+        assert amp == pytest.approx((1.0 + 2.5) / 2)
+
+    def test_workload_amplification_empty_raises(self):
+        with pytest.raises(TilingError):
+            workload_amplification([MInterval.parse("[0:4]")], [])
+
+
+class TestIsAligned:
+    def test_regular_grid_is_aligned(self):
+        spec = RegularTiling(1024).tile(DOMAIN, 1)
+        assert is_aligned(list(spec.tiles), DOMAIN)
+
+    def test_cuts_are_aligned(self):
+        spec = CutsTiling(0, 1024).tile(DOMAIN, 1)
+        assert is_aligned(list(spec.tiles), DOMAIN)
+
+    def test_linear_blob_is_cuts_along_axis_zero(self):
+        spec = LinearBlobTiling(1024).tile(DOMAIN, 1)
+        assert all(t.shape[1] == 100 for t in spec.tiles)
+
+    def test_nonaligned_detected(self):
+        # A 2x2 pinwheel: valid partition but no full-domain hyperplanes.
+        domain = MInterval.parse("[0:9,0:9]")
+        tiles = [
+            MInterval.parse("[0:4,0:6]"),
+            MInterval.parse("[0:4,7:9]"),
+            MInterval.parse("[5:9,0:2]"),
+            MInterval.parse("[5:9,3:9]"),
+        ]
+        check_partition(domain, tiles)
+        assert not is_aligned(tiles, domain)
+
+    def test_single_tile_is_aligned(self):
+        assert is_aligned([DOMAIN], DOMAIN)
