@@ -3,16 +3,29 @@
 Reproduces the measurement protocol of Section 6: each tiling scheme gets
 its own database; every query runs cold (disk counters reset, pool
 cleared) and is repeated ``runs`` times with time components averaged —
-the paper used five runs per query.
+the paper used five runs per query.  With ``warm=True`` only the first
+run of each query is cold, so a buffer pool (``database_factory`` with
+``buffer_bytes > 0``) shows its hit behaviour in the averaged counters.
+
+Every benchmark can emit a machine-readable ``BENCH_<label>.json``
+artifact — per-scheme load stats, per-query timing components, pool
+activity, and a snapshot of the :mod:`repro.obs` metrics registry — by
+passing ``artifact_dir`` (the CLI does) or setting the
+``REPRO_BENCH_ARTIFACTS`` environment variable.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.geometry import MInterval
 from repro.core.mddtype import MDDType
 from repro.query.timing import LoadStats, QueryTiming, speedup
@@ -20,6 +33,9 @@ from repro.storage.tilestore import Database, StoredMDD
 from repro.tiling.base import TilingStrategy
 
 DatabaseFactory = Callable[[], Database]
+
+#: Environment variable naming a default artifact directory.
+ARTIFACTS_ENV = "REPRO_BENCH_ARTIFACTS"
 
 
 @dataclass
@@ -46,6 +62,8 @@ class BenchmarkResults:
 
     runs: Dict[str, SchemeRun]
     queries: Dict[str, MInterval]
+    label: str = "bench"
+    artifact_path: Optional[str] = None
 
     def scheme(self, name: str) -> SchemeRun:
         return self.runs[name]
@@ -85,48 +103,119 @@ def run_benchmark(
     runs: int = 3,
     database_factory: Optional[DatabaseFactory] = None,
     domain: Optional[MInterval] = None,
+    warm: bool = False,
+    label: str = "bench",
+    artifact_dir: Optional[Union[str, Path]] = None,
 ) -> BenchmarkResults:
     """Load one cube per scheme and measure every query cold.
 
     ``data`` may be None for virtual (synthesized) payloads, in which case
     ``domain`` gives the object's extent.  Every query region is resolved
     by the object itself, so ``*`` bounds are legal.
+
+    ``warm`` keeps the buffer pool and disk state across the repeat runs
+    of each query (the first run stays cold), exposing cache behaviour in
+    the averaged pool counters.  With ``artifact_dir`` (or the
+    ``REPRO_BENCH_ARTIFACTS`` environment variable) set, the results are
+    also written to ``<artifact_dir>/BENCH_<label>.json``.
     """
-    results: Dict[str, SchemeRun] = {}
-    for name, strategy in schemes.items():
-        database = database_factory() if database_factory else Database()
-        mdd = database.create_object("bench", mdd_type, name)
-        if data is not None:
-            load = mdd.load_array(data, strategy, origin=origin)
-        else:
-            if domain is None:
-                raise ValueError("virtual benchmarks need an explicit domain")
-            load = mdd.load_virtual(domain, strategy)
-        run = SchemeRun(name, strategy, database, mdd, load)
-        for query_name, region in queries.items():
-            run.timings[query_name] = _measure(database, mdd, region, runs)
-        results[name] = run
-    return BenchmarkResults(runs=results, queries=dict(queries))
+    with obs.span("bench.run", label=label, schemes=len(schemes)):
+        results: Dict[str, SchemeRun] = {}
+        for name, strategy in schemes.items():
+            database = database_factory() if database_factory else Database()
+            mdd = database.create_object("bench", mdd_type, name)
+            if data is not None:
+                load = mdd.load_array(data, strategy, origin=origin)
+            else:
+                if domain is None:
+                    raise ValueError(
+                        "virtual benchmarks need an explicit domain"
+                    )
+                load = mdd.load_virtual(domain, strategy)
+            run = SchemeRun(name, strategy, database, mdd, load)
+            for query_name, region in queries.items():
+                run.timings[query_name] = _measure(
+                    database, mdd, region, runs, warm=warm
+                )
+            results[name] = run
+    benchmark = BenchmarkResults(
+        runs=results, queries=dict(queries), label=label
+    )
+    if artifact_dir is None:
+        artifact_dir = os.environ.get(ARTIFACTS_ENV) or None
+    if artifact_dir is not None:
+        benchmark.artifact_path = str(
+            write_artifact(benchmark, artifact_dir, runs=runs, warm=warm)
+        )
+    return benchmark
 
 
 def _measure(
-    database: Database, mdd: StoredMDD, region: MInterval, runs: int
+    database: Database,
+    mdd: StoredMDD,
+    region: MInterval,
+    runs: int,
+    warm: bool = False,
 ) -> QueryTiming:
-    """Cold-run a query ``runs`` times and average the time components."""
-    accumulated: Optional[QueryTiming] = None
-    for _ in range(max(1, runs)):
-        database.reset_clock()
+    """Run a query ``runs`` times and average times *and* counters.
+
+    Cold protocol: every run starts from reset disk counters and an empty
+    pool.  Warm protocol: only the first run is cold, so later runs hit
+    the pool and the averaged counters show the cache effect.
+    """
+    accumulated = QueryTiming()
+    for index in range(max(1, runs)):
+        if index == 0 or not warm:
+            database.reset_clock()
         _data, timing = mdd.read(region)
-        if accumulated is None:
-            accumulated = timing
-        else:
-            accumulated.t_ix += timing.t_ix
-            accumulated.t_o += timing.t_o
-            accumulated.t_cpu += timing.t_cpu
-    assert accumulated is not None
-    factor = 1.0 / max(1, runs)
-    averaged = accumulated.scaled(factor)
-    return averaged
+        accumulated.add(timing)
+    return accumulated.scaled(1.0 / max(1, runs))
+
+
+def write_artifact(
+    results: BenchmarkResults,
+    directory: Union[str, Path],
+    runs: int = 0,
+    warm: bool = False,
+) -> Path:
+    """Write ``BENCH_<label>.json``: timings, pool stats, registry snapshot."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{results.label}.json"
+    schemes = {}
+    for name, run in results.runs.items():
+        pool = run.database.pool
+        schemes[name] = {
+            "load": run.load.as_dict(),
+            "tile_count": run.mdd.tile_count,
+            "stored_bytes": run.mdd.stored_bytes(),
+            "queries": {
+                query: timing.as_dict()
+                for query, timing in run.timings.items()
+            },
+            "pool": (
+                {
+                    "capacity_bytes": pool.capacity_bytes,
+                    "hits": pool.hits,
+                    "misses": pool.misses,
+                    "evictions": pool.evictions,
+                    "hit_rate": pool.hit_rate,
+                }
+                if pool is not None
+                else None
+            ),
+        }
+    artifact = {
+        "label": results.label,
+        "created_unix": time.time(),
+        "runs": runs,
+        "warm": warm,
+        "queries": {q: str(r) for q, r in results.queries.items()},
+        "schemes": schemes,
+        "registry": obs.snapshot(),
+    }
+    path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def geometric_mean(values: Sequence[float]) -> float:

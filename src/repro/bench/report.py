@@ -69,3 +69,85 @@ def timing_components_rows(
         for name, t in timings.items()
     ]
     return format_table(headers, rows)
+
+
+def activity_rows(
+    timings: Mapping[str, QueryTiming],
+    title: Optional[str] = None,
+) -> str:
+    """Per-query storage activity: tiles, pages, bytes, pool behaviour.
+
+    The buffer-pool columns report the counters the pool has always kept
+    but the reports never showed; without a pool they are all zero and
+    the hit rate reads 0%.
+    """
+    headers = [
+        "query", "tiles", "pages", "KB", "pool hit", "pool miss",
+        "evict", "hit%",
+    ]
+    rows = [
+        [
+            name,
+            str(t.tiles_read),
+            str(t.pages_read),
+            f"{t.bytes_read / 1024:.1f}",
+            str(t.pool_hits),
+            str(t.pool_misses),
+            str(t.pool_evictions),
+            f"{t.pool_hit_rate * 100:.0f}",
+        ]
+        for name, t in timings.items()
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def pool_summary_rows(runs: Mapping[str, object]) -> str:
+    """Per-scheme buffer-pool totals (``runs`` maps name → SchemeRun)."""
+    headers = ["scheme", "capacity KB", "hits", "misses", "evict", "hit%"]
+    rows = []
+    for name, run in runs.items():
+        pool = run.database.pool  # type: ignore[attr-defined]
+        if pool is None:
+            rows.append([name, "-", "0", "0", "0", "-"])
+        else:
+            rows.append(
+                [
+                    name,
+                    f"{pool.capacity_bytes / 1024:.0f}",
+                    str(pool.hits),
+                    str(pool.misses),
+                    str(pool.evictions),
+                    f"{pool.hit_rate * 100:.0f}",
+                ]
+            )
+    return format_table(headers, rows, title="Buffer pool activity")
+
+
+def snapshot_rows(snapshot: Mapping[str, object]) -> str:
+    """Render an ``obs`` registry snapshot as report tables."""
+    blocks = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        rows = [[name, f"{value:g}"] for name, value in counters.items()]
+        blocks.append(format_table(["counter", "value"], rows))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        rows = [[name, f"{value:g}"] for name, value in gauges.items()]
+        blocks.append(format_table(["gauge", "value"], rows))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = [
+            [
+                name,
+                str(hist["count"]),
+                f"{hist['sum']:.2f}",
+                f"{hist['sum'] / hist['count']:.3f}" if hist["count"] else "-",
+            ]
+            for name, hist in histograms.items()
+        ]
+        blocks.append(
+            format_table(["histogram", "count", "sum_ms", "mean_ms"], rows)
+        )
+    if not blocks:
+        return "(registry is empty)"
+    return "\n\n".join(blocks)

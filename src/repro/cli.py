@@ -7,59 +7,108 @@ Usage::
     python -m repro table4        # directional vs regular speedups (~2 min)
     python -m repro table6        # areas-of-interest speedups (~30 s)
     python -m repro figure7       # time components, queries e/f/g
-    python -m repro figure8      # time components, animation queries
+    python -m repro figure8       # time components, animation queries
     python -m repro tables        # everything above
+    python -m repro stats         # observability registry snapshot
+    python -m repro trace QUERY   # span trace of one sales-cube query
+
+Benchmark commands accept ``--runs N`` (repeat count per query, default
+3), ``--buffer-mb M`` (enable an LRU buffer pool), ``--warm`` (keep the
+pool across repeat runs), and ``--artifacts DIR`` / ``--no-artifacts``
+(machine-readable ``BENCH_*.json`` output, default ``bench_artifacts/``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro import __version__
+import numpy as np
+
+from repro import __version__, obs
 from repro.bench import animation, salescube
 from repro.bench.harness import BenchmarkResults, run_benchmark
 from repro.bench.figures import figure_for_schemes
-from repro.bench.report import format_table, timing_components_rows
+from repro.bench.report import (
+    activity_rows,
+    format_table,
+    pool_summary_rows,
+    snapshot_rows,
+    timing_components_rows,
+)
 from repro.core.cells import known_base_types
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.query.engine import QueryEngine
 from repro.storage.compression import known_codecs
 from repro.storage.disk import CpuParameters, DiskParameters
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import RegularTiling
 
-_SALES_CACHE: Optional[BenchmarkResults] = None
-_ANIMATION_CACHE: Optional[BenchmarkResults] = None
+DEFAULT_ARTIFACT_DIR = "bench_artifacts"
+
+#: Benchmark caches keyed by the measurement knobs that change results.
+_BenchKey = Tuple[int, int, bool]
+_SALES_CACHE: Dict[_BenchKey, BenchmarkResults] = {}
+_ANIMATION_CACHE: Dict[_BenchKey, BenchmarkResults] = {}
 
 
-def _sales_results() -> BenchmarkResults:
-    global _SALES_CACHE
-    if _SALES_CACHE is None:
+def _bench_key(args: argparse.Namespace) -> _BenchKey:
+    return (args.runs, args.buffer_mb, args.warm)
+
+
+def _database_factory(args: argparse.Namespace):
+    if args.buffer_mb <= 0:
+        return None
+    buffer_bytes = args.buffer_mb * 1024 * 1024
+    return lambda: Database(buffer_bytes=buffer_bytes)
+
+
+def _artifact_dir(args: argparse.Namespace) -> Optional[str]:
+    return None if args.no_artifacts else args.artifacts
+
+
+def _sales_results(args: argparse.Namespace) -> BenchmarkResults:
+    key = _bench_key(args)
+    if key not in _SALES_CACHE:
         print("Loading the Table 2 schemes (10 cubes, 16.7 MB each)...",
               file=sys.stderr)
-        _SALES_CACHE = run_benchmark(
+        _SALES_CACHE[key] = run_benchmark(
             salescube.build_schemes(),
             salescube.sales_mdd_type(),
             salescube.generate_sales_data(),
             salescube.QUERIES,
             origin=(1, 1, 1),
-            runs=3,
+            runs=args.runs,
+            database_factory=_database_factory(args),
+            warm=args.warm,
+            label="sales",
+            artifact_dir=_artifact_dir(args),
         )
-    return _SALES_CACHE
+    return _SALES_CACHE[key]
 
 
-def _animation_results() -> BenchmarkResults:
-    global _ANIMATION_CACHE
-    if _ANIMATION_CACHE is None:
+def _animation_results(args: argparse.Namespace) -> BenchmarkResults:
+    key = _bench_key(args)
+    if key not in _ANIMATION_CACHE:
         print("Loading the Table 5 schemes (8 animations, 6.8 MB each)...",
               file=sys.stderr)
-        _ANIMATION_CACHE = run_benchmark(
+        _ANIMATION_CACHE[key] = run_benchmark(
             animation.build_schemes(),
             animation.animation_mdd_type(),
             animation.generate_animation(),
             animation.QUERIES,
             origin=(0, 0, 0),
-            runs=3,
+            runs=args.runs,
+            database_factory=_database_factory(args),
+            warm=args.warm,
+            label="animation",
+            artifact_dir=_artifact_dir(args),
         )
-    return _ANIMATION_CACHE
+    return _ANIMATION_CACHE[key]
 
 
 def cmd_info(_args: argparse.Namespace) -> int:
@@ -74,6 +123,8 @@ def cmd_info(_args: argparse.Namespace) -> int:
           f"border {cpu.border_mb_per_s} MB/s")
     print("strategies : aligned, regular, single-tile, cuts, directional, "
           "areas-of-interest, statistic")
+    print(f"observability: {'enabled' if obs.enabled() else 'disabled'} "
+          f"({len(obs.registry.metrics())} instruments registered)")
     return 0
 
 
@@ -119,22 +170,37 @@ def _print_speedups(
                        rows, title=title))
 
 
-def cmd_table4(_args: argparse.Namespace) -> int:
-    results = _sales_results()
+def _print_activity(results: BenchmarkResults, schemes: Sequence[str]) -> None:
+    for scheme in schemes:
+        print()
+        print(activity_rows(
+            results.scheme(scheme).timings,
+            title=f"{scheme}: storage activity per query",
+        ))
+    print()
+    print(pool_summary_rows(results.runs))
+    if results.artifact_path:
+        print(f"\nartifact: {results.artifact_path}")
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    results = _sales_results(args)
     _print_speedups(results, "Dir64K3P", "Reg32K",
                     "Table 4: speedup of Dir64K3P over Reg32K")
+    _print_activity(results, ("Dir64K3P", "Reg32K"))
     return 0
 
 
-def cmd_table6(_args: argparse.Namespace) -> int:
-    results = _animation_results()
+def cmd_table6(args: argparse.Namespace) -> int:
+    results = _animation_results(args)
     _print_speedups(results, "AI256K", "Reg64K",
                     "Table 6: speedup of AI256K over Reg64K")
+    _print_activity(results, ("AI256K", "Reg64K"))
     return 0
 
 
-def cmd_figure7(_args: argparse.Namespace) -> int:
-    results = _sales_results()
+def cmd_figure7(args: argparse.Namespace) -> int:
+    results = _sales_results(args)
     print(figure_for_schemes(
         {s: results.scheme(s).timings for s in ("Dir64K3P", "Reg32K")},
         queries=list("efg"),
@@ -149,8 +215,8 @@ def cmd_figure7(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_figure8(_args: argparse.Namespace) -> int:
-    results = _animation_results()
+def cmd_figure8(args: argparse.Namespace) -> int:
+    results = _animation_results(args)
     print(figure_for_schemes(
         {s: results.scheme(s).timings for s in ("Reg64K", "AI256K")},
         queries=list(animation.QUERIES),
@@ -174,6 +240,123 @@ def cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Observability commands
+# ----------------------------------------------------------------------
+
+def _demo_workload() -> None:
+    """Tiny query session so a live snapshot has something to show."""
+    database = Database(buffer_bytes=256 * 1024, compression=True)
+    img = mdd_type("StatsDemo", "char", "[0:63,0:63]")
+    mdd = database.create_object("demo", img, "demo")
+    data = (np.indices((64, 64)).sum(axis=0) % 7).astype(np.uint8)
+    mdd.load_array(data, RegularTiling(1024))
+    engine = QueryEngine(database)
+    for region in ("[0:31,0:31]", "[16:47,16:47]", "[0:31,0:31]"):
+        engine.range_query(mdd, MInterval.parse(region))
+    engine.aggregate_query(mdd, MInterval.parse("[0:63,0:63]"), "add_cells")
+
+
+def _headline(snapshot: dict) -> str:
+    """The four derived lines the registry exists to answer."""
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+
+    def value(name: str) -> float:
+        return counters.get(name, 0)
+
+    hits, misses = value("pool.hits"), value("pool.misses")
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups * 100:.1f}%" if lookups else "n/a"
+    node_visits = sum(
+        v for name, v in counters.items()
+        if name.startswith("index.") and name.endswith(".nodes_visited")
+    )
+    encode = histograms.get("codec.encode_ms", {})
+    decode = histograms.get("codec.decode_ms", {})
+    lines = [
+        f"disk reads  : {value('disk.blob_reads'):g} blobs, "
+        f"{value('disk.pages_read'):g} pages, "
+        f"{value('disk.bytes_read') / (1024 * 1024):.2f} MB",
+        f"buffer pool : {hits:g} hits / {misses:g} misses "
+        f"({hit_rate} hit rate), {value('pool.evictions'):g} evictions",
+        f"index       : {node_visits:g} node visits "
+        f"across {value('index.grid.searches') + value('index.rplustree.searches') + value('index.directory.searches'):g} searches",
+        f"codec time  : {encode.get('sum', 0.0):.2f} ms encode "
+        f"({encode.get('count', 0)} ops), "
+        f"{decode.get('sum', 0.0):.2f} ms decode ({decode.get('count', 0)} ops)",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the registry snapshot of the latest bench artifact (or live)."""
+    artifacts = sorted(
+        Path(args.artifacts).glob("BENCH_*.json"),
+        key=lambda p: p.stat().st_mtime,
+    )
+    if artifacts:
+        path = artifacts[-1]
+        data = json.loads(path.read_text(encoding="utf-8"))
+        snapshot = data.get("registry", {})
+        print(f"Registry snapshot from {path} "
+              f"(label={data.get('label')}, runs={data.get('runs')})")
+    else:
+        print("No BENCH_*.json artifacts found; "
+              "running the built-in demo workload...", file=sys.stderr)
+        obs.enable()
+        obs.reset()
+        _demo_workload()
+        snapshot = obs.snapshot()
+        print("Registry snapshot (live demo workload)")
+    print()
+    print(_headline(snapshot))
+    print()
+    print(snapshot_rows(snapshot))
+    if args.prometheus and not artifacts:
+        print()
+        print(obs.prometheus_text(obs.registry))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one sales-cube query: span tree plus timing breakdown."""
+    region = salescube.QUERIES[args.query]
+    schemes = salescube.build_schemes()
+    if args.scheme not in schemes:
+        print(f"unknown scheme {args.scheme!r}; known: "
+              f"{', '.join(sorted(schemes))}", file=sys.stderr)
+        return 2
+    obs.enable()
+    buffer_bytes = args.buffer_mb * 1024 * 1024
+    database = Database(buffer_bytes=buffer_bytes)
+    mdd = database.create_object(
+        "trace", salescube.sales_mdd_type(), args.scheme
+    )
+    print(f"Loading sales cube with {args.scheme}...", file=sys.stderr)
+    mdd.load_array(
+        salescube.generate_sales_data(), schemes[args.scheme], origin=(1, 1, 1)
+    )
+    engine = QueryEngine(database)
+    database.reset_clock()
+    obs.reset()  # trace the query, not the load
+    result = engine.range_query(mdd, region)
+    print(f"query {args.query}: {region} on scheme {args.scheme}")
+    print()
+    print("span tree:")
+    print(obs.format_span_tree(obs.tracer.finished()))
+    print()
+    print(f"timing: {result.timing}")
+    print()
+    print(_headline(obs.snapshot()))
+    if args.jsonl:
+        written = obs.export_jsonl(
+            args.jsonl, registry=obs.registry, tracer=obs.tracer
+        )
+        print(f"\nwrote {written} events to {args.jsonl}")
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "spec": cmd_spec,
@@ -182,17 +365,91 @@ _COMMANDS = {
     "figure7": cmd_figure7,
     "figure8": cmd_figure8,
     "tables": cmd_tables,
+    "stats": cmd_stats,
+    "trace": cmd_trace,
 }
 
+_BENCH_COMMANDS = ("table4", "table6", "figure7", "figure8", "tables")
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+
+def _add_bench_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runs", type=int, default=3, metavar="N",
+        help="repeat each query N times and average (default: 3)",
+    )
+    parser.add_argument(
+        "--buffer-mb", type=int, default=0, metavar="M",
+        help="LRU buffer pool capacity in MiB (default: 0 = no pool)",
+    )
+    parser.add_argument(
+        "--warm", action="store_true",
+        help="keep pool/disk state across repeat runs (first run stays cold)",
+    )
+    parser.add_argument(
+        "--artifacts", default=DEFAULT_ARTIFACT_DIR, metavar="DIR",
+        help=f"directory for BENCH_*.json artifacts "
+             f"(default: {DEFAULT_ARTIFACT_DIR})",
+    )
+    parser.add_argument(
+        "--no-artifacts", action="store_true",
+        help="do not write BENCH_*.json artifacts",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's evaluation tables.",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS),
-                        help="what to produce")
-    args = parser.parse_args(argv)
+    subparsers = parser.add_subparsers(dest="command", required=True,
+                                       metavar="command")
+    subparsers.add_parser("info", help="library and model summary")
+    subparsers.add_parser("spec", help="Tables 1-3 and 5 (no measurement)")
+    bench_help = {
+        "table4": "directional vs regular speedups (~2 min)",
+        "table6": "areas-of-interest speedups (~30 s)",
+        "figure7": "time components, queries e/f/g",
+        "figure8": "time components, animation queries",
+        "tables": "all tables and figures",
+    }
+    for name in _BENCH_COMMANDS:
+        sub = subparsers.add_parser(name, help=bench_help[name])
+        _add_bench_options(sub)
+    stats = subparsers.add_parser(
+        "stats", help="print the observability registry snapshot"
+    )
+    stats.add_argument(
+        "--artifacts", default=DEFAULT_ARTIFACT_DIR, metavar="DIR",
+        help="directory to look for BENCH_*.json artifacts in",
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="also print the Prometheus exposition dump (live mode)",
+    )
+    trace = subparsers.add_parser(
+        "trace", help="span-trace one sales-cube query"
+    )
+    trace.add_argument(
+        "query", choices=sorted(salescube.QUERIES),
+        help="Table 3 query letter",
+    )
+    trace.add_argument(
+        "--scheme", default="Dir64K3P",
+        help="tiling scheme to load (default: Dir64K3P)",
+    )
+    trace.add_argument(
+        "--buffer-mb", type=int, default=0, metavar="M",
+        help="LRU buffer pool capacity in MiB (default: 0 = no pool)",
+    )
+    trace.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also export metrics and spans to a JSONL event log",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 
 

@@ -11,9 +11,18 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.core.geometry import MInterval
 from repro.index.base import IndexEntry, SearchResult, SpatialIndex, entry_bytes
 from repro.storage.pages import DEFAULT_PAGE_SIZE, pages_needed
+
+_SEARCHES = obs.counter("index.directory.searches", "Directory scans")
+_NODES_VISITED = obs.counter(
+    "index.directory.nodes_visited", "Directory pages scanned"
+)
+_ENTRIES_FOUND = obs.counter(
+    "index.directory.entries_found", "Tile entries returned by directory scans"
+)
 
 
 class DirectoryIndex(SpatialIndex):
@@ -42,6 +51,9 @@ class DirectoryIndex(SpatialIndex):
 
     def search(self, region: MInterval) -> SearchResult:
         hits = [e for e in self._entries if e.domain.intersects(region)]
+        _SEARCHES.inc()
+        _NODES_VISITED.inc(self.pages())
+        _ENTRIES_FOUND.inc(len(hits))
         return SearchResult(entries=hits, nodes_visited=self.pages())
 
     def entries(self) -> Iterator[IndexEntry]:

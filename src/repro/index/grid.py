@@ -13,10 +13,19 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.core.errors import IndexError_
 from repro.core.geometry import MInterval
 from repro.index.base import IndexEntry, SearchResult, SpatialIndex
 from repro.storage.pages import DEFAULT_PAGE_SIZE
+
+_SEARCHES = obs.counter("index.grid.searches", "Grid-index lookups")
+_NODES_VISITED = obs.counter(
+    "index.grid.nodes_visited", "Descriptor pages charged by grid lookups"
+)
+_ENTRIES_FOUND = obs.counter(
+    "index.grid.entries_found", "Tile entries returned by grid lookups"
+)
 
 
 class GridIndex(SpatialIndex):
@@ -106,6 +115,8 @@ class GridIndex(SpatialIndex):
         return False
 
     def search(self, region: MInterval) -> SearchResult:
+        _SEARCHES.inc()
+        _NODES_VISITED.inc()
         clipped: Optional[MInterval] = region.intersection(self.domain)
         if clipped is None:
             return SearchResult(entries=[], nodes_visited=1)
@@ -118,6 +129,7 @@ class GridIndex(SpatialIndex):
             entry = self._entries.get(cell)
             if entry is not None:
                 hits.append(entry)
+        _ENTRIES_FOUND.inc(len(hits))
         # The whole lookup reads one descriptor page: the grid parameters
         # plus the dense cell->blob table are computed, not searched.
         return SearchResult(entries=hits, nodes_visited=1)

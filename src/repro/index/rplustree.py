@@ -24,10 +24,19 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.core.errors import IndexError_
 from repro.core.geometry import MInterval
 from repro.index.base import IndexEntry, SearchResult, SpatialIndex, entry_bytes
 from repro.storage.pages import DEFAULT_PAGE_SIZE
+
+_SEARCHES = obs.counter("index.rplustree.searches", "R+-tree lookups")
+_NODES_VISITED = obs.counter(
+    "index.rplustree.nodes_visited", "Tree node pages visited during descent"
+)
+_ENTRIES_FOUND = obs.counter(
+    "index.rplustree.entries_found", "Tile entries returned by tree lookups"
+)
 
 
 class _Node:
@@ -264,6 +273,9 @@ class RPlusTreeIndex(SpatialIndex):
                 for child in node.items:
                     if child.mbr is not None and child.mbr.intersects(region):
                         stack.append(child)
+        _SEARCHES.inc()
+        _NODES_VISITED.inc(visited)
+        _ENTRIES_FOUND.inc(len(hits))
         return SearchResult(entries=list(hits.values()), nodes_visited=visited)
 
     def remove(self, tile_id: int) -> bool:

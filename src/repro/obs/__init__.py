@@ -1,0 +1,154 @@
+"""Observability layer: process-wide metrics registry, tracer, exporters.
+
+The storage stack (disk model, buffer pool, tile store, indexes, query
+engine, codecs) reports what it does through this package:
+
+* **metrics** — counters / gauges / fixed-bucket histograms in one
+  process-wide :data:`registry` (:mod:`repro.obs.metrics`);
+* **spans** — nested wall-time spans via :data:`tracer`
+  (:mod:`repro.obs.trace`);
+* **exporters** — Prometheus text and JSON-lines event logs
+  (:mod:`repro.obs.export`).
+
+Instrumented modules keep module-level handles::
+
+    from repro import obs
+    _READS = obs.counter("disk.blob_reads", "BLOBs fetched")
+    ...
+    _READS.inc()
+    with obs.span("tilestore.read", object=name):
+        ...
+
+Everything is togglable: :func:`disable` turns the whole layer into
+near-zero-overhead no-ops (one branch per call site), :func:`enable`
+turns it back on.  The layer starts enabled unless the environment sets
+``REPRO_OBS=0`` (also accepted: ``off``, ``false``, ``no``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer, format_span_tree
+from repro.obs.export import (
+    export_jsonl,
+    jsonl_records,
+    prometheus_name,
+    prometheus_text,
+    read_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "Tracer",
+    "counter",
+    "disable",
+    "disabled",
+    "enable",
+    "enabled",
+    "export_jsonl",
+    "format_span_tree",
+    "gauge",
+    "histogram",
+    "jsonl_records",
+    "prometheus_name",
+    "prometheus_text",
+    "read_jsonl",
+    "registry",
+    "reset",
+    "snapshot",
+    "span",
+    "tracer",
+]
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_OBS", "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+#: The process-wide registry and tracer all instrumentation reports to.
+registry = MetricsRegistry(enabled=_env_enabled())
+tracer = Tracer(enabled=registry.enabled)
+
+
+# -- instrument shortcuts (get-or-create on the default registry) ----------
+
+def counter(name: str, help: str = "") -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return registry.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return registry.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+) -> Histogram:
+    """Get-or-create a fixed-bucket histogram on the default registry."""
+    return registry.histogram(name, help, buckets=buckets)
+
+
+def span(name: str, **attrs: object):
+    """A span on the default tracer (no-op when disabled)."""
+    return tracer.span(name, **attrs)
+
+
+# -- global switches -------------------------------------------------------
+
+def enable() -> None:
+    """Turn metrics and tracing on."""
+    registry.enable()
+    tracer.enable()
+
+
+def disable() -> None:
+    """Turn the whole layer into near-zero-overhead no-ops."""
+    registry.disable()
+    tracer.disable()
+
+
+def enabled() -> bool:
+    """Whether the observability layer is currently recording."""
+    return registry.enabled
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Temporarily disable the layer (restores the previous state)."""
+    was_registry, was_tracer = registry.enabled, tracer.enabled
+    disable()
+    try:
+        yield
+    finally:
+        registry.enabled = was_registry
+        tracer.enabled = was_tracer
+
+
+def reset() -> None:
+    """Zero all metrics and drop all finished spans (measurement boundary)."""
+    registry.reset()
+    tracer.clear()
+
+
+def snapshot() -> dict:
+    """JSON-able snapshot of the default registry."""
+    return registry.snapshot()

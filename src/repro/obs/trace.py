@@ -1,0 +1,194 @@
+"""Span-based tracer: nested wall-time spans over the storage stack.
+
+Usage in instrumented code::
+
+    with obs.span("tilestore.read", object=name) as span:
+        ...
+        span.set_attr("tiles", len(entries))
+
+A span records its name, wall-clock start (relative to the tracer's
+epoch), duration, free-form attributes, and its position in the call
+tree (parent id and depth, maintained per thread).  An exception inside
+the ``with`` body is recorded on the span (``error``) and re-raised —
+tracing never swallows failures.
+
+When the tracer is disabled, :meth:`Tracer.span` returns a shared no-op
+span, so the hot-path cost of a disabled tracer is one branch.  Finished
+spans land in a bounded ring buffer (oldest evicted first); exporters
+and the ``python -m repro trace`` command read them back.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+
+class NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed operation; created via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_ms",
+        "duration_ms",
+        "error",
+        "_tracer",
+        "_t0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start_ms = 0.0
+        self.duration_ms = 0.0
+        self.error: Optional[str] = None
+        self._t0 = 0.0
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._start(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self._tracer._finish(self)
+        return False  # never swallow exceptions
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms,
+            "attrs": dict(self.attrs),
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_ms:.3f}ms, "
+            f"depth={self.depth}, attrs={self.attrs})"
+        )
+
+
+class Tracer:
+    """Creates spans, tracks per-thread nesting, keeps finished spans."""
+
+    def __init__(self, max_spans: int = 10_000, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._finished: "deque[Span]" = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """Context manager timing one operation (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _start(self, span: Span) -> None:
+        stack = self._stack()
+        span.span_id = next(self._ids)
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.depth = stack[-1].depth + 1
+        stack.append(span)
+        span._t0 = time.perf_counter()
+        span.start_ms = (span._t0 - self._epoch) * 1000.0
+
+    def _finish(self, span: Span) -> None:
+        span.duration_ms = (time.perf_counter() - span._t0) * 1000.0
+        stack = self._stack()
+        # Exception-safe unwind: pop through anything left by a body that
+        # escaped without __exit__ (should not happen with `with`, but a
+        # tracer must never corrupt its stack).
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+
+    # -- lifecycle / inspection --------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def finished(self) -> Tuple[Span, ...]:
+        """Finished spans, oldest first."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+
+def format_span_tree(spans: Tuple[Span, ...]) -> str:
+    """Render finished spans as an indented call tree (start order)."""
+    if not spans:
+        return "(no spans recorded)"
+    lines = []
+    for span in sorted(spans, key=lambda s: s.start_ms):
+        attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+        error = f" ERROR={span.error}" if span.error else ""
+        lines.append(
+            f"{'  ' * span.depth}{span.name}  {span.duration_ms:.3f}ms"
+            + (f"  [{attrs}]" if attrs else "")
+            + error
+        )
+    return "\n".join(lines)

@@ -14,10 +14,17 @@ from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.errors import QueryError
 from repro.core.geometry import MInterval
 from repro.query.access import Access, classify
 from repro.query.result import QueryResult
+
+_RANGE_QUERIES = obs.counter("query.range_queries", "Range queries executed")
+_SECTION_QUERIES = obs.counter("query.section_queries", "Section queries executed")
+_AGGREGATE_QUERIES = obs.counter(
+    "query.aggregate_queries", "Aggregate (condenser) queries executed"
+)
 
 
 if TYPE_CHECKING:  # imported for annotations only (avoids a cycle with storage)
@@ -71,8 +78,12 @@ class QueryEngine:
         self, obj: StoredMDD, region: MInterval
     ) -> QueryResult:
         """Access types (a)-(c): trim the object to a region."""
-        data, timing = obj.read(region)
-        self._log(obj, region)
+        with obs.span(
+            "query.range", object=obj.name, region=str(region)
+        ):
+            data, timing = obj.read(region)
+            self._log(obj, region)
+        _RANGE_QUERIES.inc()
         return QueryResult(
             value=data,
             timing=timing,
@@ -90,9 +101,13 @@ class QueryEngine:
         self, obj: StoredMDD, axis: int, coordinate: int
     ) -> QueryResult:
         """Access type (d): dimension-reducing slice."""
-        data, timing = obj.read_section(axis, coordinate)
-        if obj.current_domain is not None:
-            self._log(obj, obj.current_domain.section(axis, coordinate))
+        with obs.span(
+            "query.section", object=obj.name, axis=axis, coordinate=coordinate
+        ):
+            data, timing = obj.read_section(axis, coordinate)
+            if obj.current_domain is not None:
+                self._log(obj, obj.current_domain.section(axis, coordinate))
+        _SECTION_QUERIES.inc()
         return QueryResult(
             value=data, timing=timing, region=None, object_name=obj.name
         )
@@ -111,16 +126,20 @@ class QueryEngine:
             raise QueryError(
                 f"unknown aggregate {op!r}; known: {sorted(AGGREGATES)}"
             ) from None
-        data, timing = obj.read(region)
-        if data.dtype.fields is not None:
-            raise QueryError(
-                f"aggregate {op!r} needs a numeric base type, object "
-                f"{obj.name!r} has {obj.mdd_type.base.name!r}"
-            )
-        started = time.perf_counter()
-        value = func(data)
-        timing.t_cpu += (time.perf_counter() - started) * 1000.0
-        self._log(obj, region)
+        with obs.span(
+            "query.aggregate", object=obj.name, op=op, region=str(region)
+        ):
+            data, timing = obj.read(region)
+            if data.dtype.fields is not None:
+                raise QueryError(
+                    f"aggregate {op!r} needs a numeric base type, object "
+                    f"{obj.name!r} has {obj.mdd_type.base.name!r}"
+                )
+            started = time.perf_counter()
+            value = func(data)
+            timing.t_cpu += (time.perf_counter() - started) * 1000.0
+            self._log(obj, region)
+        _AGGREGATE_QUERIES.inc()
         return QueryResult(
             value=value,
             timing=timing,

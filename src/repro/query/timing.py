@@ -21,7 +21,12 @@ from dataclasses import dataclass
 
 @dataclass
 class QueryTiming:
-    """Per-query cost breakdown in milliseconds plus activity counters."""
+    """Per-query cost breakdown in milliseconds plus activity counters.
+
+    ``pool_hits`` / ``pool_misses`` / ``pool_evictions`` are the buffer
+    pool's activity attributable to this query (all zero when the database
+    runs without a pool — the paper's cold protocol).
+    """
 
     t_ix: float = 0.0
     t_o: float = 0.0
@@ -32,6 +37,9 @@ class QueryTiming:
     index_nodes: int = 0
     cells_result: int = 0
     cells_fetched: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
 
     @property
     def t_totalaccess(self) -> float:
@@ -50,6 +58,12 @@ class QueryTiming:
             return float("inf")
         return self.cells_fetched / self.cells_result
 
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of this query's pool lookups served from cache."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
     def add(self, other: "QueryTiming") -> "QueryTiming":
         """Accumulate another timing into this one (in place) and return it."""
         self.t_ix += other.t_ix
@@ -61,21 +75,55 @@ class QueryTiming:
         self.index_nodes += other.index_nodes
         self.cells_result += other.cells_result
         self.cells_fetched += other.cells_fetched
+        self.pool_hits += other.pool_hits
+        self.pool_misses += other.pool_misses
+        self.pool_evictions += other.pool_evictions
         return self
 
     def scaled(self, factor: float) -> "QueryTiming":
-        """Time components scaled by ``factor`` (for averaging runs)."""
+        """Every component — times *and* counters — scaled by ``factor``.
+
+        Scaling the activity counters too is what makes
+        ``accumulated.scaled(1 / runs)`` a true per-run average: a
+        multi-run bench that accumulates with :meth:`add` would otherwise
+        report N-run counter totals (N× ``bytes_read``) next to 1-run
+        average times.  Counters are rounded back to ints; for identical
+        cold runs the rounding is exact.
+        """
         return QueryTiming(
             t_ix=self.t_ix * factor,
             t_o=self.t_o * factor,
             t_cpu=self.t_cpu * factor,
-            tiles_read=self.tiles_read,
-            bytes_read=self.bytes_read,
-            pages_read=self.pages_read,
-            index_nodes=self.index_nodes,
-            cells_result=self.cells_result,
-            cells_fetched=self.cells_fetched,
+            tiles_read=round(self.tiles_read * factor),
+            bytes_read=round(self.bytes_read * factor),
+            pages_read=round(self.pages_read * factor),
+            index_nodes=round(self.index_nodes * factor),
+            cells_result=round(self.cells_result * factor),
+            cells_fetched=round(self.cells_fetched * factor),
+            pool_hits=round(self.pool_hits * factor),
+            pool_misses=round(self.pool_misses * factor),
+            pool_evictions=round(self.pool_evictions * factor),
         )
+
+    def as_dict(self) -> dict:
+        """JSON-able view with the derived totals included."""
+        return {
+            "t_ix": self.t_ix,
+            "t_o": self.t_o,
+            "t_cpu": self.t_cpu,
+            "t_totalaccess": self.t_totalaccess,
+            "t_totalcpu": self.t_totalcpu,
+            "tiles_read": self.tiles_read,
+            "bytes_read": self.bytes_read,
+            "pages_read": self.pages_read,
+            "index_nodes": self.index_nodes,
+            "cells_result": self.cells_result,
+            "cells_fetched": self.cells_fetched,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+            "pool_evictions": self.pool_evictions,
+            "pool_hit_rate": self.pool_hit_rate,
+        }
 
     def __str__(self) -> str:
         return (
@@ -114,3 +162,13 @@ class LoadStats:
     @property
     def total_ms(self) -> float:
         return self.tiling_ms + self.store_ms + self.index_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "tiling_ms": self.tiling_ms,
+            "store_ms": self.store_ms,
+            "index_ms": self.index_ms,
+            "total_ms": self.total_ms,
+            "tile_count": self.tile_count,
+            "bytes_stored": self.bytes_stored,
+        }

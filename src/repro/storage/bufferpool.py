@@ -7,14 +7,26 @@ the payload, evicting least-recently-used entries until the budget holds.
 Benchmarks run cold by default (the paper's ``t_o`` is dominated by actual
 retrieval), but the ablation benches use the pool to show how caching
 changes the regular-vs-arbitrary comparison.
+
+The pool keeps local ``hits`` / ``misses`` / ``evictions`` counters (read
+into :class:`~repro.query.timing.QueryTiming` per query) and mirrors them
+into the process-wide :mod:`repro.obs` registry.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import obs
 from repro.core.errors import StorageError
 from repro.storage.disk import SimulatedDisk
+
+_HITS = obs.counter("pool.hits", "Buffer-pool hits (no disk charge)")
+_MISSES = obs.counter("pool.misses", "Buffer-pool misses (read through disk)")
+_EVICTIONS = obs.counter("pool.evictions", "LRU evictions from the pool")
+_BYTES_ADMITTED = obs.counter("pool.bytes_admitted", "Payload bytes admitted")
+_BYTES_EVICTED = obs.counter("pool.bytes_evicted", "Payload bytes evicted")
+_USED_BYTES = obs.gauge("pool.used_bytes", "Bytes currently cached")
 
 
 class BufferPool:
@@ -29,6 +41,7 @@ class BufferPool:
         self._used = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def used_bytes(self) -> int:
@@ -40,9 +53,11 @@ class BufferPool:
         if cached is not None:
             self._entries.move_to_end(blob_id)
             self.hits += 1
+            _HITS.inc()
             return cached, 0.0
         payload, cost = self.disk.read_blob(blob_id)
         self.misses += 1
+        _MISSES.inc()
         self._admit(blob_id, payload)
         return payload, cost
 
@@ -52,19 +67,26 @@ class BufferPool:
         while self._used + len(payload) > self.capacity_bytes and self._entries:
             _victim, evicted = self._entries.popitem(last=False)
             self._used -= len(evicted)
+            self.evictions += 1
+            _EVICTIONS.inc()
+            _BYTES_EVICTED.inc(len(evicted))
         self._entries[blob_id] = payload
         self._used += len(payload)
+        _BYTES_ADMITTED.inc(len(payload))
+        _USED_BYTES.set(self._used)
 
     def invalidate(self, blob_id: int) -> None:
         """Drop one entry (called on BLOB update/delete)."""
         payload = self._entries.pop(blob_id, None)
         if payload is not None:
             self._used -= len(payload)
+            _USED_BYTES.set(self._used)
 
     def clear(self) -> None:
         """Empty the pool (cold-start benchmarks)."""
         self._entries.clear()
         self._used = 0
+        _USED_BYTES.set(0)
 
     @property
     def hit_rate(self) -> float:

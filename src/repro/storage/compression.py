@@ -16,12 +16,21 @@ or a configurable ratio).
 
 from __future__ import annotations
 
+import time
 import zlib
 from typing import Callable
 
+from repro import obs
 from repro.core.errors import StorageError
 
 Codec = tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]
+
+_ENCODES = obs.counter("codec.encodes", "Payloads encoded (all codecs)")
+_DECODES = obs.counter("codec.decodes", "Payloads decoded (all codecs)")
+_ENCODE_BYTES_IN = obs.counter("codec.encode_bytes_in", "Raw bytes given to encoders")
+_ENCODE_BYTES_OUT = obs.counter("codec.encode_bytes_out", "Encoded bytes produced")
+_ENCODE_MS = obs.histogram("codec.encode_ms", "Wall milliseconds per encode")
+_DECODE_MS = obs.histogram("codec.decode_ms", "Wall milliseconds per decode")
 
 
 def rle_encode(payload: bytes) -> bytes:
@@ -71,7 +80,15 @@ def compress(payload: bytes, codec: str) -> bytes:
         encode, _decode = _CODECS[codec]
     except KeyError:
         raise StorageError(f"unknown codec {codec!r}") from None
-    return encode(payload)
+    if not obs.enabled():
+        return encode(payload)
+    started = time.perf_counter()
+    encoded = encode(payload)
+    _ENCODE_MS.observe((time.perf_counter() - started) * 1000.0)
+    _ENCODES.inc()
+    _ENCODE_BYTES_IN.inc(len(payload))
+    _ENCODE_BYTES_OUT.inc(len(encoded))
+    return encoded
 
 
 def decompress(payload: bytes, codec: str) -> bytes:
@@ -80,7 +97,13 @@ def decompress(payload: bytes, codec: str) -> bytes:
         _encode, decode = _CODECS[codec]
     except KeyError:
         raise StorageError(f"unknown codec {codec!r}") from None
-    return decode(payload)
+    if not obs.enabled():
+        return decode(payload)
+    started = time.perf_counter()
+    decoded = decode(payload)
+    _DECODE_MS.observe((time.perf_counter() - started) * 1000.0)
+    _DECODES.inc()
+    return decoded
 
 
 def select_codec(

@@ -21,9 +21,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.errors import StorageError
 from repro.storage.blob import BlobStore
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange
+
+_BLOB_READS = obs.counter("disk.blob_reads", "BLOBs fetched from the simulated disk")
+_PAGES_READ = obs.counter("disk.pages_read", "Pages charged on the simulated disk")
+_BYTES_READ = obs.counter("disk.bytes_read", "BLOB payload bytes read")
+_RANDOM_ACCESSES = obs.counter("disk.random_accesses", "Full seek+rotation positionings")
+_SHORT_SKIPS = obs.counter("disk.short_skips", "Settle-only forward skips")
+_SEQUENTIAL_READS = obs.counter("disk.sequential_reads", "Reads continuing at the head")
+_INDEX_NODE_READS = obs.counter("disk.index_node_reads", "Index node pages charged")
+_MODEL_MS = obs.counter("disk.model_ms", "Modelled disk milliseconds charged")
+_BLOB_READ_MS = obs.histogram("disk.blob_read_ms", "Modelled milliseconds per BLOB read")
 
 
 @dataclass(frozen=True)
@@ -136,6 +147,7 @@ class SimulatedDisk:
         cost = page_range.count * self.parameters.transfer_ms_per_page()
         if self._head_position == page_range.start:
             self.counters.sequential_reads += 1
+            _SEQUENTIAL_READS.inc()
         elif (
             self._head_position is not None
             and 0
@@ -144,12 +156,16 @@ class SimulatedDisk:
         ):
             cost += self.parameters.short_skip_ms()
             self.counters.short_skips += 1
+            _SHORT_SKIPS.inc()
         else:
             cost += self.parameters.random_access_ms()
             self.counters.random_accesses += 1
+            _RANDOM_ACCESSES.inc()
         self._head_position = page_range.end
         self.counters.pages_read += page_range.count
         self.counters.time_ms += cost
+        _PAGES_READ.inc(page_range.count)
+        _MODEL_MS.inc(cost)
         return cost
 
     def charge_index_node(self) -> float:
@@ -162,6 +178,10 @@ class SimulatedDisk:
         self.counters.random_accesses += 1
         self.counters.time_ms += cost
         self._head_position = None
+        _INDEX_NODE_READS.inc()
+        _PAGES_READ.inc()
+        _RANDOM_ACCESSES.inc()
+        _MODEL_MS.inc(cost)
         return cost
 
     # -- blob interface ------------------------------------------------------
@@ -175,6 +195,10 @@ class SimulatedDisk:
         payload = self.store.get(blob_id)
         self.counters.blob_reads += 1
         self.counters.bytes_read += record.byte_size
+        _BLOB_READS.inc()
+        _BYTES_READ.inc(record.byte_size)
+        _MODEL_MS.inc(self.parameters.blob_overhead_ms)
+        _BLOB_READ_MS.observe(cost)
         return payload, cost
 
     def blob_pages(self, blob_id: int) -> PageRange:

@@ -23,6 +23,7 @@ from typing import Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.errors import DomainError, QueryError, StorageError
 from repro.core.geometry import MInterval
 from repro.core.mdd import Tile
@@ -38,6 +39,15 @@ from repro.storage.compression import decompress, select_codec
 from repro.storage.disk import CpuParameters, DiskParameters, SimulatedDisk
 
 IndexFactory = Callable[[int, int], SpatialIndex]
+
+_TILES_STORED = obs.counter("tilestore.tiles_stored", "Tiles written as BLOBs")
+_TILES_LOADED = obs.counter("tilestore.tiles_loaded", "Tiles fetched for reads")
+_READS = obs.counter("tilestore.reads", "Range reads served")
+_CELLS_FETCHED = obs.counter("tilestore.cells_fetched", "Cells in fetched tiles")
+_CELLS_RETURNED = obs.counter("tilestore.cells_returned", "Cells in query results")
+_READ_MS = obs.histogram(
+    "tilestore.read_ms", "Modelled t_totalcpu milliseconds per range read"
+)
 
 
 def default_index_factory(dim: int, page_size: int) -> SpatialIndex:
@@ -112,13 +122,15 @@ class StoredMDD:
 
     def insert_tile(self, tile: Tile) -> int:
         """Store one tile (cells copied to a BLOB, domain indexed)."""
-        self._admit_domain(tile.domain)
-        payload = tile.to_bytes()
-        codec = "none"
-        if self.database.compression:
-            codec, payload = select_codec(payload, self.database.codecs)
-        blob_id = self.database.store.put(payload, codec=codec)
-        return self._register(tile.domain, blob_id, codec, virtual=False)
+        with obs.span("tilestore.insert_tile", object=self.name):
+            self._admit_domain(tile.domain)
+            payload = tile.to_bytes()
+            codec = "none"
+            if self.database.compression:
+                codec, payload = select_codec(payload, self.database.codecs)
+            blob_id = self.database.store.put(payload, codec=codec)
+            _TILES_STORED.inc()
+            return self._register(tile.domain, blob_id, codec, virtual=False)
 
     def attach_tile(
         self, domain: MInterval, blob_id: int, codec: str = "none"
@@ -202,34 +214,39 @@ class StoredMDD:
         region = MInterval.from_shape(array.shape, origin)
 
         stats = LoadStats()
-        started = time.perf_counter()
-        spec = strategy.tile(region, self.mdd_type.cell_size)
-        stats.tiling_ms = (time.perf_counter() - started) * 1000.0
+        with obs.span(
+            "tilestore.load_array",
+            object=self.name,
+            strategy=type(strategy).__name__,
+        ):
+            started = time.perf_counter()
+            spec = strategy.tile(region, self.mdd_type.cell_size)
+            stats.tiling_ms = (time.perf_counter() - started) * 1000.0
 
-        default_cell = self.mdd_type.base.default_cell()
-        ordered = sorted(
-            spec.tiles, key=lambda t: self.database.tile_key(t.lowest)
-        )
-        started = time.perf_counter()
-        stored = 0
-        for tile_domain in ordered:
-            data = array[tile_domain.to_slices(origin)]
-            if skip_default_tiles and (data == default_cell).all():
-                continue
-            self.insert_tile(Tile(tile_domain, data))
-            stored += 1
-        if stored == 0:
-            raise StorageError(
-                f"array for {self.name!r} holds only default values; "
-                f"nothing to store with skip_default_tiles"
+            default_cell = self.mdd_type.base.default_cell()
+            ordered = sorted(
+                spec.tiles, key=lambda t: self.database.tile_key(t.lowest)
             )
-        # Partial coverage must not shrink the current domain below the
-        # loaded region (the closure is over what the user loaded).
-        if self._current_domain is not None:
-            self._current_domain = self._current_domain.hull(region)
-        stats.store_ms = (time.perf_counter() - started) * 1000.0
-        stats.tile_count = stored
-        stats.bytes_stored = self.stored_bytes()
+            started = time.perf_counter()
+            stored = 0
+            for tile_domain in ordered:
+                data = array[tile_domain.to_slices(origin)]
+                if skip_default_tiles and (data == default_cell).all():
+                    continue
+                self.insert_tile(Tile(tile_domain, data))
+                stored += 1
+            if stored == 0:
+                raise StorageError(
+                    f"array for {self.name!r} holds only default values; "
+                    f"nothing to store with skip_default_tiles"
+                )
+            # Partial coverage must not shrink the current domain below the
+            # loaded region (the closure is over what the user loaded).
+            if self._current_domain is not None:
+                self._current_domain = self._current_domain.hull(region)
+            stats.store_ms = (time.perf_counter() - started) * 1000.0
+            stats.tile_count = stored
+            stats.bytes_stored = self.stored_bytes()
         return stats
 
     def load_virtual(self, domain: MInterval, strategy) -> LoadStats:
@@ -280,61 +297,89 @@ class StoredMDD:
         region = self.resolve_region(region)
         timing = QueryTiming(cells_result=region.cell_count)
         disk = self.database.disk
+        pool = self.database.pool
 
-        # (1) index lookup
-        started = time.perf_counter()
-        result = self.index.search(region)
-        cpu_ix = (time.perf_counter() - started) * 1000.0
-        page_ix = sum(disk.charge_index_node() for _ in range(result.nodes_visited))
-        timing.t_ix = cpu_ix + page_ix
-        timing.index_nodes = result.nodes_visited
+        with obs.span(
+            "tilestore.read", object=self.name, region=str(region)
+        ) as read_span:
+            # (1) index lookup
+            with obs.span(
+                "index.search", index=type(self.index).__name__
+            ) as ix_span:
+                started = time.perf_counter()
+                result = self.index.search(region)
+                cpu_ix = (time.perf_counter() - started) * 1000.0
+                page_ix = sum(
+                    disk.charge_index_node()
+                    for _ in range(result.nodes_visited)
+                )
+                ix_span.set_attr("nodes_visited", result.nodes_visited)
+                ix_span.set_attr("entries", len(result.entries))
+            timing.t_ix = cpu_ix + page_ix
+            timing.index_nodes = result.nodes_visited
 
-        # (2) tile retrieval, in page order for sequential runs
-        entries = sorted(
-            (self._tiles[e.tile_id] for e in result.entries),
-            key=lambda t: disk.blob_pages(t.blob_id).start,
-        )
-        payloads: list[tuple[TileEntry, bytes]] = []
-        for entry in entries:
-            payload, cost = self.database.read_blob(entry.blob_id)
-            timing.t_o += cost
-            timing.tiles_read += 1
-            timing.bytes_read += len(payload)
-            timing.pages_read += disk.blob_pages(entry.blob_id).count
-            timing.cells_fetched += entry.domain.cell_count
-            payloads.append((entry, payload))
-
-        # (3) composition: modelled copy cost (era-calibrated) plus the
-        # real numpy time; border tiles pay the strided rate.
-        started = time.perf_counter()
-        dtype = self.mdd_type.base.dtype
-        cell_size = self.mdd_type.cell_size
-        out = np.zeros(region.shape, dtype=dtype)
-        default = self.mdd_type.base.default
-        if default != 0:
-            out[...] = default
-        aligned_bytes = 0
-        border_bytes = 0
-        for entry, payload in payloads:
-            part = entry.domain.intersection(region)
-            assert part is not None
-            if part == entry.domain:
-                aligned_bytes += entry.domain.cell_count * cell_size
-            else:
-                border_bytes += entry.domain.cell_count * cell_size
-            if entry.virtual:
-                continue  # synthesized tiles carry default cells
-            raw = decompress(payload, entry.codec)
-            tile_data = np.frombuffer(raw, dtype=dtype).reshape(
-                entry.domain.shape
+            # (2) tile retrieval, in page order for sequential runs
+            entries = sorted(
+                (self._tiles[e.tile_id] for e in result.entries),
+                key=lambda t: disk.blob_pages(t.blob_id).start,
             )
-            out[part.to_slices(region.lowest)] = tile_data[
-                part.to_slices(entry.domain.lowest)
-            ]
-        measured_ms = (time.perf_counter() - started) * 1000.0
-        timing.t_cpu = measured_ms + self.database.cpu_parameters.compose_ms(
-            aligned_bytes, border_bytes
-        )
+            pool_before = (
+                (pool.hits, pool.misses, pool.evictions) if pool else None
+            )
+            payloads: list[tuple[TileEntry, bytes]] = []
+            with obs.span("tilestore.fetch", tiles=len(entries)):
+                for entry in entries:
+                    payload, cost = self.database.read_blob(entry.blob_id)
+                    timing.t_o += cost
+                    timing.tiles_read += 1
+                    timing.bytes_read += len(payload)
+                    timing.pages_read += disk.blob_pages(entry.blob_id).count
+                    timing.cells_fetched += entry.domain.cell_count
+                    payloads.append((entry, payload))
+            if pool_before is not None:
+                timing.pool_hits = pool.hits - pool_before[0]
+                timing.pool_misses = pool.misses - pool_before[1]
+                timing.pool_evictions = pool.evictions - pool_before[2]
+
+            # (3) composition: modelled copy cost (era-calibrated) plus the
+            # real numpy time; border tiles pay the strided rate.
+            with obs.span("tilestore.compose"):
+                started = time.perf_counter()
+                dtype = self.mdd_type.base.dtype
+                cell_size = self.mdd_type.cell_size
+                out = np.zeros(region.shape, dtype=dtype)
+                default = self.mdd_type.base.default
+                if default != 0:
+                    out[...] = default
+                aligned_bytes = 0
+                border_bytes = 0
+                for entry, payload in payloads:
+                    part = entry.domain.intersection(region)
+                    assert part is not None
+                    if part == entry.domain:
+                        aligned_bytes += entry.domain.cell_count * cell_size
+                    else:
+                        border_bytes += entry.domain.cell_count * cell_size
+                    if entry.virtual:
+                        continue  # synthesized tiles carry default cells
+                    raw = decompress(payload, entry.codec)
+                    tile_data = np.frombuffer(raw, dtype=dtype).reshape(
+                        entry.domain.shape
+                    )
+                    out[part.to_slices(region.lowest)] = tile_data[
+                        part.to_slices(entry.domain.lowest)
+                    ]
+                measured_ms = (time.perf_counter() - started) * 1000.0
+            timing.t_cpu = measured_ms + self.database.cpu_parameters.compose_ms(
+                aligned_bytes, border_bytes
+            )
+            read_span.set_attr("tiles_read", timing.tiles_read)
+            read_span.set_attr("bytes_read", timing.bytes_read)
+        _READS.inc()
+        _TILES_LOADED.inc(timing.tiles_read)
+        _CELLS_FETCHED.inc(timing.cells_fetched)
+        _CELLS_RETURNED.inc(timing.cells_result)
+        _READ_MS.observe(timing.t_totalcpu)
         return out, timing
 
     def read_blocks(
@@ -367,13 +412,21 @@ class StoredMDD:
             key=lambda t: disk.blob_pages(t.blob_id).start,
         )
         dtype = self.mdd_type.base.dtype
+        pool = self.database.pool
         for entry in entries:
             timing = QueryTiming()
             timing.t_ix = pending_ix
             timing.index_nodes = pending_nodes
             pending_ix = 0.0
             pending_nodes = 0
+            pool_before = (
+                (pool.hits, pool.misses, pool.evictions) if pool else None
+            )
             payload, cost = self.database.read_blob(entry.blob_id)
+            if pool_before is not None:
+                timing.pool_hits = pool.hits - pool_before[0]
+                timing.pool_misses = pool.misses - pool_before[1]
+                timing.pool_evictions = pool.evictions - pool_before[2]
             timing.t_o = cost
             timing.tiles_read = 1
             timing.bytes_read = len(payload)

@@ -1,0 +1,252 @@
+"""Unit tests for the observability layer: registry, tracer, exporters."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer, format_span_tree
+from repro.obs.export import (
+    export_jsonl,
+    prometheus_name,
+    prometheus_text,
+    read_jsonl,
+)
+
+
+class TestRegistryArithmetic:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(5)
+        c.inc(0.5)
+        assert c.value == 6.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_get_or_create_shares_instances(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(7)
+        reg.reset()
+        assert c.value == 0
+        assert reg.get("c") is c
+
+    def test_disable_stops_mutations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        g = reg.gauge("g")
+        h = reg.histogram("h", buckets=(1.0,))
+        reg.disable()
+        c.inc()
+        g.set(5)
+        h.observe(0.5)
+        assert c.value == 0 and g.value == 0 and h.count == 0
+        reg.enable()
+        c.inc()
+        assert c.value == 1
+
+    def test_value_lookup_defaults_to_zero(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope") == 0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(3)
+        reg.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 3}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestHistogramBucketing:
+    def test_values_land_in_first_bound_at_or_above(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0):
+            h.observe(value)
+        cumulative = dict(h.bucket_counts())
+        # <=1: 0.5 and exactly 1.0;  <=10: + 5.0 and 10.0;  <=100: + 99.0
+        assert cumulative[1.0] == 2
+        assert cumulative[10.0] == 4
+        assert cumulative[100.0] == 5
+        assert cumulative[float("inf")] == 6
+
+    def test_sum_and_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(10.0,))
+        h.observe(2.0)
+        h.observe(3.0)
+        assert h.count == 2
+        assert h.sum == pytest.approx(5.0)
+
+    def test_buckets_sorted_and_validated(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(100.0, 1.0, 10.0))
+        assert h.buckets == (1.0, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            reg.histogram("dup", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("empty", buckets=())
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0 and h.sum == 0.0
+        assert all(count == 0 for _b, count in h.bucket_counts())
+
+
+class TestSpans:
+    def test_nesting_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        spans = {s.name: s for s in tracer.finished()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].depth == 1
+        assert spans["outer"].depth == 0
+        assert spans["outer"].duration_ms >= spans["inner"].duration_ms
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s", tile_id=7) as span:
+            span.set_attr("bytes", 42)
+        finished = tracer.finished()[0]
+        assert finished.attrs == {"tile_id": 7, "bytes": 42}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise KeyError("boom")
+        spans = {s.name: s for s in tracer.finished()}
+        assert spans["inner"].error == "KeyError"
+        assert spans["outer"].error == "KeyError"
+        assert tracer.current() is None  # stack fully unwound
+        # The tracer still works after the failure.
+        with tracer.span("after"):
+            pass
+        assert tracer.finished()[-1].name == "after"
+        assert tracer.finished()[-1].depth == 0
+
+    def test_disabled_tracer_returns_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("s") is NULL_SPAN
+        with tracer.span("s") as span:
+            span.set_attr("k", "v")  # no-op, must not raise
+        assert tracer.finished() == ()
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["s2", "s3", "s4"]
+
+    def test_format_span_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", object="o"):
+            with tracer.span("inner"):
+                pass
+        text = format_span_tree(tracer.finished())
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "object=o" in lines[0]
+        assert format_span_tree(()) == "(no spans recorded)"
+
+
+class TestExporters:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("disk.blob_reads", "help text").inc(3)
+        reg.gauge("pool.used_bytes").set(512)
+        h = reg.histogram("disk.blob_read_ms", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(20.0)
+        tracer = Tracer()
+        with tracer.span("tilestore.read", tile_id=1):
+            pass
+        return reg, tracer
+
+    def test_prometheus_name_sanitised(self):
+        assert prometheus_name("disk.blob_reads") == "repro_disk_blob_reads"
+        assert prometheus_name("a-b c", prefix="x_") == "x_a_b_c"
+
+    def test_prometheus_text(self):
+        reg, _tracer = self._populated()
+        text = prometheus_text(reg)
+        assert "# TYPE repro_disk_blob_reads counter" in text
+        assert "repro_disk_blob_reads 3" in text
+        assert "# HELP repro_disk_blob_reads help text" in text
+        assert "# TYPE repro_pool_used_bytes gauge" in text
+        assert '# TYPE repro_disk_blob_read_ms histogram' in text
+        assert 'repro_disk_blob_read_ms_bucket{le="+Inf"} 2' in text
+        assert "repro_disk_blob_read_ms_count 2" in text
+
+    def test_jsonl_round_trip(self, tmp_path):
+        reg, tracer = self._populated()
+        path = tmp_path / "events.jsonl"
+        written = export_jsonl(path, registry=reg, tracer=tracer)
+        records = read_jsonl(path)
+        assert len(records) == written == 4
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        assert by_type["counter"][0] == {
+            "type": "counter", "name": "disk.blob_reads", "value": 3
+        }
+        assert by_type["gauge"][0]["value"] == 512
+        hist = by_type["histogram"][0]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(20.5)
+        span = by_type["span"][0]
+        assert span["name"] == "tilestore.read"
+        assert span["attrs"] == {"tile_id": 1}
+        assert span["duration_ms"] >= 0.0
+
+
+class TestGlobalToggles:
+    def test_disabled_context_restores_state(self):
+        was = obs.enabled()
+        try:
+            obs.enable()
+            with obs.disabled():
+                assert not obs.enabled()
+                assert obs.span("s") is NULL_SPAN
+            assert obs.enabled()
+        finally:
+            obs.registry.enabled = was
+            obs.tracer.enabled = was
+
+    def test_module_shortcuts_hit_default_registry(self):
+        c = obs.counter("test.obs.shortcut")
+        assert obs.registry.get("test.obs.shortcut") is c

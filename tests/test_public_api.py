@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.query",
     "repro.stats",
     "repro.bench",
+    "repro.obs",
 ]
 
 

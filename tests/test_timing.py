@@ -25,11 +25,34 @@ class TestQueryTiming:
         assert total.t_totalcpu == pytest.approx(12.0)
         assert total.tiles_read == 8
 
-    def test_scaled_scales_times_not_counters(self):
-        timing = QueryTiming(t_ix=2, t_o=4, t_cpu=6, tiles_read=10)
+    def test_scaled_scales_times_and_counters(self):
+        timing = QueryTiming(t_ix=2, t_o=4, t_cpu=6, tiles_read=10, bytes_read=8)
         half = timing.scaled(0.5)
         assert half.t_ix == 1 and half.t_o == 2 and half.t_cpu == 3
-        assert half.tiles_read == 10
+        assert half.tiles_read == 5
+        assert half.bytes_read == 4
+
+    def test_add_then_scale_is_per_run_average(self):
+        # The multi-run bench protocol: accumulate N runs, scale by 1/N.
+        per_run = QueryTiming(t_o=4, tiles_read=3, bytes_read=100, pool_misses=3)
+        total = QueryTiming()
+        for _ in range(3):
+            total.add(per_run)
+        averaged = total.scaled(1 / 3)
+        assert averaged.t_o == pytest.approx(4.0)
+        assert averaged.tiles_read == 3
+        assert averaged.bytes_read == 100
+        assert averaged.pool_misses == 3
+
+    def test_pool_hit_rate(self):
+        assert QueryTiming(pool_hits=3, pool_misses=1).pool_hit_rate == 0.75
+        assert QueryTiming().pool_hit_rate == 0.0
+
+    def test_as_dict_round_trips_fields(self):
+        timing = QueryTiming(t_ix=1, t_o=2, t_cpu=3, tiles_read=4, pool_hits=5)
+        d = timing.as_dict()
+        assert d["t_totalcpu"] == pytest.approx(6.0)
+        assert d["tiles_read"] == 4 and d["pool_hits"] == 5
 
     def test_str_mentions_components(self):
         text = str(QueryTiming(t_ix=1, t_o=2, t_cpu=3))
