@@ -11,6 +11,7 @@ Usage::
     python -m repro tables        # everything above
     python -m repro stats         # observability registry snapshot
     python -m repro trace QUERY   # span trace of one sales-cube query
+    python -m repro bench pipeline  # serial vs parallel vs decoded cache
 
 Benchmark commands accept ``--runs N`` (repeat count per query, default
 3), ``--buffer-mb M`` (enable an LRU buffer pool), ``--warm`` (keep the
@@ -357,6 +358,32 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.mode == "pipeline":
+        from repro.bench.pipeline import comparison_table, run_pipeline_bench
+
+        report = run_pipeline_bench(
+            runs=args.runs,
+            io_workers=args.io_workers,
+            decoded_mb=args.decoded_mb,
+            artifact_dir=_artifact_dir(args),
+        )
+        print(comparison_table(report))
+        print()
+        print("verdicts:")
+        for name, value in report["identity"].items():
+            print(f"  {name}: {value}")
+        if "artifact_path" in report:
+            print(f"\nwrote {report['artifact_path']}")
+        failed = [
+            name
+            for name, value in report["identity"].items()
+            if value is False
+        ]
+        return 1 if failed else 0
+    raise SystemExit(f"unknown bench mode {args.mode!r}")
+
+
 _COMMANDS = {
     "info": cmd_info,
     "spec": cmd_spec,
@@ -367,6 +394,7 @@ _COMMANDS = {
     "tables": cmd_tables,
     "stats": cmd_stats,
     "trace": cmd_trace,
+    "bench": cmd_bench,
 }
 
 _BENCH_COMMANDS = ("table4", "table6", "figure7", "figure8", "tables")
@@ -425,6 +453,34 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--prometheus", action="store_true",
         help="also print the Prometheus exposition dump (live mode)",
+    )
+    bench = subparsers.add_parser(
+        "bench", help="implementation benchmarks (not paper tables)"
+    )
+    bench.add_argument(
+        "mode", choices=("pipeline",),
+        help="pipeline: serial vs parallel vs decoded-cache comparison",
+    )
+    bench.add_argument(
+        "--runs", type=int, default=3, metavar="N",
+        help="measured repeats per query and mode (default: 3)",
+    )
+    bench.add_argument(
+        "--io-workers", type=int, default=4, metavar="W",
+        help="worker threads for the parallel mode (default: 4)",
+    )
+    bench.add_argument(
+        "--decoded-mb", type=int, default=16, metavar="M",
+        help="decoded-tile cache capacity in MiB (default: 16)",
+    )
+    bench.add_argument(
+        "--artifacts", default=DEFAULT_ARTIFACT_DIR, metavar="DIR",
+        help=f"directory for BENCH_*.json artifacts "
+             f"(default: {DEFAULT_ARTIFACT_DIR})",
+    )
+    bench.add_argument(
+        "--no-artifacts", action="store_true",
+        help="do not write BENCH_*.json artifacts",
     )
     trace = subparsers.add_parser(
         "trace", help="span-trace one sales-cube query"

@@ -11,7 +11,10 @@ exactly on its grid, so arbitrary tilings must fall back to the R+-tree.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Iterator, Optional
+
+import numpy as np
 
 from repro import obs
 from repro.core.errors import IndexError_
@@ -26,6 +29,10 @@ _NODES_VISITED = obs.counter(
 _ENTRIES_FOUND = obs.counter(
     "index.grid.entries_found", "Tile entries returned by grid lookups"
 )
+
+#: Above this many grid cells the dense id lattice (8 B per cell) is not
+#: built and searches fall back to per-cell dict probes.
+_DENSE_LIMIT = 1 << 22
 
 
 class GridIndex(SpatialIndex):
@@ -60,6 +67,15 @@ class GridIndex(SpatialIndex):
             for extent, edge in zip(domain.shape, tile_format)
         )
         self._entries: dict[tuple[int, ...], IndexEntry] = {}
+        # Dense cell -> tile-id lattice (-1 = empty) backing the batched
+        # search; skipped for degenerate grids whose cell count would
+        # dwarf the entries actually stored.
+        if math.prod(self._cells_per_axis) <= _DENSE_LIMIT:
+            self._tile_ids: Optional[np.ndarray] = np.full(
+                self._cells_per_axis, -1, dtype=np.int64
+            )
+        else:
+            self._tile_ids = None
 
     # ------------------------------------------------------------------
     # Grid arithmetic
@@ -106,11 +122,15 @@ class GridIndex(SpatialIndex):
         if cell in self._entries:
             raise IndexError_(f"grid cell {cell} already holds a tile")
         self._entries[cell] = entry
+        if self._tile_ids is not None:
+            self._tile_ids[cell] = entry.tile_id
 
     def remove(self, tile_id: int) -> bool:
         for cell, entry in self._entries.items():
             if entry.tile_id == tile_id:
                 del self._entries[cell]
+                if self._tile_ids is not None:
+                    self._tile_ids[cell] = -1
                 return True
         return False
 
@@ -123,12 +143,23 @@ class GridIndex(SpatialIndex):
         low_cell = self.grid_cell_of(clipped.lowest)
         high_cell = self.grid_cell_of(clipped.highest)
         hits = []
-        for cell in itertools.product(
-            *(range(a, b + 1) for a, b in zip(low_cell, high_cell))
-        ):
-            entry = self._entries.get(cell)
-            if entry is not None:
-                hits.append(entry)
+        if self._tile_ids is not None:
+            # Batched path: slice the id lattice over the cell window and
+            # keep occupied cells, instead of probing the dict per cell.
+            window = self._tile_ids[
+                tuple(slice(a, b + 1) for a, b in zip(low_cell, high_cell))
+            ]
+            occupied = np.argwhere(window >= 0)
+            for offset in occupied:
+                cell = tuple(int(a) + int(o) for a, o in zip(low_cell, offset))
+                hits.append(self._entries[cell])
+        else:
+            for cell in itertools.product(
+                *(range(a, b + 1) for a, b in zip(low_cell, high_cell))
+            ):
+                entry = self._entries.get(cell)
+                if entry is not None:
+                    hits.append(entry)
         _ENTRIES_FOUND.inc(len(hits))
         # The whole lookup reads one descriptor page: the grid parameters
         # plus the dense cell->blob table are computed, not searched.

@@ -24,10 +24,20 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+import numpy as np
+
 from repro import obs
 from repro.core.errors import IndexError_
 from repro.core.geometry import MInterval
-from repro.index.base import IndexEntry, SearchResult, SpatialIndex, entry_bytes
+from repro.index.base import (
+    IndexEntry,
+    SearchResult,
+    SpatialIndex,
+    entry_bytes,
+    intersecting_mask,
+    pack_bounds,
+    region_bounds,
+)
 from repro.storage.pages import DEFAULT_PAGE_SIZE
 
 _SEARCHES = obs.counter("index.rplustree.searches", "R+-tree lookups")
@@ -40,22 +50,39 @@ _ENTRIES_FOUND = obs.counter(
 
 
 class _Node:
-    """Tree node: leaves hold IndexEntry, internals hold child nodes."""
+    """Tree node: leaves hold IndexEntry, internals hold child nodes.
 
-    __slots__ = ("leaf", "items", "mbr")
+    Each node lazily caches its items' bounds as one packed ``(n, 2, dim)``
+    int64 array, so a search tests all children with a single batched
+    comparison.  Every structural mutation funnels through
+    :meth:`recompute_mbr`, which doubles as the cache invalidation point.
+    """
+
+    __slots__ = ("leaf", "items", "mbr", "_packed")
 
     def __init__(self, leaf: bool, items: Optional[list] = None) -> None:
         self.leaf = leaf
         self.items: list = items or []
         self.mbr: Optional[MInterval] = None
+        self._packed: Optional[np.ndarray] = None
         self.recompute_mbr()
 
     def recompute_mbr(self) -> None:
+        self._packed = None
         boxes = [
             item.domain if self.leaf else item.mbr for item in self.items
         ]
         boxes = [b for b in boxes if b is not None]
         self.mbr = MInterval.hull_of(boxes) if boxes else None
+
+    def packed_bounds(self, dim: int) -> np.ndarray:
+        """Packed item bounds (entry domains / child MBRs), cached."""
+        if self._packed is None or len(self._packed) != len(self.items):
+            boxes = [
+                item.domain if self.leaf else item.mbr for item in self.items
+            ]
+            self._packed = pack_bounds(boxes, dim)
+        return self._packed
 
 
 def _enlargement(mbr: Optional[MInterval], box: MInterval) -> int:
@@ -259,20 +286,23 @@ class RPlusTreeIndex(SpatialIndex):
     def search(self, region: MInterval) -> SearchResult:
         hits: dict[int, IndexEntry] = {}
         visited = 0
+        lower, upper = region_bounds(region)
         stack = [self._root]
         while stack:
             node = stack.pop()
             visited += 1
             if node.mbr is None or not node.mbr.intersects(region):
                 continue
+            matches = np.flatnonzero(
+                intersecting_mask(node.packed_bounds(self.dim), lower, upper)
+            )
             if node.leaf:
-                for entry in node.items:
-                    if entry.domain.intersects(region):
-                        hits[entry.tile_id] = entry
+                for i in matches:
+                    entry = node.items[i]
+                    hits[entry.tile_id] = entry
             else:
-                for child in node.items:
-                    if child.mbr is not None and child.mbr.intersects(region):
-                        stack.append(child)
+                for i in matches:
+                    stack.append(node.items[i])
         _SEARCHES.inc()
         _NODES_VISITED.inc(visited)
         _ENTRIES_FOUND.inc(len(hits))

@@ -25,7 +25,8 @@ class QueryTiming:
 
     ``pool_hits`` / ``pool_misses`` / ``pool_evictions`` are the buffer
     pool's activity attributable to this query (all zero when the database
-    runs without a pool — the paper's cold protocol).
+    runs without a pool — the paper's cold protocol); ``decoded_hits`` /
+    ``decoded_misses`` are the same for the decoded-tile cache above it.
     """
 
     t_ix: float = 0.0
@@ -40,6 +41,8 @@ class QueryTiming:
     pool_hits: int = 0
     pool_misses: int = 0
     pool_evictions: int = 0
+    decoded_hits: int = 0
+    decoded_misses: int = 0
 
     @property
     def t_totalaccess(self) -> float:
@@ -78,6 +81,8 @@ class QueryTiming:
         self.pool_hits += other.pool_hits
         self.pool_misses += other.pool_misses
         self.pool_evictions += other.pool_evictions
+        self.decoded_hits += other.decoded_hits
+        self.decoded_misses += other.decoded_misses
         return self
 
     def scaled(self, factor: float) -> "QueryTiming":
@@ -103,6 +108,8 @@ class QueryTiming:
             pool_hits=round(self.pool_hits * factor),
             pool_misses=round(self.pool_misses * factor),
             pool_evictions=round(self.pool_evictions * factor),
+            decoded_hits=round(self.decoded_hits * factor),
+            decoded_misses=round(self.decoded_misses * factor),
         )
 
     def as_dict(self) -> dict:
@@ -123,6 +130,8 @@ class QueryTiming:
             "pool_misses": self.pool_misses,
             "pool_evictions": self.pool_evictions,
             "pool_hit_rate": self.pool_hit_rate,
+            "decoded_hits": self.decoded_hits,
+            "decoded_misses": self.decoded_misses,
         }
 
     def __str__(self) -> str:

@@ -12,6 +12,7 @@ from repro.storage.compression import (
     rle_encode,
     select_codec,
 )
+from repro.storage.decodedcache import DecodedTileCache
 from repro.storage.disk import (
     CpuParameters,
     DiskCounters,
@@ -24,6 +25,7 @@ from repro.storage.pages import (
     PageRange,
     pages_needed,
 )
+from repro.storage.pipeline import FetchedTile, fetch_tile, fetch_tiles
 from repro.storage.tilestore import (
     Database,
     StoredMDD,
@@ -38,8 +40,10 @@ __all__ = [
     "Database",
     "DEFAULT_PAGE_SIZE",
     "CpuParameters",
+    "DecodedTileCache",
     "DiskCounters",
     "DiskParameters",
+    "FetchedTile",
     "FileBlobStore",
     "MemoryBlobStore",
     "PageAllocator",
@@ -50,6 +54,8 @@ __all__ = [
     "compress",
     "decompress",
     "default_index_factory",
+    "fetch_tile",
+    "fetch_tiles",
     "known_codecs",
     "pages_needed",
     "rle_decode",

@@ -26,7 +26,12 @@ _MISSES = obs.counter("pool.misses", "Buffer-pool misses (read through disk)")
 _EVICTIONS = obs.counter("pool.evictions", "LRU evictions from the pool")
 _BYTES_ADMITTED = obs.counter("pool.bytes_admitted", "Payload bytes admitted")
 _BYTES_EVICTED = obs.counter("pool.bytes_evicted", "Payload bytes evicted")
-_USED_BYTES = obs.gauge("pool.used_bytes", "Bytes currently cached")
+# Delta-maintained on every mutation (admit / evict / invalidate / clear)
+# so several pools — one per Database — sum into one truthful total
+# instead of the last-mutated pool overwriting the others via set().
+_USED_BYTES = obs.gauge(
+    "pool.used_bytes", "Bytes currently cached (summed over all pools)"
+)
 
 
 class BufferPool:
@@ -67,26 +72,27 @@ class BufferPool:
         while self._used + len(payload) > self.capacity_bytes and self._entries:
             _victim, evicted = self._entries.popitem(last=False)
             self._used -= len(evicted)
+            _USED_BYTES.dec(len(evicted))
             self.evictions += 1
             _EVICTIONS.inc()
             _BYTES_EVICTED.inc(len(evicted))
         self._entries[blob_id] = payload
         self._used += len(payload)
         _BYTES_ADMITTED.inc(len(payload))
-        _USED_BYTES.set(self._used)
+        _USED_BYTES.inc(len(payload))
 
     def invalidate(self, blob_id: int) -> None:
         """Drop one entry (called on BLOB update/delete)."""
         payload = self._entries.pop(blob_id, None)
         if payload is not None:
             self._used -= len(payload)
-            _USED_BYTES.set(self._used)
+            _USED_BYTES.dec(len(payload))
 
     def clear(self) -> None:
         """Empty the pool (cold-start benchmarks)."""
         self._entries.clear()
+        _USED_BYTES.dec(self._used)
         self._used = 0
-        _USED_BYTES.set(0)
 
     @property
     def hit_rate(self) -> float:

@@ -1,0 +1,173 @@
+"""Decoded-tile cache: LRU of post-decompress numpy tile arrays.
+
+The third level of the read hierarchy.  Below it sit the simulated disk
+(charges modelled ``t_o``) and the :class:`~repro.storage.bufferpool.
+BufferPool` (caches *compressed* BLOB payloads, saving the disk charge but
+not the CPU work).  A buffer-pool hit still pays ``decompress`` plus
+``np.frombuffer`` on every access; this cache keeps the finished article —
+the decoded, reshaped, read-only tile array — keyed by BLOB id, so a
+repeat read of a hot tile costs one dict lookup.
+
+Entries are byte-budgeted LRU like the pool, but budgeted on *decoded*
+bytes (``array.nbytes``), which for compressed tiles is larger than the
+pool's footprint for the same tile.  Arrays handed out are read-only:
+callers compose results by copying out of them (or serve them zero-copy
+on the single-tile fast path), so a cached tile can never be corrupted by
+a consumer.
+
+Admission can be split in two for the parallel read pipeline: the
+coordinator thread decides evictions in deterministic page order while
+worker threads are still decoding, because the decoded size of a tile is
+known from its domain and dtype before its bytes exist.  The plain
+:meth:`put` covers the serial paths.
+
+All activity is mirrored into the process-wide :mod:`repro.obs` registry
+under ``cache.decoded.*``; the ``used_bytes`` gauge is delta-maintained,
+so several caches (one per :class:`~repro.storage.tilestore.Database`)
+sum instead of overwriting each other.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.errors import StorageError
+
+_HITS = obs.counter("cache.decoded.hits", "Decoded-tile cache hits")
+_MISSES = obs.counter("cache.decoded.misses", "Decoded-tile cache misses")
+_EVICTIONS = obs.counter(
+    "cache.decoded.evictions", "LRU evictions of decoded tiles"
+)
+_BYTES_ADMITTED = obs.counter(
+    "cache.decoded.bytes_admitted", "Decoded bytes admitted"
+)
+_BYTES_EVICTED = obs.counter(
+    "cache.decoded.bytes_evicted", "Decoded bytes evicted"
+)
+_INVALIDATIONS = obs.counter(
+    "cache.decoded.invalidations", "Entries dropped after update/delete"
+)
+_USED_BYTES = obs.gauge(
+    "cache.decoded.used_bytes",
+    "Decoded bytes currently cached (summed over all caches)",
+)
+
+
+class DecodedTileCache:
+    """Byte-budgeted LRU of read-only decoded tile arrays, keyed by BLOB id."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise StorageError(f"negative capacity {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / admission
+    # ------------------------------------------------------------------
+
+    def get(self, blob_id: int) -> Optional[np.ndarray]:
+        """The decoded tile, or ``None`` on a miss (counted either way)."""
+        array = self._entries.get(blob_id)
+        if array is None:
+            self.misses += 1
+            _MISSES.inc()
+            return None
+        self._entries.move_to_end(blob_id)
+        self.hits += 1
+        _HITS.inc()
+        return array
+
+    def peek(self, blob_id: int) -> Optional[np.ndarray]:
+        """Like :meth:`get` but without counters or LRU promotion."""
+        return self._entries.get(blob_id)
+
+    def put(self, blob_id: int, array: np.ndarray) -> np.ndarray:
+        """Admit a decoded tile; returns the (read-only) cached array.
+
+        A tile larger than the whole budget is not admitted (mirroring the
+        buffer pool); the read-only view is returned regardless, so
+        callers can always use the result of ``put``.
+        """
+        array = self._readonly(array)
+        size = array.nbytes
+        if size > self.capacity_bytes:
+            return array
+        previous = self._entries.pop(blob_id, None)
+        if previous is not None:
+            self._discard_bytes(previous.nbytes)
+        self._evict_down_to(self.capacity_bytes - size)
+        self._entries[blob_id] = array
+        self._used += size
+        _BYTES_ADMITTED.inc(size)
+        _USED_BYTES.inc(size)
+        return array
+
+    @staticmethod
+    def _readonly(array: np.ndarray) -> np.ndarray:
+        if array.flags.writeable:
+            array = array.view()
+            array.flags.writeable = False
+        return array
+
+    def _evict_down_to(self, budget: int) -> None:
+        while self._used > budget and self._entries:
+            _victim, evicted = self._entries.popitem(last=False)
+            self._discard_bytes(evicted.nbytes)
+            self.evictions += 1
+            _EVICTIONS.inc()
+            _BYTES_EVICTED.inc(evicted.nbytes)
+
+    def _discard_bytes(self, size: int) -> None:
+        self._used -= size
+        _USED_BYTES.dec(size)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(self, blob_id: int) -> None:
+        """Drop one entry (called on BLOB update/delete)."""
+        array = self._entries.pop(blob_id, None)
+        if array is not None:
+            self._discard_bytes(array.nbytes)
+            _INVALIDATIONS.inc()
+
+    def clear(self) -> None:
+        """Empty the cache (cold measurement boundary)."""
+        self._discard_bytes(self._used)
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, blob_id: object) -> bool:
+        return blob_id in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedTileCache(used={self._used}/{self.capacity_bytes} B, "
+            f"entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,184 @@
+"""Parallel read pipeline: overlap fetch and decode across a query's tiles.
+
+The hot path of a range read is, per intersected tile: BLOB retrieval
+(buffer pool, then simulated disk), ``decompress``, ``np.frombuffer``.
+This module turns that per-tile chain into a small pipeline:
+
+* the **coordinator** (calling thread) walks the tiles in page order and
+  does everything whose *order matters* — decoded-cache lookups, buffer
+  pool lookups/admissions, and the simulated disk charges, whose
+  seek/settle/sequential regimes depend on head position.  Costs are
+  therefore charged page-ordered and are bit-identical whether the
+  pipeline runs serial or parallel;
+* **workers** (an optional :class:`~concurrent.futures.ThreadPoolExecutor`
+  owned by the :class:`~repro.storage.tilestore.Database`) run the
+  order-free CPU work — ``decompress`` + ``frombuffer`` — concurrently.
+  ``zlib`` releases the GIL, so compressed tiles genuinely overlap;
+* **decoded-cache admissions** happen after the whole batch, in page
+  order, in *both* modes, so the LRU evolves identically and a tiny cache
+  cannot make serial and parallel disagree on later hits.
+
+With ``io_workers=1`` (the default) no executor exists and the pipeline
+degrades to the straight-line serial loop, keeping historical timings
+reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.storage.compression import decompress
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only (avoids a cycle)
+    from repro.storage.tilestore import Database, TileEntry
+
+_WORKERS_BUSY = obs.gauge(
+    "pipeline.workers_busy", "Decode tasks currently running on workers"
+)
+_PARALLEL_BATCHES = obs.counter(
+    "pipeline.parallel_batches", "Tile batches fetched through the worker pool"
+)
+_TILES_DECODED = obs.counter(
+    "pipeline.tiles_decoded", "Tiles decompressed + reshaped (any mode)"
+)
+_DECODE_MS = obs.histogram(
+    "pipeline.decode_ms", "Wall milliseconds per tile decode task"
+)
+
+
+@dataclass
+class FetchedTile:
+    """One tile's outcome: charged cost, accounting sizes, decoded cells.
+
+    ``array`` is the decoded, read-only-when-cached tile array; ``None``
+    for virtual tiles (their cells are synthesised defaults).  ``cost`` is
+    the modelled disk milliseconds charged for this tile (0.0 on a buffer
+    pool or decoded-cache hit).  ``payload_bytes`` is the stored payload
+    size, counted whether or not the payload was actually materialised.
+    """
+
+    entry: "TileEntry"
+    cost: float
+    payload_bytes: int
+    array: Optional[np.ndarray]
+    decoded_hit: bool
+
+
+def _decode(payload: bytes, codec: str, dtype, shape) -> np.ndarray:
+    """The order-free CPU half: decompress and shape one tile's cells."""
+    started = time.perf_counter()
+    raw = decompress(payload, codec)
+    array = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    _DECODE_MS.observe((time.perf_counter() - started) * 1000.0)
+    _TILES_DECODED.inc()
+    return array
+
+
+def _decode_task(payload: bytes, codec: str, dtype, shape) -> np.ndarray:
+    """Worker wrapper around :func:`_decode` tracking pool occupancy."""
+    _WORKERS_BUSY.inc()
+    try:
+        return _decode(payload, codec, dtype, shape)
+    finally:
+        _WORKERS_BUSY.dec()
+
+
+def fetch_tiles(
+    database: "Database",
+    entries: Sequence["TileEntry"],
+    dtype,
+) -> list[FetchedTile]:
+    """Fetch and decode a page-ordered batch of tiles.
+
+    Returns one :class:`FetchedTile` per entry, in the given order.  Disk
+    and pool interactions happen on the calling thread in entry order;
+    only decoding is (optionally) offloaded.  The result — arrays, costs
+    and cache counters — is identical for any ``io_workers`` setting.
+    """
+    cache = database.decoded_cache
+    executor = database.pipeline_executor() if len(entries) > 1 else None
+    fetched: list[Optional[FetchedTile]] = [None] * len(entries)
+    pending: list[tuple[int, float, int]] = []  # (index, cost, payload_bytes)
+    futures = []
+
+    for position, entry in enumerate(entries):
+        if cache is not None and not entry.virtual:
+            array = cache.get(entry.blob_id)
+            if array is not None:
+                fetched[position] = FetchedTile(
+                    entry,
+                    cost=0.0,
+                    payload_bytes=database.store.record(entry.blob_id).byte_size,
+                    array=array,
+                    decoded_hit=True,
+                )
+                continue
+        payload, cost = database.read_blob(entry.blob_id)
+        if entry.virtual:
+            fetched[position] = FetchedTile(
+                entry, cost, len(payload), array=None, decoded_hit=False
+            )
+            continue
+        shape = entry.domain.shape
+        if executor is None:
+            array = _decode(payload, entry.codec, dtype, shape)
+            fetched[position] = FetchedTile(
+                entry, cost, len(payload), array, decoded_hit=False
+            )
+        else:
+            pending.append((position, cost, len(payload)))
+            futures.append(
+                executor.submit(_decode_task, payload, entry.codec, dtype, shape)
+            )
+
+    if futures:
+        _PARALLEL_BATCHES.inc()
+        for (position, cost, payload_bytes), future in zip(pending, futures):
+            fetched[position] = FetchedTile(
+                entries[position],
+                cost,
+                payload_bytes,
+                future.result(),
+                decoded_hit=False,
+            )
+
+    # Deferred admissions, page-ordered in every mode: admitting only after
+    # the batch's lookups keeps the LRU trajectory independent of worker
+    # completion order (and of the serial/parallel choice).
+    if cache is not None:
+        for tile in fetched:
+            assert tile is not None
+            if tile.array is not None and not tile.decoded_hit:
+                tile.array = cache.put(tile.entry.blob_id, tile.array)
+    return fetched  # type: ignore[return-value]
+
+
+def fetch_tile(database: "Database", entry: "TileEntry", dtype) -> FetchedTile:
+    """Serial single-tile fetch for the streaming / update paths.
+
+    Consults (and immediately feeds) the decoded cache; never uses the
+    worker pool — one tile has nothing to overlap.
+    """
+    cache = database.decoded_cache
+    if cache is not None and not entry.virtual:
+        array = cache.get(entry.blob_id)
+        if array is not None:
+            return FetchedTile(
+                entry,
+                cost=0.0,
+                payload_bytes=database.store.record(entry.blob_id).byte_size,
+                array=array,
+                decoded_hit=True,
+            )
+    payload, cost = database.read_blob(entry.blob_id)
+    if entry.virtual:
+        return FetchedTile(entry, cost, len(payload), None, decoded_hit=False)
+    array = _decode(payload, entry.codec, dtype, entry.domain.shape)
+    if cache is not None:
+        array = cache.put(entry.blob_id, array)
+    return FetchedTile(entry, cost, len(payload), array, decoded_hit=False)

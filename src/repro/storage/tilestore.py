@@ -18,6 +18,7 @@ paper's ``t_ix`` / ``t_o`` / ``t_cpu`` breakdown.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
@@ -35,8 +36,10 @@ from repro.query.timing import LoadStats, QueryTiming
 from repro.storage.backends import MemoryBlobStore
 from repro.storage.blob import BlobStore
 from repro.storage.bufferpool import BufferPool
-from repro.storage.compression import decompress, select_codec
+from repro.storage.compression import select_codec
+from repro.storage.decodedcache import DecodedTileCache
 from repro.storage.disk import CpuParameters, DiskParameters, SimulatedDisk
+from repro.storage.pipeline import fetch_tile, fetch_tiles
 
 IndexFactory = Callable[[int, int], SpatialIndex]
 
@@ -291,13 +294,21 @@ class StoredMDD:
 
         The paper's pipeline: (1) index lookup charging ``t_ix``;
         (2) BLOB retrieval of every intersected tile, sorted by page
-        position, charging ``t_o``; (3) composition of tile fragments into
-        the result array, measured as ``t_cpu``.
+        position, charging ``t_o`` — fetch and decode run through
+        :func:`~repro.storage.pipeline.fetch_tiles`, which consults the
+        decoded-tile cache and may overlap decoding on workers while the
+        modelled disk charges stay strictly page-ordered; (3) composition
+        of tile fragments into the result array, measured as ``t_cpu``.
+
+        When a single stored tile fully covers the region, composition is
+        skipped entirely and a zero-copy **read-only** view of the decoded
+        tile is returned.
         """
         region = self.resolve_region(region)
         timing = QueryTiming(cells_result=region.cell_count)
         disk = self.database.disk
         pool = self.database.pool
+        decoded = self.database.decoded_cache
 
         with obs.span(
             "tilestore.read", object=self.name, region=str(region)
@@ -326,49 +337,71 @@ class StoredMDD:
             pool_before = (
                 (pool.hits, pool.misses, pool.evictions) if pool else None
             )
-            payloads: list[tuple[TileEntry, bytes]] = []
+            decoded_before = (
+                (decoded.hits, decoded.misses) if decoded is not None else None
+            )
+            dtype = self.mdd_type.base.dtype
             with obs.span("tilestore.fetch", tiles=len(entries)):
-                for entry in entries:
-                    payload, cost = self.database.read_blob(entry.blob_id)
-                    timing.t_o += cost
+                fetched = fetch_tiles(self.database, entries, dtype)
+                for tile in fetched:
+                    timing.t_o += tile.cost
                     timing.tiles_read += 1
-                    timing.bytes_read += len(payload)
-                    timing.pages_read += disk.blob_pages(entry.blob_id).count
-                    timing.cells_fetched += entry.domain.cell_count
-                    payloads.append((entry, payload))
+                    timing.bytes_read += tile.payload_bytes
+                    timing.pages_read += disk.blob_pages(
+                        tile.entry.blob_id
+                    ).count
+                    timing.cells_fetched += tile.entry.domain.cell_count
             if pool_before is not None:
                 timing.pool_hits = pool.hits - pool_before[0]
                 timing.pool_misses = pool.misses - pool_before[1]
                 timing.pool_evictions = pool.evictions - pool_before[2]
+            if decoded_before is not None:
+                timing.decoded_hits = decoded.hits - decoded_before[0]
+                timing.decoded_misses = decoded.misses - decoded_before[1]
 
             # (3) composition: modelled copy cost (era-calibrated) plus the
             # real numpy time; border tiles pay the strided rate.
             with obs.span("tilestore.compose"):
                 started = time.perf_counter()
-                dtype = self.mdd_type.base.dtype
                 cell_size = self.mdd_type.cell_size
-                out = np.zeros(region.shape, dtype=dtype)
-                default = self.mdd_type.base.default
-                if default != 0:
-                    out[...] = default
                 aligned_bytes = 0
                 border_bytes = 0
-                for entry, payload in payloads:
-                    part = entry.domain.intersection(region)
-                    assert part is not None
-                    if part == entry.domain:
-                        aligned_bytes += entry.domain.cell_count * cell_size
+                single = fetched[0] if len(fetched) == 1 else None
+                if (
+                    single is not None
+                    and single.array is not None
+                    and single.entry.domain.contains(region)
+                ):
+                    # Fast path: one real tile covers the whole region —
+                    # no zeroed buffer, no copy, just a (read-only) view.
+                    if region == single.entry.domain:
+                        aligned_bytes = region.cell_count * cell_size
+                        out = single.array
                     else:
-                        border_bytes += entry.domain.cell_count * cell_size
-                    if entry.virtual:
-                        continue  # synthesized tiles carry default cells
-                    raw = decompress(payload, entry.codec)
-                    tile_data = np.frombuffer(raw, dtype=dtype).reshape(
-                        entry.domain.shape
-                    )
-                    out[part.to_slices(region.lowest)] = tile_data[
-                        part.to_slices(entry.domain.lowest)
-                    ]
+                        border_bytes = (
+                            single.entry.domain.cell_count * cell_size
+                        )
+                        out = single.array[
+                            region.to_slices(single.entry.domain.lowest)
+                        ]
+                else:
+                    out = np.zeros(region.shape, dtype=dtype)
+                    default = self.mdd_type.base.default
+                    if default != 0:
+                        out[...] = default
+                    for tile in fetched:
+                        entry = tile.entry
+                        part = entry.domain.intersection(region)
+                        assert part is not None
+                        if part == entry.domain:
+                            aligned_bytes += entry.domain.cell_count * cell_size
+                        else:
+                            border_bytes += entry.domain.cell_count * cell_size
+                        if tile.array is None:
+                            continue  # synthesized tiles carry default cells
+                        out[part.to_slices(region.lowest)] = tile.array[
+                            part.to_slices(entry.domain.lowest)
+                        ]
                 measured_ms = (time.perf_counter() - started) * 1000.0
             timing.t_cpu = measured_ms + self.database.cpu_parameters.compose_ms(
                 aligned_bytes, border_bytes
@@ -413,6 +446,7 @@ class StoredMDD:
         )
         dtype = self.mdd_type.base.dtype
         pool = self.database.pool
+        decoded = self.database.decoded_cache
         for entry in entries:
             timing = QueryTiming()
             timing.t_ix = pending_ix
@@ -422,31 +456,35 @@ class StoredMDD:
             pool_before = (
                 (pool.hits, pool.misses, pool.evictions) if pool else None
             )
-            payload, cost = self.database.read_blob(entry.blob_id)
+            decoded_before = (
+                (decoded.hits, decoded.misses) if decoded is not None else None
+            )
+            fetched = fetch_tile(self.database, entry, dtype)
             if pool_before is not None:
                 timing.pool_hits = pool.hits - pool_before[0]
                 timing.pool_misses = pool.misses - pool_before[1]
                 timing.pool_evictions = pool.evictions - pool_before[2]
-            timing.t_o = cost
+            if decoded_before is not None:
+                timing.decoded_hits = decoded.hits - decoded_before[0]
+                timing.decoded_misses = decoded.misses - decoded_before[1]
+            timing.t_o = fetched.cost
             timing.tiles_read = 1
-            timing.bytes_read = len(payload)
+            timing.bytes_read = fetched.payload_bytes
             timing.pages_read = disk.blob_pages(entry.blob_id).count
             timing.cells_fetched = entry.domain.cell_count
             part = entry.domain.intersection(region)
             assert part is not None
             timing.cells_result = part.cell_count
             started = time.perf_counter()
-            if entry.virtual:
+            if fetched.array is None:
                 data = np.zeros(part.shape, dtype=dtype)
                 default = self.mdd_type.base.default
                 if default != 0:
                     data[...] = default
             else:
-                raw = decompress(payload, entry.codec)
-                tile_data = np.frombuffer(raw, dtype=dtype).reshape(
-                    entry.domain.shape
-                )
-                data = tile_data[part.to_slices(entry.domain.lowest)].copy()
+                data = fetched.array[
+                    part.to_slices(entry.domain.lowest)
+                ].copy()
             timing.t_cpu = (
                 (time.perf_counter() - started) * 1000.0
                 + self.database.cpu_parameters.compose_ms(
@@ -474,7 +512,13 @@ class StoredMDD:
     # ------------------------------------------------------------------
 
     def update(self, region: MInterval, values: np.ndarray) -> int:
-        """Overwrite covered cells of ``region`` (read-modify-write tiles)."""
+        """Overwrite covered cells of ``region`` (read-modify-write tiles).
+
+        Returns the number of cells the update covered.  A tile whose new
+        payload is byte-identical to its stored payload is *not*
+        rewritten — its BLOB, page placement, and cache entries all stay
+        untouched (a no-op write must not evict hot cache state).
+        """
         self.mdd_type.validate_domain(region, what="update region")
         if tuple(values.shape) != region.shape:
             raise DomainError(
@@ -488,20 +532,19 @@ class StoredMDD:
                 raise StorageError(
                     f"cannot update virtual tile {tile_entry.domain}"
                 )
-            payload, _cost = self.database.read_blob(tile_entry.blob_id)
-            raw = decompress(payload, tile_entry.codec)
-            data = (
-                np.frombuffer(raw, dtype=dtype)
-                .reshape(tile_entry.domain.shape)
-                .copy()
-            )
+            fetched = fetch_tile(self.database, tile_entry, dtype)
+            assert fetched.array is not None
+            data = fetched.array.copy()
             part = tile_entry.domain.intersection(region)
             assert part is not None
             data[part.to_slices(tile_entry.domain.lowest)] = values[
                 part.to_slices(region.lowest)
             ]
-            self._replace_payload(tile_entry, data.tobytes(order="C"))
             written += part.cell_count
+            payload = data.tobytes(order="C")
+            if payload == fetched.array.tobytes(order="C"):
+                continue  # unchanged cells: keep BLOB and caches as-is
+            self._replace_payload(tile_entry, payload)
         return written
 
     def _replace_payload(self, tile_entry: TileEntry, payload: bytes) -> None:
@@ -524,11 +567,14 @@ class StoredMDD:
         dropped.
         """
         self.mdd_type.validate_domain(region, what="delete region")
-        victims = [
-            entry
-            for entry in self._tiles.values()
-            if region.contains(entry.domain)
-        ]
+        victims = sorted(
+            (
+                self._tiles[hit.tile_id]
+                for hit in self.index.search(region).entries
+                if region.contains(hit.domain)
+            ),
+            key=lambda entry: entry.tile_id,
+        )
         for entry in victims:
             self.database.invalidate_blob(entry.blob_id)
             self.database.store.delete(entry.blob_id)
@@ -605,6 +651,8 @@ class Database:
         tile_key=row_major_key,
         compression: bool = False,
         codecs: tuple[str, ...] = ("zlib",),
+        decoded_cache_bytes: int = 0,
+        io_workers: int = 1,
     ) -> None:
         self.store = store if store is not None else MemoryBlobStore()
         if disk_parameters is None:
@@ -616,6 +664,15 @@ class Database:
         self.pool = (
             BufferPool(self.disk, buffer_bytes) if buffer_bytes > 0 else None
         )
+        self.decoded_cache = (
+            DecodedTileCache(decoded_cache_bytes)
+            if decoded_cache_bytes > 0
+            else None
+        )
+        if io_workers < 1:
+            raise StorageError(f"io_workers must be >= 1, got {io_workers}")
+        self.io_workers = io_workers
+        self._io_executor: Optional[ThreadPoolExecutor] = None
         self._index_factory = index_factory
         self.tile_key = tile_key
         self.compression = compression
@@ -634,10 +691,28 @@ class Database:
             return self.pool.read_blob(blob_id)
         return self.disk.read_blob(blob_id)
 
+    def pipeline_executor(self) -> Optional[ThreadPoolExecutor]:
+        """Lazy decode worker pool; ``None`` in serial mode (default)."""
+        if self.io_workers <= 1:
+            return None
+        if self._io_executor is None:
+            self._io_executor = ThreadPoolExecutor(
+                max_workers=self.io_workers, thread_name_prefix="repro-io"
+            )
+        return self._io_executor
+
+    def close(self) -> None:
+        """Shut down the decode worker pool (idempotent)."""
+        if self._io_executor is not None:
+            self._io_executor.shutdown(wait=True)
+            self._io_executor = None
+
     def invalidate_blob(self, blob_id: int) -> None:
-        """Drop a BLOB from the buffer pool (after update/delete)."""
+        """Drop a BLOB from every cache layer (after update/delete)."""
         if self.pool is not None:
             self.pool.invalidate(blob_id)
+        if self.decoded_cache is not None:
+            self.decoded_cache.invalidate(blob_id)
 
     # -- collection management ----------------------------------------------
 
@@ -677,3 +752,5 @@ class Database:
         self.disk.reset()
         if self.pool is not None:
             self.pool.clear()
+        if self.decoded_cache is not None:
+            self.decoded_cache.clear()

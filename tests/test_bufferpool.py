@@ -81,3 +81,32 @@ class TestEviction:
         disk = SimulatedDisk(store)
         with pytest.raises(StorageError):
             BufferPool(disk, -1)
+
+
+class TestObsGauge:
+    def test_used_bytes_gauge_sums_over_pools(self):
+        from repro import obs
+
+        obs.reset()
+        gauge = obs.gauge("pool.used_bytes")
+        store_a, _disk_a, pool_a = make_pool(1000)
+        store_b, _disk_b, pool_b = make_pool(1000)
+        id_a = store_a.put(b"a" * 300)
+        id_b = store_b.put(b"b" * 200)
+        pool_a.read_blob(id_a)
+        pool_b.read_blob(id_b)
+        assert gauge.value == 500
+        pool_a.invalidate(id_a)
+        assert gauge.value == 200
+        pool_b.clear()
+        assert gauge.value == 0
+
+    def test_gauge_tracks_evictions(self):
+        from repro import obs
+
+        obs.reset()
+        gauge = obs.gauge("pool.used_bytes")
+        store, _disk, pool = make_pool(250)
+        for fill in (b"a", b"b", b"c"):
+            pool.read_blob(store.put(fill * 100))
+        assert gauge.value == pool.used_bytes == 200

@@ -1,0 +1,223 @@
+"""Tests for the parallel read pipeline and the decoded-tile cache wiring.
+
+The contract under test: any ``io_workers`` setting produces byte-identical
+result arrays with identical *modelled* charges (``t_o`` exactly; ``t_ix``
+via the index-page count — its measured CPU share naturally jitters), and
+the decoded-tile cache turns repeat reads into zero-disk, zero-decode hits
+that are invalidated by updates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.errors import StorageError
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import RegularTiling
+from repro.tiling.directional import DirectionalTiling
+
+CUBE = mdd_type("Cube", "long", "[0:127,0:127]")
+
+
+def cube_data():
+    return ((np.indices((128, 128)).sum(axis=0) % 97) * 5).astype(np.int32)
+
+
+def loaded(db, name="cube", strategy=None, data=None):
+    obj = db.create_object("pipe", CUBE, name)
+    obj.load_array(
+        cube_data() if data is None else data,
+        strategy or RegularTiling(8 * 1024),
+    )
+    return obj
+
+
+REGIONS = [
+    "[0:127,0:127]",   # full scan, many tiles
+    "[10:100,5:60]",   # partial coverage of border tiles
+    "[0:15,0:15]",     # strict interior of one tile (fast path)
+    "[32:63,32:63]",   # straddles the 3x3 tile grid's first boundary
+]
+
+
+def read_all(db, obj):
+    out = []
+    for spec in REGIONS:
+        db.reset_clock()
+        out.append(obj.read(MInterval.parse(spec)))
+    return out
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("compression", [False, True])
+    def test_parallel_matches_serial(self, compression):
+        serial_db = Database(compression=compression, buffer_bytes=1 << 20)
+        parallel_db = Database(
+            compression=compression, buffer_bytes=1 << 20, io_workers=4
+        )
+        serial_obj = loaded(serial_db)
+        parallel_obj = loaded(parallel_db)
+        for (a, ta), (b, tb) in zip(
+            read_all(serial_db, serial_obj), read_all(parallel_db, parallel_obj)
+        ):
+            assert a.tobytes() == b.tobytes()
+            assert ta.t_o == tb.t_o
+            assert ta.index_nodes == tb.index_nodes
+            assert ta.pages_read == tb.pages_read
+            assert ta.bytes_read == tb.bytes_read
+            assert ta.pool_hits == tb.pool_hits
+            assert ta.pool_misses == tb.pool_misses
+        parallel_db.close()
+
+    def test_parallel_matches_serial_with_virtual_tiles(self):
+        serial_db = Database()
+        parallel_db = Database(io_workers=3)
+        objects = []
+        for db in (serial_db, parallel_db):
+            obj = db.create_object("pipe", CUBE, "virt")
+            obj.load_virtual(
+                MInterval.parse("[0:127,0:127]"), RegularTiling(4 * 1024)
+            )
+            objects.append(obj)
+        region = MInterval.parse("[5:120,7:99]")
+        a, ta = objects[0].read(region)
+        b, tb = objects[1].read(region)
+        assert a.tobytes() == b.tobytes()
+        assert ta.t_o == tb.t_o and ta.bytes_read == tb.bytes_read
+        parallel_db.close()
+
+    def test_parallel_matches_serial_arbitrary_tiling(self):
+        strategy = DirectionalTiling({0: (0, 39, 89, 127), 1: (0, 24, 127)})
+        serial_obj = loaded(Database(compression=True), strategy=strategy)
+        parallel_db = Database(compression=True, io_workers=4)
+        parallel_obj = loaded(parallel_db, strategy=strategy)
+        region = MInterval.parse("[20:110,10:70]")
+        a, ta = serial_obj.read(region)
+        b, tb = parallel_obj.read(region)
+        assert a.tobytes() == b.tobytes()
+        assert ta.t_o == tb.t_o and ta.tiles_read == tb.tiles_read
+        parallel_db.close()
+
+    def test_decoded_cache_trajectory_mode_independent(self):
+        # A cache that holds only ~2 decoded tiles: deferred batch
+        # admissions must keep hits identical in serial and parallel mode.
+        kwargs = dict(compression=True, decoded_cache_bytes=3000)
+        serial_db = Database(**kwargs)
+        parallel_db = Database(io_workers=4, **kwargs)
+        serial_obj = loaded(serial_db)
+        parallel_obj = loaded(parallel_db)
+        for spec in ("[0:127,0:127]", "[0:127,0:127]", "[0:40,0:40]"):
+            region = MInterval.parse(spec)
+            _, ta = serial_obj.read(region)
+            _, tb = parallel_obj.read(region)
+            assert ta.decoded_hits == tb.decoded_hits
+            assert ta.decoded_misses == tb.decoded_misses
+        parallel_db.close()
+
+    def test_io_workers_validation_and_close(self):
+        with pytest.raises(StorageError):
+            Database(io_workers=0)
+        db = Database(io_workers=2)
+        assert db.pipeline_executor() is db.pipeline_executor()
+        db.close()
+        db.close()  # idempotent
+        assert Database().pipeline_executor() is None
+
+
+class TestDecodedCache:
+    def test_warm_read_is_all_hits_and_free(self):
+        db = Database(compression=True, decoded_cache_bytes=8 << 20)
+        obj = loaded(db)
+        region = MInterval.parse("[0:127,0:127]")
+        cold, t_cold = obj.read(region)
+        warm, t_warm = obj.read(region)
+        assert np.array_equal(cold, warm)
+        assert t_cold.decoded_misses == t_cold.tiles_read
+        assert t_warm.decoded_hits == t_warm.tiles_read
+        assert t_warm.decoded_misses == 0
+        assert t_warm.t_o == 0.0
+        # payload bytes are accounted even when served from the cache
+        assert t_warm.bytes_read == t_cold.bytes_read
+
+    def test_decode_happens_once(self):
+        obs.reset()
+        decoded = obs.counter("pipeline.tiles_decoded")
+        db = Database(compression=True, decoded_cache_bytes=8 << 20)
+        obj = loaded(db)
+        region = MInterval.parse("[0:127,0:127]")
+        obj.read(region)
+        after_cold = decoded.value
+        assert after_cold > 0
+        obj.read(region)
+        assert decoded.value == after_cold
+
+    def test_update_invalidates_decoded_tile(self):
+        db = Database(decoded_cache_bytes=8 << 20)
+        obj = loaded(db)
+        region = MInterval.parse("[0:15,0:15]")
+        obj.read(region)  # populate the cache
+        obj.update(MInterval.parse("[0:0,0:0]"), np.array([[999]], np.int32))
+        fresh, timing = obj.read(region)
+        assert fresh[0, 0] == 999
+        assert timing.decoded_misses >= 1
+
+    def test_delete_region_invalidates_decoded_tiles(self):
+        db = Database(decoded_cache_bytes=8 << 20)
+        obj = loaded(db)
+        obj.read(MInterval.parse("[0:127,0:127]"))
+        assert len(db.decoded_cache) > 0
+        obj.delete_region(MInterval.parse("[0:127,0:127]"))
+        assert len(db.decoded_cache) == 0
+
+    def test_reset_clock_clears_decoded_cache(self):
+        db = Database(decoded_cache_bytes=8 << 20)
+        obj = loaded(db)
+        obj.read(MInterval.parse("[0:127,0:127]"))
+        assert len(db.decoded_cache) > 0
+        db.reset_clock()
+        assert len(db.decoded_cache) == 0
+        _, timing = obj.read(MInterval.parse("[0:127,0:127]"))
+        assert timing.decoded_hits == 0
+
+    def test_no_cache_by_default(self):
+        db = Database()
+        obj = loaded(db)
+        _, timing = obj.read(MInterval.parse("[0:127,0:127]"))
+        assert db.decoded_cache is None
+        assert timing.decoded_hits == 0 and timing.decoded_misses == 0
+
+
+class TestComposeFastPath:
+    def test_single_tile_exact_read_is_zero_copy(self):
+        db = Database(decoded_cache_bytes=8 << 20)
+        obj = loaded(db)
+        region = obj.tile_entries()[0].domain  # exactly one stored tile
+        out, timing = obj.read(region)
+        assert timing.tiles_read == 1
+        assert not out.flags.writeable  # cached tile served as a view
+        lo, hi = region.lowest, region.highest
+        assert np.array_equal(
+            out, cube_data()[lo[0]:hi[0] + 1, lo[1]:hi[1] + 1]
+        )
+
+    def test_single_tile_window_read(self):
+        db = Database()
+        obj = loaded(db)
+        region = MInterval.parse("[2:13,3:9]")  # strict interior of one tile
+        out, timing = obj.read(region)
+        assert timing.tiles_read == 1
+        assert np.array_equal(out, cube_data()[2:14, 3:10])
+
+    def test_fast_path_result_safe_after_invalidation(self):
+        db = Database(decoded_cache_bytes=8 << 20)
+        obj = loaded(db)
+        region = obj.tile_entries()[0].domain
+        out, _ = obj.read(region)
+        expected = out.copy()
+        obj.update(region, np.zeros(region.shape, np.int32))
+        # the earlier view still sees the pre-update cells
+        assert np.array_equal(out, expected)
+        fresh, _ = obj.read(region)
+        assert np.count_nonzero(fresh) == 0

@@ -220,6 +220,47 @@ class TestUpdateAndDrop:
         with pytest.raises(StorageError):
             obj.update(MInterval.parse("[0:9,0:9]"), np.zeros((10, 10), np.uint8))
 
+    def test_noop_update_skips_blob_rewrite(self):
+        db, obj, data = loaded_object()
+        region = MInterval.parse("[10:19,10:19]")
+        ids_before = sorted(entry.blob_id for entry in obj.tile_entries())
+        written = obj.update(region, data[10:20, 10:20])  # values unchanged
+        assert written == 100  # cells touched are still reported
+        assert sorted(e.blob_id for e in obj.tile_entries()) == ids_before
+        out, _ = obj.read(region)
+        assert (out == data[10:20, 10:20]).all()
+
+    def test_noop_update_keeps_pool_entry(self):
+        db = Database(buffer_bytes=1 << 20)
+        obj = db.create_object("imgs", IMG, "img1")
+        data = checkerboard((100, 100))
+        obj.load_array(data, RegularTiling(1024))
+        region = MInterval.parse("[0:9,0:9]")
+        obj.read(region)  # warm the pool
+        hits_before = db.pool.hits
+        obj.update(region, data[0:10, 0:10])  # no cell changes
+        _, timing = obj.read(region)
+        assert db.pool.hits > hits_before  # cache survived the update
+        assert timing.t_o == 0.0
+
+    def test_delete_region_uses_index_and_keeps_partials(self):
+        db, obj, data = loaded_object(max_tile=1024)
+        tiles_before = obj.tile_count
+        # A region covering some tiles fully, clipping others.
+        region = MInterval.parse("[0:40,0:40]")
+        contained = sum(
+            1
+            for entry in obj.tile_entries()
+            if region.contains(entry.domain)
+        )
+        assert 0 < contained < tiles_before
+        dropped = obj.delete_region(region)
+        assert dropped == contained
+        assert obj.tile_count == tiles_before - contained
+        # Partially overlapping tiles keep all their cells.
+        out, _ = obj.read(MInterval.parse("[41:99,41:99]"))
+        assert (out == data[41:100, 41:100]).all()
+
     def test_drop_releases_everything(self):
         db, obj, _data = loaded_object()
         blobs_before = len(db.store)
