@@ -8,7 +8,6 @@ search against the flat directory, plus node-visit scaling — the quantity
 from __future__ import annotations
 
 
-import pytest
 
 from conftest import write_result
 

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_pipeline.json against the committed baseline.
+
+The read pipeline's correctness surface is deterministic: result digests,
+the modelled disk charges (t_o, t_ix, pages/bytes/tiles read), and the
+identity verdicts never vary across runs on the same code.  Wall-clock
+fields do vary, so they are ignored.  A mismatch in any deterministic
+field is a regression and fails the build.
+
+Usage:
+    python benchmarks/check_regression.py CANDIDATE [BASELINE]
+
+BASELINE defaults to benchmarks/baselines/BENCH_pipeline.json relative
+to this script.  Exit status 0 = no regression, 1 = regression, 2 = bad
+invocation or unreadable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# deterministic per-query timing fields (modelled charges, not wall time)
+CHARGE_FIELDS = (
+    "t_o",
+    "tiles_read",
+    "bytes_read",
+    "pages_read",
+    "index_nodes",
+    "cells_result",
+    "cells_fetched",
+)
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def compare(candidate: dict, baseline: dict) -> list[str]:
+    problems: list[str] = []
+
+    base_identity = baseline.get("identity", {})
+    cand_identity = candidate.get("identity", {})
+    for key, expected in sorted(base_identity.items()):
+        actual = cand_identity.get(key)
+        if isinstance(expected, bool):
+            # a verdict that held in the baseline must keep holding
+            if expected and actual is not True:
+                problems.append(
+                    f"identity.{key}: baseline True, candidate {actual!r}"
+                )
+        elif actual != expected:
+            problems.append(
+                f"identity.{key}: baseline {expected!r}, "
+                f"candidate {actual!r}"
+            )
+
+    base_modes = baseline.get("modes", {})
+    cand_modes = candidate.get("modes", {})
+    for mode, queries in sorted(base_modes.items()):
+        if mode not in cand_modes:
+            problems.append(f"modes.{mode}: missing from candidate")
+            continue
+        for query, base_run in sorted(queries.items()):
+            cand_run = cand_modes[mode].get(query)
+            if cand_run is None:
+                problems.append(f"modes.{mode}.{query}: missing")
+                continue
+            if cand_run.get("digest") != base_run.get("digest"):
+                problems.append(
+                    f"modes.{mode}.{query}: result digest changed "
+                    f"({base_run.get('digest')} -> "
+                    f"{cand_run.get('digest')})"
+                )
+            base_timing = base_run.get("timing", {})
+            cand_timing = cand_run.get("timing", {})
+            for field in CHARGE_FIELDS:
+                if field not in base_timing:
+                    continue
+                if cand_timing.get(field) != base_timing[field]:
+                    problems.append(
+                        f"modes.{mode}.{query}.timing.{field}: "
+                        f"baseline {base_timing[field]!r}, "
+                        f"candidate {cand_timing.get(field)!r}"
+                    )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    candidate_path = Path(argv[1])
+    baseline_path = (
+        Path(argv[2])
+        if len(argv) == 3
+        else Path(__file__).parent / "baselines" / "BENCH_pipeline.json"
+    )
+    candidate = _load(candidate_path)
+    baseline = _load(baseline_path)
+    problems = compare(candidate, baseline)
+    if problems:
+        print(f"REGRESSION vs {baseline_path}:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    checked = sum(
+        len(queries) for queries in baseline.get("modes", {}).values()
+    )
+    print(
+        f"ok: {checked} mode/query results and "
+        f"{len(baseline.get('identity', {}))} identity verdicts match "
+        f"{baseline_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -12,6 +12,8 @@ Usage::
     python -m repro stats         # observability registry snapshot
     python -m repro trace QUERY   # span trace of one sales-cube query
     python -m repro bench pipeline  # serial vs parallel vs decoded cache
+    python -m repro recover DIR   # replay the write-ahead log of a database
+    python -m repro fsck DIR      # offline consistency check (exit 1 on issues)
 
 Benchmark commands accept ``--runs N`` (repeat count per query, default
 3), ``--buffer-mb M`` (enable an LRU buffer pool), ``--warm`` (keep the
@@ -384,6 +386,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown bench mode {args.mode!r}")
 
 
+# ----------------------------------------------------------------------
+# Durability commands
+# ----------------------------------------------------------------------
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Run the recovery pass on a database directory and report it."""
+    from repro.storage.catalog import open_database
+
+    database = open_database(args.directory)
+    report = database.last_recovery
+    database.close()
+    if report is None or report.clean:
+        print(f"{args.directory}: log clean, nothing to recover")
+        return 0
+    print(
+        f"{args.directory}: replayed {report.transactions_replayed} "
+        f"transaction(s) / {report.records_replayed} record(s) "
+        f"({report.blobs_restored} blob(s) restored); discarded "
+        f"{report.records_discarded} uncommitted record(s) and "
+        f"{report.torn_bytes} torn byte(s)"
+    )
+    return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Offline consistency check; exit 1 when inconsistencies exist."""
+    from repro.storage.fsck import fsck_database
+
+    report = fsck_database(args.directory)
+    print(report.summary())
+    for issue in report.issues:
+        print(f"  {issue}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "info": cmd_info,
     "spec": cmd_spec,
@@ -395,6 +432,8 @@ _COMMANDS = {
     "stats": cmd_stats,
     "trace": cmd_trace,
     "bench": cmd_bench,
+    "recover": cmd_recover,
+    "fsck": cmd_fsck,
 }
 
 _BENCH_COMMANDS = ("table4", "table6", "figure7", "figure8", "tables")
@@ -482,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-artifacts", action="store_true",
         help="do not write BENCH_*.json artifacts",
     )
+    recover = subparsers.add_parser(
+        "recover", help="replay a database's write-ahead log after a crash"
+    )
+    recover.add_argument("directory", help="database directory to recover")
+    fsck = subparsers.add_parser(
+        "fsck", help="offline consistency check of a database directory"
+    )
+    fsck.add_argument("directory", help="database directory to check")
     trace = subparsers.add_parser(
         "trace", help="span-trace one sales-cube query"
     )

@@ -44,6 +44,18 @@ class PageError(StorageError):
     """Invalid page id or page-level corruption."""
 
 
+class ChecksumError(PageError):
+    """Stored bytes do not match their recorded CRC32C checksum."""
+
+
+class WalError(StorageError):
+    """Invalid write-ahead-log usage or unrecoverable log corruption."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not reconcile the log with the checkpoint."""
+
+
 class IndexError_(ReproError):
     """Failure in the spatial index layer.
 

@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 from repro.obs.metrics import (
+    BYTE_BUCKETS,
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
@@ -48,6 +49,7 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    "BYTE_BUCKETS",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",

@@ -24,13 +24,19 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 #: Default histogram bounds in milliseconds — spans the simulated disk's
 #: range from a sub-millisecond page transfer to a multi-second scan.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
     50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+#: Power-of-four byte bounds for size-flavoured histograms (WAL commit
+#: batches, payload sizes) — 64 B up to 4 MiB.
+BYTE_BUCKETS: Tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
 )
 
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.core.errors import QueryError
 from repro.core.geometry import MInterval

@@ -8,18 +8,34 @@ than the host machine.
 page offsets, with a JSON catalog sidecar, so databases survive process
 restarts.  It demonstrates that the page placement the disk model charges
 for is the placement actually used on disk.
+
+Durability hardening: every payload write records a CRC32C per storage
+page (persisted in the sidecar) and every read verifies them, so a torn
+page or a flipped bit surfaces as a
+:class:`~repro.core.errors.ChecksumError` instead of silently corrupt
+cells.  An optional :class:`~repro.storage.faults.FaultInjector` wraps
+the page file for crash testing.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.core.errors import StorageError
+from repro import obs
+from repro.core.errors import ChecksumError, StorageError
 from repro.storage.blob import BlobRecord, BlobStore
+from repro.storage.checksum import page_checksums, verify_page_checksums
+from repro.storage.faults import FaultInjector, fsync_file
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange
+
+_PAGES_VERIFIED = obs.counter(
+    "checksum.pages_verified", "Storage pages whose CRC32C was checked on read"
+)
+_PAGE_FAILURES = obs.counter(
+    "checksum.page_failures", "Storage pages failing CRC32C verification"
+)
 
 
 class MemoryBlobStore(BlobStore):
@@ -51,20 +67,32 @@ class FileBlobStore(BlobStore):
     ``pages.start * page_size``); ``<path>.catalog.json`` records the
     catalog.  Call :meth:`sync` (or use as a context manager) to persist
     the catalog; :meth:`open` reloads an existing store.
+
+    ``checksums`` (default on) records a CRC32C per page of every real
+    payload and verifies on read; ``injector`` routes page-file writes
+    through a :class:`~repro.storage.faults.FaultInjector` for crash
+    testing.
     """
 
     CATALOG_SUFFIX = ".catalog.json"
 
     def __init__(
-        self, path: Union[str, Path], page_size: int = DEFAULT_PAGE_SIZE
+        self,
+        path: Union[str, Path],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        checksums: bool = True,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(page_size)
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.checksums = checksums
+        self._page_crcs: dict[int, list[int]] = {}
         # "a+b" must be avoided: O_APPEND redirects every write to the file
         # end, ignoring seek positions, which would corrupt page placement.
         mode = "r+b" if self.path.exists() else "w+b"
-        self._file = open(self.path, mode)
+        raw = open(self.path, mode)
+        self._file = injector.wrap(raw, "pages") if injector else raw
 
     # -- persistence -------------------------------------------------------
 
@@ -74,12 +102,15 @@ class FileBlobStore(BlobStore):
 
     def sync(self) -> None:
         """Flush the page file and write the catalog sidecar."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self.flush_pending()
+        fsync_file(self._file)
         payload = {
             "page_size": self.page_size,
             "next_id": self._next_id,
             "high_water": self._allocator.high_water,
+            "free": [
+                [r.start, r.count] for r in self._allocator.free_ranges()
+            ],
             "blobs": [
                 {
                     "id": r.blob_id,
@@ -89,6 +120,7 @@ class FileBlobStore(BlobStore):
                     "count": r.pages.count,
                     "virtual": r.virtual,
                     "codec": r.codec,
+                    "crcs": self._page_crcs.get(r.blob_id),
                 }
                 for r in self._catalog.values()
             ],
@@ -98,16 +130,29 @@ class FileBlobStore(BlobStore):
         tmp.replace(self.catalog_path)
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "FileBlobStore":
+    def open(
+        cls,
+        path: Union[str, Path],
+        checksums: bool = True,
+        injector: Optional[FaultInjector] = None,
+    ) -> "FileBlobStore":
         """Reload a previously synced store."""
         path = Path(path)
         catalog_path = path.with_name(path.name + cls.CATALOG_SUFFIX)
         if not catalog_path.exists():
             raise StorageError(f"no catalog at {catalog_path}")
         meta = json.loads(catalog_path.read_text())
-        store = cls(path, page_size=meta["page_size"])
+        store = cls(
+            path,
+            page_size=meta["page_size"],
+            checksums=checksums,
+            injector=injector,
+        )
         store._next_id = meta["next_id"]
         store._allocator._next_page = meta["high_water"]
+        store._allocator.restore_free_ranges(
+            PageRange(start, count) for start, count in meta.get("free", [])
+        )
         for entry in meta["blobs"]:
             record = BlobRecord(
                 blob_id=entry["id"],
@@ -118,6 +163,9 @@ class FileBlobStore(BlobStore):
                 stored_size=entry["stored_size"],
             )
             store._catalog[record.blob_id] = record
+            crcs = entry.get("crcs")
+            if crcs is not None:
+                store._page_crcs[record.blob_id] = list(crcs)
         return store
 
     def close(self) -> None:
@@ -139,6 +187,13 @@ class FileBlobStore(BlobStore):
                 f"payload of {len(payload)} bytes overflows page range "
                 f"{record.pages}"
             )
+        if self.checksums:
+            # Checksums are recorded before the bytes go out: a write torn
+            # mid-page then fails verification instead of reading back as
+            # silently truncated data.
+            self._page_crcs[record.blob_id] = page_checksums(
+                payload, self.page_size
+            )
         self._file.seek(record.pages.start * self.page_size)
         self._file.write(payload)
         record.stored_size = len(payload)
@@ -153,8 +208,18 @@ class FileBlobStore(BlobStore):
                 f"short read for blob {record.blob_id}: wanted {stored} "
                 f"bytes, got {len(raw)}"
             )
+        expected = self._page_crcs.get(record.blob_id)
+        if self.checksums and expected is not None:
+            bad = verify_page_checksums(raw, self.page_size, expected)
+            _PAGES_VERIFIED.inc(len(expected))
+            if bad:
+                _PAGE_FAILURES.inc(len(bad))
+                raise ChecksumError(
+                    f"blob {record.blob_id}: CRC32C mismatch on page(s) "
+                    f"{bad} of {record.pages}"
+                )
         return raw
 
     def _delete_payload(self, record: BlobRecord) -> None:
         # Pages are recycled by the allocator; bytes stay until overwritten.
-        return None
+        self._page_crcs.pop(record.blob_id, None)

@@ -44,7 +44,15 @@ class BlobRecord:
 
 
 class BlobStore(abc.ABC):
-    """Abstract page-placed BLOB store."""
+    """Abstract page-placed BLOB store.
+
+    With *deferred writes* enabled (the write-ahead-log mode), ``put``
+    holds payloads in a pending buffer instead of writing them to the
+    backend; the owning :class:`~repro.storage.tilestore.Database`
+    flushes the buffer only after the corresponding log records are
+    durable, which is the WAL rule that makes crash recovery redo-only:
+    the backend never holds bytes the log does not.
+    """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
         if page_size < 1:
@@ -53,6 +61,8 @@ class BlobStore(abc.ABC):
         self._allocator = PageAllocator()
         self._catalog: dict[int, BlobRecord] = {}
         self._next_id = 1
+        self._deferred = False
+        self._pending: dict[int, bytes] = {}
 
     # -- catalog ---------------------------------------------------------
 
@@ -87,7 +97,10 @@ class BlobStore(abc.ABC):
         record = BlobRecord(
             blob_id, len(payload), pages, virtual=False, codec=codec
         )
-        self._write_payload(record, payload)
+        if self._deferred:
+            self._pending[blob_id] = payload
+        else:
+            self._write_payload(record, payload)
         self._catalog[blob_id] = record
         return blob_id
 
@@ -106,10 +119,75 @@ class BlobStore(abc.ABC):
     def delete(self, blob_id: int) -> None:
         """Drop a BLOB, returning its pages to the allocator."""
         record = self.record(blob_id)
+        self._pending.pop(blob_id, None)
         if not record.virtual:
             self._delete_payload(record)
         self._allocator.release(record.pages)
         del self._catalog[blob_id]
+
+    def restore(self, record: BlobRecord, payload: Optional[bytes]) -> None:
+        """Recreate a BLOB at an exact id and page placement (WAL replay).
+
+        Unlike :meth:`put`, the placement is dictated by the caller — the
+        log recorded where the bytes lived, and redo must put them back
+        there.  Restoring an id already in the catalog is an error when
+        the placement differs (log/checkpoint disagreement) and a no-op
+        when it matches (idempotent re-replay).
+        """
+        existing = self._catalog.get(record.blob_id)
+        if existing is not None:
+            if existing.pages != record.pages:
+                raise StorageError(
+                    f"blob {record.blob_id} already placed at {existing.pages}, "
+                    f"log says {record.pages}"
+                )
+            return
+        self._allocator.reserve(record.pages)
+        self._catalog[record.blob_id] = record
+        self._next_id = max(self._next_id, record.blob_id + 1)
+        if not record.virtual:
+            if payload is None:
+                raise StorageError(
+                    f"restore of real blob {record.blob_id} needs a payload"
+                )
+            self._write_payload(record, payload)
+
+    # -- deferred writes (write-ahead-log ordering) ----------------------
+
+    def set_deferred_writes(self, deferred: bool) -> None:
+        """Toggle write-behind mode; flushes nothing by itself."""
+        self._deferred = deferred
+
+    @property
+    def pending_writes(self) -> int:
+        """Number of payloads buffered but not yet on the backend."""
+        return len(self._pending)
+
+    def flush_pending(self) -> int:
+        """Write every buffered payload to the backend, in page order.
+
+        Called after the WAL commit record is durable; returns the number
+        of payloads written.
+        """
+        flushed = 0
+        for blob_id in sorted(
+            self._pending, key=lambda b: self._catalog[b].pages.start
+        ):
+            self._write_payload(self._catalog[blob_id], self._pending[blob_id])
+            flushed += 1
+        self._pending.clear()
+        return flushed
+
+    def discard_pending(self) -> tuple[int, ...]:
+        """Drop buffered payloads (transaction abort); returns their ids.
+
+        The catalog entries stay — the in-memory database that issued the
+        aborted transaction is considered dead (crash semantics) and must
+        be reopened from the durable state.
+        """
+        dropped = tuple(self._pending)
+        self._pending.clear()
+        return dropped
 
     # -- reads -----------------------------------------------------------
 
@@ -118,6 +196,9 @@ class BlobStore(abc.ABC):
         record = self.record(blob_id)
         if record.virtual:
             return bytes(record.byte_size)
+        pending = self._pending.get(blob_id)
+        if pending is not None:
+            return pending
         return self._read_payload(record)
 
     # -- backend hooks -----------------------------------------------------

@@ -94,6 +94,15 @@ class BufferPool:
         _USED_BYTES.dec(self._used)
         self._used = 0
 
+    def reset_stats(self) -> None:
+        """Zero the local hit/miss/eviction tallies (measurement boundary).
+
+        Contents are untouched — clearing data and clearing counters are
+        different decisions; ``Database.reset_clock`` does both."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

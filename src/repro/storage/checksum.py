@@ -1,0 +1,92 @@
+"""CRC32C (Castagnoli) checksums for WAL records and storage pages.
+
+The durability layer guards every write-ahead-log record and every data
+page with a CRC32C checksum — the same polynomial iSCSI, ext4 and most
+storage engines use, chosen over CRC32 (zlib) for its better burst-error
+detection.  The standard library has no CRC32C, so this module carries a
+dependency-free slice-by-8 implementation: eight 256-entry tables are
+derived once from the reflected polynomial and the hot loop consumes the
+input eight bytes per step.  Throughput is easily sufficient for the
+page sizes involved (a checksum of an 8 KiB page is a fraction of the
+modelled cost of reading it).
+
+Verification failures surface as
+:class:`~repro.core.errors.ChecksumError` at the call sites (page reads,
+WAL scans); this module only computes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+_POLY = 0x82F63B78  # CRC-32C (Castagnoli), reflected
+
+
+def _build_tables() -> Tuple[Tuple[int, ...], ...]:
+    table0 = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table0.append(crc)
+    tables = [table0]
+    for _ in range(7):
+        prev = tables[-1]
+        tables.append([(prev[i] >> 8) ^ table0[prev[i] & 0xFF] for i in range(256)])
+    return tuple(tuple(t) for t in tables)
+
+
+_TABLES = _build_tables()
+_U64 = struct.Struct("<Q")
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC32C of ``data``; pass a previous result as ``crc`` to chain."""
+    crc = (crc ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    t0, t1, t2, t3, t4, t5, t6, t7 = _TABLES
+    view = memoryview(data)
+    end8 = len(view) - (len(view) % 8)
+    for (word,) in _U64.iter_unpack(view[:end8]):
+        word ^= crc
+        crc = (
+            t7[word & 0xFF]
+            ^ t6[(word >> 8) & 0xFF]
+            ^ t5[(word >> 16) & 0xFF]
+            ^ t4[(word >> 24) & 0xFF]
+            ^ t3[(word >> 32) & 0xFF]
+            ^ t2[(word >> 40) & 0xFF]
+            ^ t1[(word >> 48) & 0xFF]
+            ^ t0[word >> 56]
+        )
+    for byte in view[end8:]:
+        crc = (crc >> 8) ^ t0[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def page_checksums(payload: bytes, page_size: int) -> list[int]:
+    """Per-page CRC32C list for a payload laid out across whole pages.
+
+    The last chunk may be shorter than a page: only the stored bytes are
+    checksummed (bytes past ``len(payload)`` in the final page are slack
+    the reader never returns).  An empty payload has no chunks.
+    """
+    return [
+        crc32c(payload[offset : offset + page_size])
+        for offset in range(0, len(payload), page_size)
+    ]
+
+
+def verify_page_checksums(
+    payload: bytes, page_size: int, expected: list[int]
+) -> list[int]:
+    """Indexes of pages whose checksum does not match ``expected``.
+
+    A length mismatch between the chunk list and ``expected`` marks every
+    page as bad — the checksum table itself is inconsistent with the
+    payload, which is exactly what a torn metadata write looks like.
+    """
+    actual = page_checksums(payload, page_size)
+    if len(actual) != len(expected):
+        return list(range(max(len(actual), len(expected))))
+    return [i for i, (a, e) in enumerate(zip(actual, expected)) if a != e]

@@ -146,6 +146,15 @@ class DecodedTileCache:
         self._discard_bytes(self._used)
         self._entries.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the local hit/miss/eviction tallies (measurement boundary).
+
+        Contents are untouched — clearing data and clearing counters are
+        different decisions; ``Database.reset_clock`` does both."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

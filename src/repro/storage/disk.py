@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.core.errors import StorageError
 from repro.storage.blob import BlobStore
-from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange, pages_needed
 
 _BLOB_READS = obs.counter("disk.blob_reads", "BLOBs fetched from the simulated disk")
 _PAGES_READ = obs.counter("disk.pages_read", "Pages charged on the simulated disk")
@@ -35,6 +35,9 @@ _SEQUENTIAL_READS = obs.counter("disk.sequential_reads", "Reads continuing at th
 _INDEX_NODE_READS = obs.counter("disk.index_node_reads", "Index node pages charged")
 _MODEL_MS = obs.counter("disk.model_ms", "Modelled disk milliseconds charged")
 _BLOB_READ_MS = obs.histogram("disk.blob_read_ms", "Modelled milliseconds per BLOB read")
+_WAL_APPENDS = obs.counter("disk.wal_appends", "Write-ahead-log append charges")
+_WAL_PAGES = obs.counter("disk.wal_pages_written", "Pages charged for WAL appends")
+_WAL_MS = obs.counter("disk.wal_ms", "Modelled WAL milliseconds charged")
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,11 @@ class DiskCounters:
     sequential_reads: int = 0
     bytes_read: int = 0
     time_ms: float = 0.0
+    # WAL appends are accounted separately from time_ms: durability cost
+    # must not pollute the paper's t_o, which measures retrieval only.
+    wal_appends: int = 0
+    wal_pages: int = 0
+    wal_ms: float = 0.0
 
     def snapshot(self) -> "DiskCounters":
         return DiskCounters(**vars(self))
@@ -182,6 +190,28 @@ class SimulatedDisk:
         _PAGES_READ.inc()
         _RANDOM_ACCESSES.inc()
         _MODEL_MS.inc(cost)
+        return cost
+
+    def charge_log_append(self, byte_count: int, fsync: bool = False) -> float:
+        """Charge a sequential write-ahead-log append.
+
+        The log is the one strictly sequential write stream in the
+        system, so an append pays only transfer time for its pages; a
+        synchronous commit (``fsync``) additionally waits half a rotation
+        for the platter.  Charged into the separate ``wal_*`` counters —
+        durability overhead is reported next to, not inside, the paper's
+        ``t_o``.
+        """
+        pages = pages_needed(byte_count, self.parameters.page_size)
+        cost = pages * self.parameters.transfer_ms_per_page()
+        if fsync:
+            cost += self.parameters.rotation_ms / 2.0
+        self.counters.wal_appends += 1
+        self.counters.wal_pages += pages
+        self.counters.wal_ms += cost
+        _WAL_APPENDS.inc()
+        _WAL_PAGES.inc(pages)
+        _WAL_MS.inc(cost)
         return cost
 
     # -- blob interface ------------------------------------------------------

@@ -75,6 +75,49 @@ class PageAllocator:
         self._next_page += count
         return taken
 
+    def reserve(self, page_range: PageRange) -> None:
+        """Mark an exact range as allocated (WAL replay re-applies logged
+        placements instead of choosing new ones).
+
+        The range must be entirely unallocated: inside free holes, past
+        the high-water mark, or a mix of both.  A collision with pages
+        already in use is a :class:`PageError` — replaying a log record
+        onto a checkpoint that already occupies those pages means the log
+        and the checkpoint disagree.
+        """
+        remaining = page_range
+        if remaining.start >= self._next_page:
+            # Entirely in virgin territory; any gap becomes a hole.
+            if remaining.start > self._next_page:
+                self._free.append(
+                    PageRange(self._next_page, remaining.start - self._next_page)
+                )
+            self._next_page = remaining.end
+            return
+        covered = 0
+        keep: list[PageRange] = []
+        for hole in self._free:
+            overlap_start = max(hole.start, remaining.start)
+            overlap_end = min(hole.end, remaining.end)
+            if overlap_start >= overlap_end:
+                keep.append(hole)
+                continue
+            covered += overlap_end - overlap_start
+            if hole.start < overlap_start:
+                keep.append(PageRange(hole.start, overlap_start - hole.start))
+            if overlap_end < hole.end:
+                keep.append(PageRange(overlap_end, hole.end - overlap_end))
+        if remaining.end > self._next_page:
+            covered += remaining.end - self._next_page
+            self._next_page = remaining.end
+        if covered != remaining.count:
+            raise PageError(
+                f"cannot reserve {page_range}: "
+                f"{remaining.count - covered} pages already allocated"
+            )
+        keep.sort(key=lambda r: r.start)
+        self._free = keep
+
     def release(self, page_range: PageRange) -> None:
         """Return a range to the free list (coalescing adjacent holes)."""
         merged = page_range
@@ -93,3 +136,20 @@ class PageAllocator:
     def free_pages(self) -> int:
         """Total pages currently in the free list."""
         return sum(hole.count for hole in self._free)
+
+    def free_ranges(self) -> tuple[PageRange, ...]:
+        """The current free holes, ordered by start page (for sidecars)."""
+        return tuple(self._free)
+
+    def restore_free_ranges(self, ranges) -> None:
+        """Replace the free list (reloading a persisted allocator)."""
+        holes = sorted(ranges, key=lambda r: r.start)
+        for hole in holes:
+            if hole.end > self._next_page:
+                raise PageError(
+                    f"free range {hole} beyond high water {self._next_page}"
+                )
+        for earlier, later in zip(holes, holes[1:]):
+            if earlier.end > later.start:
+                raise PageError(f"free ranges {earlier} and {later} overlap")
+        self._free = holes

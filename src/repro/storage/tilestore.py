@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -39,9 +41,14 @@ from repro.storage.bufferpool import BufferPool
 from repro.storage.compression import select_codec
 from repro.storage.decodedcache import DecodedTileCache
 from repro.storage.disk import CpuParameters, DiskParameters, SimulatedDisk
+from repro.storage.faults import FaultInjector
 from repro.storage.pipeline import fetch_tile, fetch_tiles
+from repro.storage.wal import WriteAheadLog
 
 IndexFactory = Callable[[int, int], SpatialIndex]
+
+#: Durability modes: no log, logged, logged + synchronous commits.
+DURABILITY_MODES = ("none", "wal", "wal+fsync")
 
 _TILES_STORED = obs.counter("tilestore.tiles_stored", "Tiles written as BLOBs")
 _TILES_LOADED = obs.counter("tilestore.tiles_loaded", "Tiles fetched for reads")
@@ -78,16 +85,25 @@ class StoredMDD:
         mdd_type: MDDType,
         name: str,
         index: Optional[SpatialIndex] = None,
+        collection: str = "",
     ) -> None:
         self.database = database
         self.mdd_type = mdd_type
         self.name = name
+        self.collection = collection
         self.index = index if index is not None else database.make_index(
             mdd_type.dim
         )
         self._tiles: dict[int, TileEntry] = {}
         self._next_tile_id = 1
         self._current_domain: Optional[MInterval] = None
+
+    def _log_meta(self, operation: dict) -> None:
+        """Buffer a redo record naming this object (no-op without a WAL)."""
+        if self.database.wal is not None:
+            operation.setdefault("coll", self.collection)
+            operation.setdefault("obj", self.name)
+            self.database.wal.log_meta(operation)
 
     # ------------------------------------------------------------------
     # State
@@ -126,23 +142,31 @@ class StoredMDD:
     def insert_tile(self, tile: Tile) -> int:
         """Store one tile (cells copied to a BLOB, domain indexed)."""
         with obs.span("tilestore.insert_tile", object=self.name):
-            self._admit_domain(tile.domain)
-            payload = tile.to_bytes()
-            codec = "none"
-            if self.database.compression:
-                codec, payload = select_codec(payload, self.database.codecs)
-            blob_id = self.database.store.put(payload, codec=codec)
-            _TILES_STORED.inc()
-            return self._register(tile.domain, blob_id, codec, virtual=False)
+            with self.database.transaction():
+                self._admit_domain(tile.domain)
+                payload = tile.to_bytes()
+                codec = "none"
+                if self.database.compression:
+                    codec, payload = select_codec(payload, self.database.codecs)
+                blob_id = self.database.store.put(payload, codec=codec)
+                self.database._log_blob_put(blob_id, payload)
+                _TILES_STORED.inc()
+                return self._register(tile.domain, blob_id, codec, virtual=False)
 
     def attach_tile(
-        self, domain: MInterval, blob_id: int, codec: str = "none"
+        self,
+        domain: MInterval,
+        blob_id: int,
+        codec: str = "none",
+        tile_id: Optional[int] = None,
     ) -> int:
         """Re-register an existing BLOB as a tile (catalog reload path).
 
         Used when reopening a file-backed database: the BLOB already holds
         the tile's cells, so no data is copied — only the tile table and
-        the index are rebuilt.
+        the index are rebuilt.  ``tile_id`` pins the row id so that WAL
+        records written against the live database keep resolving after a
+        checkpoint reload.
         """
         record = self.database.store.record(blob_id)  # raises when missing
         self._admit_domain(domain)
@@ -152,7 +176,9 @@ class StoredMDD:
                 f"blob {blob_id} holds {record.byte_size} bytes, tile "
                 f"{domain} needs {expected}"
             )
-        return self._register(domain, blob_id, codec, virtual=record.virtual)
+        return self._register(
+            domain, blob_id, codec, virtual=record.virtual, tile_id=tile_id
+        )
 
     def insert_virtual_tile(self, domain: MInterval) -> int:
         """Register a tile with synthesized content (benchmark-scale data).
@@ -160,11 +186,13 @@ class StoredMDD:
         The BLOB has the right size and page placement but no real bytes;
         reads return default-valued cells.
         """
-        self._admit_domain(domain)
-        blob_id = self.database.store.put_virtual(
-            domain.cell_count * self.mdd_type.cell_size
-        )
-        return self._register(domain, blob_id, "none", virtual=True)
+        with self.database.transaction():
+            self._admit_domain(domain)
+            blob_id = self.database.store.put_virtual(
+                domain.cell_count * self.mdd_type.cell_size
+            )
+            self.database._log_blob_put(blob_id, b"")
+            return self._register(domain, blob_id, "none", virtual=True)
 
     def _admit_domain(self, domain: MInterval) -> None:
         self.mdd_type.validate_domain(domain, what="tile domain")
@@ -176,16 +204,36 @@ class StoredMDD:
             )
 
     def _register(
-        self, domain: MInterval, blob_id: int, codec: str, virtual: bool
+        self,
+        domain: MInterval,
+        blob_id: int,
+        codec: str,
+        virtual: bool,
+        tile_id: Optional[int] = None,
     ) -> int:
-        tile_id = self._next_tile_id
-        self._next_tile_id += 1
+        if tile_id is None:
+            tile_id = self._next_tile_id
+        elif tile_id in self._tiles:
+            raise StorageError(
+                f"tile id {tile_id} already registered in {self.name!r}"
+            )
+        self._next_tile_id = max(self._next_tile_id, tile_id + 1)
         self._tiles[tile_id] = TileEntry(tile_id, domain, blob_id, codec, virtual)
         self.index.insert(IndexEntry(domain, tile_id))
         if self._current_domain is None:
             self._current_domain = domain
         else:
             self._current_domain = self._current_domain.hull(domain)
+        self._log_meta(
+            {
+                "op": "tile_register",
+                "tile_id": tile_id,
+                "domain": str(domain),
+                "blob": blob_id,
+                "codec": codec,
+                "virtual": virtual,
+            }
+        )
         return tile_id
 
     def load_array(
@@ -232,21 +280,26 @@ class StoredMDD:
             )
             started = time.perf_counter()
             stored = 0
-            for tile_domain in ordered:
-                data = array[tile_domain.to_slices(origin)]
-                if skip_default_tiles and (data == default_cell).all():
-                    continue
-                self.insert_tile(Tile(tile_domain, data))
-                stored += 1
-            if stored == 0:
-                raise StorageError(
-                    f"array for {self.name!r} holds only default values; "
-                    f"nothing to store with skip_default_tiles"
+            with self.database.transaction():
+                for tile_domain in ordered:
+                    data = array[tile_domain.to_slices(origin)]
+                    if skip_default_tiles and (data == default_cell).all():
+                        continue
+                    self.insert_tile(Tile(tile_domain, data))
+                    stored += 1
+                if stored == 0:
+                    raise StorageError(
+                        f"array for {self.name!r} holds only default values; "
+                        f"nothing to store with skip_default_tiles"
+                    )
+                # Partial coverage must not shrink the current domain below
+                # the loaded region (the closure is over what the user
+                # loaded).
+                if self._current_domain is not None:
+                    self._current_domain = self._current_domain.hull(region)
+                self._log_meta(
+                    {"op": "object_domain", "domain": str(self._current_domain)}
                 )
-            # Partial coverage must not shrink the current domain below the
-            # loaded region (the closure is over what the user loaded).
-            if self._current_domain is not None:
-                self._current_domain = self._current_domain.hull(region)
             stats.store_ms = (time.perf_counter() - started) * 1000.0
             stats.tile_count = stored
             stats.bytes_stored = self.stored_bytes()
@@ -262,8 +315,9 @@ class StoredMDD:
             spec.tiles, key=lambda t: self.database.tile_key(t.lowest)
         )
         started = time.perf_counter()
-        for tile_domain in ordered:
-            self.insert_virtual_tile(tile_domain)
+        with self.database.transaction():
+            for tile_domain in ordered:
+                self.insert_virtual_tile(tile_domain)
         stats.store_ms = (time.perf_counter() - started) * 1000.0
         stats.tile_count = len(ordered)
         stats.bytes_stored = self.stored_bytes()
@@ -526,35 +580,46 @@ class StoredMDD:
             )
         written = 0
         dtype = self.mdd_type.base.dtype
-        for entry in self.index.search(region).entries:
-            tile_entry = self._tiles[entry.tile_id]
-            if tile_entry.virtual:
-                raise StorageError(
-                    f"cannot update virtual tile {tile_entry.domain}"
-                )
-            fetched = fetch_tile(self.database, tile_entry, dtype)
-            assert fetched.array is not None
-            data = fetched.array.copy()
-            part = tile_entry.domain.intersection(region)
-            assert part is not None
-            data[part.to_slices(tile_entry.domain.lowest)] = values[
-                part.to_slices(region.lowest)
-            ]
-            written += part.cell_count
-            payload = data.tobytes(order="C")
-            if payload == fetched.array.tobytes(order="C"):
-                continue  # unchanged cells: keep BLOB and caches as-is
-            self._replace_payload(tile_entry, payload)
+        with self.database.transaction():
+            for entry in self.index.search(region).entries:
+                tile_entry = self._tiles[entry.tile_id]
+                if tile_entry.virtual:
+                    raise StorageError(
+                        f"cannot update virtual tile {tile_entry.domain}"
+                    )
+                fetched = fetch_tile(self.database, tile_entry, dtype)
+                assert fetched.array is not None
+                data = fetched.array.copy()
+                part = tile_entry.domain.intersection(region)
+                assert part is not None
+                data[part.to_slices(tile_entry.domain.lowest)] = values[
+                    part.to_slices(region.lowest)
+                ]
+                written += part.cell_count
+                payload = data.tobytes(order="C")
+                if payload == fetched.array.tobytes(order="C"):
+                    continue  # unchanged cells: keep BLOB and caches as-is
+                self._replace_payload(tile_entry, payload)
         return written
 
     def _replace_payload(self, tile_entry: TileEntry, payload: bytes) -> None:
         self.database.invalidate_blob(tile_entry.blob_id)
         self.database.store.delete(tile_entry.blob_id)
+        self._log_meta({"op": "blob_delete", "blob": tile_entry.blob_id})
         codec = "none"
         if self.database.compression:
             codec, payload = select_codec(payload, self.database.codecs)
         tile_entry.blob_id = self.database.store.put(payload, codec=codec)
         tile_entry.codec = codec
+        self.database._log_blob_put(tile_entry.blob_id, payload)
+        self._log_meta(
+            {
+                "op": "tile_rebind",
+                "tile_id": tile_entry.tile_id,
+                "blob": tile_entry.blob_id,
+                "codec": codec,
+            }
+        )
 
     def delete_region(self, region: MInterval) -> int:
         """Shrinkage (Section 2): drop every tile fully inside ``region``.
@@ -575,17 +640,33 @@ class StoredMDD:
             ),
             key=lambda entry: entry.tile_id,
         )
-        for entry in victims:
-            self.database.invalidate_blob(entry.blob_id)
-            self.database.store.delete(entry.blob_id)
-            self.index.remove(entry.tile_id)
-            del self._tiles[entry.tile_id]
-        if self._tiles:
-            self._current_domain = MInterval.hull_of(
-                entry.domain for entry in self._tiles.values()
-            )
-        else:
-            self._current_domain = None
+        with self.database.transaction():
+            for entry in victims:
+                self.database.invalidate_blob(entry.blob_id)
+                self.database.store.delete(entry.blob_id)
+                self.index.remove(entry.tile_id)
+                del self._tiles[entry.tile_id]
+                self._log_meta({"op": "blob_delete", "blob": entry.blob_id})
+                self._log_meta(
+                    {"op": "tile_remove", "tile_id": entry.tile_id}
+                )
+            if self._tiles:
+                self._current_domain = MInterval.hull_of(
+                    entry.domain for entry in self._tiles.values()
+                )
+            else:
+                self._current_domain = None
+            if victims:
+                self._log_meta(
+                    {
+                        "op": "object_domain",
+                        "domain": (
+                            str(self._current_domain)
+                            if self._current_domain is not None
+                            else None
+                        ),
+                    }
+                )
         return len(victims)
 
     def retile(self, strategy, skip_default_tiles: bool = False) -> LoadStats:
@@ -609,22 +690,28 @@ class StoredMDD:
         data, _timing = self.read(self._current_domain)
         origin = self._current_domain.lowest
         old_domain = self._current_domain
-        self.drop()
-        stats = self.load_array(
-            data, strategy, origin=origin,
-            skip_default_tiles=skip_default_tiles,
-        )
+        with self.database.transaction():
+            self.drop()
+            stats = self.load_array(
+                data, strategy, origin=origin,
+                skip_default_tiles=skip_default_tiles,
+            )
         assert self._current_domain == old_domain
         return stats
 
     def drop(self) -> None:
         """Delete all tiles and index entries of this object."""
-        for tile_entry in self._tiles.values():
-            self.database.invalidate_blob(tile_entry.blob_id)
-            self.database.store.delete(tile_entry.blob_id)
-        self._tiles.clear()
-        self.index = self.database.make_index(self.dim)
-        self._current_domain = None
+        with self.database.transaction():
+            for tile_entry in self._tiles.values():
+                self.database.invalidate_blob(tile_entry.blob_id)
+                self.database.store.delete(tile_entry.blob_id)
+                self._log_meta(
+                    {"op": "blob_delete", "blob": tile_entry.blob_id}
+                )
+            self._tiles.clear()
+            self.index = self.database.make_index(self.dim)
+            self._current_domain = None
+            self._log_meta({"op": "object_clear"})
 
     def __repr__(self) -> str:
         return (
@@ -653,6 +740,9 @@ class Database:
         codecs: tuple[str, ...] = ("zlib",),
         decoded_cache_bytes: int = 0,
         io_workers: int = 1,
+        durability: str = "none",
+        wal_path: Optional[Union[str, Path]] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.store = store if store is not None else MemoryBlobStore()
         if disk_parameters is None:
@@ -678,6 +768,12 @@ class Database:
         self.compression = compression
         self.codecs = codecs
         self.collections: dict[str, dict[str, StoredMDD]] = {}
+        self.wal: Optional[WriteAheadLog] = None
+        self.durability = "none"
+        self.last_recovery = None
+        self._txn_depth = 0
+        if durability != "none":
+            self.arm_durability(durability, wal_path=wal_path, injector=injector)
 
     # -- plumbing shared by objects ---------------------------------------
 
@@ -702,10 +798,12 @@ class Database:
         return self._io_executor
 
     def close(self) -> None:
-        """Shut down the decode worker pool (idempotent)."""
+        """Shut down the decode worker pool and the WAL (idempotent)."""
         if self._io_executor is not None:
             self._io_executor.shutdown(wait=True)
             self._io_executor = None
+        if self.wal is not None:
+            self.wal.close()
 
     def invalidate_blob(self, blob_id: int) -> None:
         """Drop a BLOB from every cache layer (after update/delete)."""
@@ -714,13 +812,97 @@ class Database:
         if self.decoded_cache is not None:
             self.decoded_cache.invalidate(blob_id)
 
+    # -- durability ----------------------------------------------------------
+
+    def arm_durability(
+        self,
+        durability: str,
+        wal_path: Optional[Union[str, Path]] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        """Attach a write-ahead log and switch the store to deferred writes.
+
+        From here on every mutation must run inside :meth:`transaction`:
+        redo records buffer in the log, payloads pend in the store, and
+        only a committed transaction flushes bytes to the backend — the
+        WAL rule that makes recovery redo-only.  Called by
+        :func:`~repro.storage.catalog.open_database` *after* recovery, so
+        the log always starts from a clean checkpoint.
+        """
+        if durability not in DURABILITY_MODES:
+            raise StorageError(
+                f"unknown durability mode {durability!r}; "
+                f"expected one of {DURABILITY_MODES}"
+            )
+        if durability == "none":
+            return
+        if self.wal is not None:
+            raise StorageError("durability is already armed")
+        if wal_path is None:
+            base = getattr(self.store, "path", None)
+            if base is None:
+                raise StorageError(
+                    "wal_path is required for stores without a backing file"
+                )
+            # Same convention as the catalog layer: the log lives next to
+            # the page file as <directory>/wal.log.
+            wal_path = Path(base).with_name("wal.log")
+        self.wal = WriteAheadLog(
+            wal_path,
+            fsync=(durability == "wal+fsync"),
+            page_size=self.store.page_size,
+            injector=injector,
+            disk=self.disk,
+        )
+        self.durability = durability
+        self.store.set_deferred_writes(True)
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Atomic mutation scope; nests (only the outermost commits).
+
+        Without a WAL this is free: writes go straight through and the
+        context only tracks depth.  With one, the commit record hits the
+        log *before* any pending payload reaches the page file; an
+        exception aborts the buffered records and discards the pending
+        writes, leaving the durable state exactly as before.
+        """
+        self._txn_depth += 1
+        try:
+            yield
+        except BaseException:
+            if self._txn_depth == 1 and self.wal is not None:
+                self.wal.abort()
+                for blob_id in self.store.discard_pending():
+                    self.invalidate_blob(blob_id)
+            raise
+        finally:
+            self._txn_depth -= 1
+        if self._txn_depth == 0 and self.wal is not None:
+            # The WAL rule: log first (durably, in wal+fsync mode), then
+            # let the pending payloads reach the page file.
+            self.wal.commit()
+            self.store.flush_pending()
+
+    def _log_blob_put(self, blob_id: int, payload: bytes) -> None:
+        """Buffer a payload redo record for a just-written BLOB."""
+        if self.wal is not None:
+            self.wal.log_blob_put(self.store.record(blob_id), payload)
+
+    def _log_meta(self, operation: dict) -> None:
+        """Buffer a database-level logical redo record."""
+        if self.wal is not None:
+            self.wal.log_meta(operation)
+
     # -- collection management ----------------------------------------------
 
     def create_collection(self, name: str) -> dict[str, StoredMDD]:
         """Create an empty named collection (errors when it exists)."""
         if name in self.collections:
             raise StorageError(f"collection {name!r} already exists")
-        self.collections[name] = {}
+        with self.transaction():
+            self.collections[name] = {}
+            self._log_meta({"op": "create_collection", "coll": name})
         return self.collections[name]
 
     def collection(self, name: str) -> dict[str, StoredMDD]:
@@ -739,8 +921,23 @@ class Database:
             raise StorageError(
                 f"object {name!r} already exists in collection {collection!r}"
             )
-        obj = StoredMDD(self, mdd_type, name)
-        coll[name] = obj
+        obj = StoredMDD(self, mdd_type, name, collection=collection)
+        with self.transaction():
+            coll[name] = obj
+            self._log_meta(
+                {
+                    "op": "create_object",
+                    "coll": collection,
+                    "obj": name,
+                    # Full type, not just the name: replay must be able to
+                    # reconstruct the object without a type registry.
+                    "type": {
+                        "name": mdd_type.name,
+                        "base": mdd_type.base.name,
+                        "dd": str(mdd_type.definition_domain),
+                    },
+                }
+            )
         return obj
 
     def objects(self, collection: str) -> tuple[StoredMDD, ...]:
@@ -748,9 +945,20 @@ class Database:
         return tuple(self.collection(collection).values())
 
     def reset_clock(self) -> None:
-        """Zero the disk counters (cold measurement boundary)."""
+        """Zero all measurement state (cold measurement boundary).
+
+        Clears the caches *and* their hit/miss counters, the disk
+        counters, and the WAL activity stats — a batch boundary must not
+        leak per-query tallies (cache hit deltas, WAL append counts) into
+        the next measurement.  Durable state (log file, pending writes)
+        is untouched: resetting a clock must never lose data.
+        """
         self.disk.reset()
         if self.pool is not None:
             self.pool.clear()
+            self.pool.reset_stats()
         if self.decoded_cache is not None:
             self.decoded_cache.clear()
+            self.decoded_cache.reset_stats()
+        if self.wal is not None:
+            self.wal.stats.reset()

@@ -1,0 +1,367 @@
+"""Write-ahead log: redo records, group commit, torn-tail detection.
+
+The paper's storage manager trusts O2 to land tiles safely; this module
+is the reproduction's own durability substrate.  Every mutation of a
+durable :class:`~repro.storage.tilestore.Database` — BLOB writes, tile
+table updates, catalog changes — first becomes a redo record here, and
+the backend page file is touched only after the records are on the log
+(the WAL rule).  Recovery is therefore redo-only: replay committed
+batches onto the last checkpoint, discard the torn tail, done.
+
+Log layout (all integers little-endian)::
+
+    file   := header record*
+    header := magic "REPROWAL" | u32 version | u32 page_size
+    record := u32 payload_len | u32 crc32c | u8 type | u64 lsn | payload
+
+The CRC32C covers ``type || lsn || payload``, so any torn or bit-flipped
+record fails verification and scanning stops there — everything after an
+invalid record is discarded (records are only meaningful in log order).
+
+Record types:
+
+==============  =======================================================
+``META (1)``    JSON logical operation (``{"op": ...}``): catalog and
+                tile-table mutations, object domain updates.
+``BLOB_PUT(2)`` ``u32 meta_len | meta JSON | raw payload``.  The JSON
+                carries id, sizes, page placement, codec, virtual flag;
+                the raw bytes are the exact stored payload.
+``COMMIT (3)``  JSON ``{"txn": n, "records": k}`` sealing the ``k``
+                preceding records as transaction ``n``.
+==============  =======================================================
+
+Group commit: records buffer in memory while a transaction runs and hit
+the file as **one** ``write`` call at commit, commit record included, so
+a multi-tile ``load_array`` costs one write (and, in ``wal+fsync`` mode,
+one fsync) instead of one per tile.  A crash mid-commit leaves a torn
+uncommitted tail that recovery drops — exactly the atomicity the tile
+stores above rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro import obs
+from repro.core.errors import WalError
+from repro.storage.blob import BlobRecord
+from repro.storage.checksum import crc32c
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import FaultInjector, fsync_file
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange
+
+MAGIC = b"REPROWAL"
+VERSION = 1
+_HEADER = struct.Struct("<8sII")
+_RECORD = struct.Struct("<IIBQ")
+_U32 = struct.Struct("<I")
+
+META = 1
+BLOB_PUT = 2
+COMMIT = 3
+
+_RECORDS = obs.counter("wal.records", "Redo records appended (buffered)")
+_COMMITS = obs.counter("wal.commits", "Transactions committed to the log")
+_ABORTS = obs.counter("wal.aborts", "Transactions aborted (records dropped)")
+_BYTES = obs.counter("wal.bytes_written", "Bytes appended to the log file")
+_FSYNCS = obs.counter("wal.fsyncs", "fsync calls issued by the log")
+_TRUNCATES = obs.counter("wal.truncates", "Log truncations after checkpoints")
+_COMMIT_BYTES = obs.histogram(
+    "wal.commit_bytes", "Bytes per group-commit write", buckets=obs.BYTE_BUCKETS
+)
+_GROUP_SIZE = obs.histogram(
+    "wal.group_size", "Records per committed transaction",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+)
+
+
+@dataclass
+class WalStats:
+    """Local activity counters (measurement state, reset by the clock)."""
+
+    records: int = 0
+    commits: int = 0
+    aborts: int = 0
+    bytes_written: int = 0
+    fsyncs: int = 0
+
+    def reset(self) -> None:
+        self.records = 0
+        self.commits = 0
+        self.aborts = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+
+
+@dataclass
+class WalBatch:
+    """One committed transaction, decoded: ``(kind, ...)`` tuples.
+
+    ``("meta", dict)`` for logical operations, ``("blob_put", BlobRecord,
+    payload_bytes)`` for payload redo records.
+    """
+
+    txn: int
+    records: list = field(default_factory=list)
+
+
+@dataclass
+class WalScan:
+    """Outcome of reading a log file front to back."""
+
+    batches: list[WalBatch] = field(default_factory=list)
+    committed_records: int = 0
+    uncommitted_records: int = 0
+    torn_bytes: int = 0
+    valid_bytes: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not self.batches
+            and self.uncommitted_records == 0
+            and self.torn_bytes == 0
+        )
+
+
+def encode_record(rtype: int, lsn: int, payload: bytes) -> bytes:
+    """Frame one record: length, CRC32C, type, LSN, payload."""
+    crc = crc32c(bytes([rtype]) + lsn.to_bytes(8, "little") + payload)
+    return _RECORD.pack(len(payload), crc, rtype, lsn) + payload
+
+
+def encode_blob_put(record: BlobRecord, payload: bytes) -> bytes:
+    """The BLOB_PUT payload: placement JSON plus the raw stored bytes."""
+    meta = json.dumps(
+        {
+            "id": record.blob_id,
+            "size": record.byte_size,
+            "stored": record.stored_size,
+            "start": record.pages.start,
+            "count": record.pages.count,
+            "virtual": record.virtual,
+            "codec": record.codec,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _U32.pack(len(meta)) + meta + payload
+
+
+def decode_blob_put(payload: bytes) -> tuple[BlobRecord, bytes]:
+    """Inverse of :func:`encode_blob_put`."""
+    if len(payload) < _U32.size:
+        raise WalError("BLOB_PUT record too short for its meta length")
+    (meta_len,) = _U32.unpack_from(payload)
+    meta_end = _U32.size + meta_len
+    if len(payload) < meta_end:
+        raise WalError("BLOB_PUT record too short for its meta JSON")
+    meta = json.loads(payload[_U32.size : meta_end].decode("utf-8"))
+    record = BlobRecord(
+        blob_id=meta["id"],
+        byte_size=meta["size"],
+        pages=PageRange(meta["start"], meta["count"]),
+        virtual=meta["virtual"],
+        codec=meta["codec"],
+        stored_size=meta["stored"],
+    )
+    raw = payload[meta_end:]
+    if not record.virtual and len(raw) != record.stored_size:
+        raise WalError(
+            f"BLOB_PUT for blob {record.blob_id} carries {len(raw)} bytes, "
+            f"meta says {record.stored_size}"
+        )
+    return record, raw
+
+
+class WriteAheadLog:
+    """Append-only redo log with buffered transactions and group commit."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: bool = False,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        injector: Optional[FaultInjector] = None,
+        disk: Optional[SimulatedDisk] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.page_size = page_size
+        self.disk = disk
+        self.stats = WalStats()
+        self._next_lsn = 1
+        self._next_txn = 1
+        self._buffer: list[bytes] = []
+        self._buffered_records = 0
+        raw = open(self.path, "w+b")
+        self._file = injector.wrap(raw, "wal") if injector else raw
+        self._file.write(_HEADER.pack(MAGIC, VERSION, page_size))
+        self._file.flush()
+
+    # -- appends (buffered until commit) ---------------------------------
+
+    def _append(self, rtype: int, payload: bytes) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._buffer.append(encode_record(rtype, lsn, payload))
+        self._buffered_records += 1
+        self.stats.records += 1
+        _RECORDS.inc()
+        return lsn
+
+    def log_meta(self, operation: dict) -> int:
+        """Buffer one logical redo operation (``{"op": ...}``)."""
+        payload = json.dumps(operation, separators=(",", ":")).encode("utf-8")
+        return self._append(META, payload)
+
+    def log_blob_put(self, record: BlobRecord, payload: bytes) -> int:
+        """Buffer a payload redo record (empty payload for virtual BLOBs)."""
+        return self._append(BLOB_PUT, encode_blob_put(record, payload))
+
+    @property
+    def buffered_records(self) -> int:
+        return self._buffered_records
+
+    # -- transaction boundaries ------------------------------------------
+
+    def commit(self) -> Optional[int]:
+        """Group-commit the buffered records; returns the txn id.
+
+        All buffered records plus the COMMIT record go out in a single
+        ``write`` call; ``wal+fsync`` mode then fsyncs before returning.
+        An empty buffer commits nothing and returns ``None``.
+        """
+        if not self._buffer:
+            return None
+        txn = self._next_txn
+        self._next_txn += 1
+        commit_payload = json.dumps(
+            {"txn": txn, "records": self._buffered_records},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        batch = b"".join(self._buffer) + encode_record(
+            COMMIT, self._next_lsn, commit_payload
+        )
+        self._next_lsn += 1
+        group = self._buffered_records
+        self._buffer = []
+        self._buffered_records = 0
+        self._file.write(batch)
+        if self.fsync:
+            fsync_file(self._file)
+            self.stats.fsyncs += 1
+            _FSYNCS.inc()
+        else:
+            self._file.flush()
+        self.stats.commits += 1
+        self.stats.bytes_written += len(batch)
+        _COMMITS.inc()
+        _BYTES.inc(len(batch))
+        _COMMIT_BYTES.observe(len(batch))
+        _GROUP_SIZE.observe(group)
+        if self.disk is not None:
+            self.disk.charge_log_append(len(batch), fsync=self.fsync)
+        return txn
+
+    def abort(self) -> int:
+        """Drop the buffered records; returns how many were discarded."""
+        dropped = self._buffered_records
+        self._buffer = []
+        self._buffered_records = 0
+        if dropped:
+            self.stats.aborts += 1
+            _ABORTS.inc()
+        return dropped
+
+    # -- lifecycle --------------------------------------------------------
+
+    def truncate(self) -> None:
+        """Reset the log to an empty header (after a checkpoint)."""
+        if self._buffer:
+            raise WalError("cannot truncate with uncommitted buffered records")
+        self._file.seek(0)
+        self._file.truncate(0)
+        self._file.write(_HEADER.pack(MAGIC, VERSION, self.page_size))
+        fsync_file(self._file)
+        _TRUNCATES.inc()
+
+    def close(self) -> None:
+        if self._buffer:
+            self.abort()
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+# ----------------------------------------------------------------------
+# Scanning (recovery read path)
+# ----------------------------------------------------------------------
+
+def _iter_records(data: bytes) -> Iterator[tuple[int, int, int, bytes]]:
+    """Yield ``(offset, type, lsn, payload)`` until the first invalid or
+    torn record; the caller computes the discarded tail from the last
+    good offset."""
+    offset = 0
+    end = len(data)
+    while offset + _RECORD.size <= end:
+        length, crc, rtype, lsn = _RECORD.unpack_from(data, offset)
+        payload_start = offset + _RECORD.size
+        if payload_start + length > end:
+            return  # torn: payload runs past EOF
+        payload = data[payload_start : payload_start + length]
+        expected = crc32c(bytes([rtype]) + lsn.to_bytes(8, "little") + payload)
+        if crc != expected or rtype not in (META, BLOB_PUT, COMMIT):
+            return  # corrupt record: stop, everything after is untrusted
+        yield offset, rtype, lsn, payload
+        offset = payload_start + length
+
+
+def scan_wal(path: Union[str, Path]) -> WalScan:
+    """Read a log file and split it into committed batches plus tail info.
+
+    Records up to and including each valid ``COMMIT`` form a batch;
+    records after the last commit (or after the first corrupt record) are
+    the discarded tail.  A missing file scans as empty.
+    """
+    path = Path(path)
+    scan = WalScan()
+    if not path.exists():
+        return scan
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        scan.torn_bytes = len(data)
+        return scan
+    magic, version, _page_size = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise WalError(f"{path} is not a write-ahead log (bad magic)")
+    if version != VERSION:
+        raise WalError(f"unsupported WAL version {version} in {path}")
+    body = data[_HEADER.size :]
+    open_records: list = []
+    consumed = 0
+    for offset, rtype, _lsn, payload in _iter_records(body):
+        if rtype == COMMIT:
+            seal = json.loads(payload.decode("utf-8"))
+            if seal.get("records") != len(open_records):
+                break  # commit does not seal what precedes it: stop
+            scan.batches.append(WalBatch(seal["txn"], open_records))
+            scan.committed_records += len(open_records)
+            open_records = []
+            consumed = offset + _RECORD.size + len(payload)
+        elif rtype == META:
+            open_records.append(("meta", json.loads(payload.decode("utf-8"))))
+        else:
+            try:
+                record, raw = decode_blob_put(payload)
+            except WalError:
+                break  # framing valid but content malformed: stop here
+            open_records.append(("blob_put", record, raw))
+    scan.uncommitted_records = len(open_records)
+    scan.valid_bytes = _HEADER.size + consumed
+    scan.torn_bytes = len(data) - scan.valid_bytes
+    return scan

@@ -1,0 +1,69 @@
+"""Unit tests for the CRC32C implementation and per-page checksums."""
+
+import zlib
+
+import pytest
+
+from repro.storage.checksum import crc32c, page_checksums, verify_page_checksums
+
+
+class TestCrc32c:
+    def test_standard_vectors(self):
+        # RFC 3720 / CRC catalogue check values for the Castagnoli polynomial.
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"a") == 0xC1D04330
+        assert crc32c(bytes(32)) == 0x8A9136AA
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_empty_is_zero(self):
+        assert crc32c(b"") == 0
+
+    def test_incremental_equals_one_shot(self):
+        data = bytes(range(256)) * 17
+        split = 131
+        assert crc32c(data[split:], crc32c(data[:split])) == crc32c(data)
+
+    def test_differs_from_crc32(self):
+        # Castagnoli and the zlib polynomial must not be confused.
+        assert crc32c(b"123456789") != zlib.crc32(b"123456789")
+
+    def test_single_bit_sensitivity(self):
+        data = bytearray(b"x" * 100)
+        baseline = crc32c(bytes(data))
+        data[50] ^= 0x01
+        assert crc32c(bytes(data)) != baseline
+
+
+class TestPageChecksums:
+    def test_chunking(self):
+        payload = b"a" * 100 + b"b" * 100 + b"c" * 50
+        crcs = page_checksums(payload, page_size=100)
+        assert len(crcs) == 3
+        assert crcs[0] == crc32c(b"a" * 100)
+        assert crcs[2] == crc32c(b"c" * 50)
+
+    def test_empty_payload_has_no_pages(self):
+        assert page_checksums(b"", page_size=100) == []
+
+    def test_verify_clean(self):
+        payload = bytes(range(256)) * 3
+        crcs = page_checksums(payload, 256)
+        assert verify_page_checksums(payload, 256, crcs) == []
+
+    def test_verify_flags_corrupt_page_only(self):
+        payload = bytearray(b"p" * 1000)
+        crcs = page_checksums(bytes(payload), 256)
+        payload[300] ^= 0x80  # inside page 1
+        assert verify_page_checksums(bytes(payload), 256, crcs) == [1]
+
+    def test_length_mismatch_marks_all(self):
+        payload = b"q" * 600
+        crcs = page_checksums(payload, 256)
+        bad = verify_page_checksums(payload + b"r" * 256, 256, crcs)
+        assert bad == [0, 1, 2, 3]  # four chunks now vs three recorded
+
+    @pytest.mark.parametrize("size", [1, 7, 255, 256, 257, 1000])
+    def test_roundtrip_sizes(self, size):
+        payload = bytes(i % 251 for i in range(size))
+        crcs = page_checksums(payload, 256)
+        assert verify_page_checksums(payload, 256, crcs) == []

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import errors
 from repro.core.errors import (
     BlobNotFoundError,
     DimensionMismatchError,

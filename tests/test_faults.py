@@ -1,0 +1,126 @@
+"""Unit tests for deterministic fault injection."""
+
+import os
+
+import pytest
+
+from repro.core.errors import ChecksumError
+from repro.storage.backends import FileBlobStore
+from repro.storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+    fsync_file,
+)
+
+
+def _open(tmp_path, injector, name="data.bin"):
+    raw = open(tmp_path / name, "w+b")
+    return injector.wrap(raw, "test"), tmp_path / name
+
+
+class TestFaultPlan:
+    def test_from_seed_is_deterministic(self):
+        a = FaultPlan.from_seed(3, total_bytes=1000, total_ops=10)
+        b = FaultPlan.from_seed(3, total_bytes=1000, total_ops=10)
+        assert a == b
+
+    def test_seed_matrix_covers_modes(self):
+        plans = [
+            FaultPlan.from_seed(s, total_bytes=1000, total_ops=10)
+            for s in range(4)
+        ]
+        assert plans[0].crash_at_byte is not None
+        assert plans[1].crash_after_ops is not None
+        assert plans[2].crash_at_fsync is not None
+        assert plans[3].flip_bit_at is not None
+
+
+class TestCrashAtByte:
+    def test_exact_prefix_persisted(self, tmp_path):
+        injector = FaultInjector(FaultPlan(crash_at_byte=10))
+        fh, path = _open(tmp_path, injector)
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"a" * 25)
+        assert path.read_bytes() == b"a" * 10
+
+    def test_crash_at_zero_persists_nothing(self, tmp_path):
+        injector = FaultInjector(FaultPlan(crash_at_byte=0))
+        fh, path = _open(tmp_path, injector)
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"abc")
+        assert path.read_bytes() == b""
+
+    def test_crash_spans_multiple_writes(self, tmp_path):
+        injector = FaultInjector(FaultPlan(crash_at_byte=7))
+        fh, path = _open(tmp_path, injector)
+        fh.write(b"abcd")  # 4 bytes, below the limit
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"efgh")  # would reach byte 8
+        assert path.read_bytes() == b"abcdefg"
+
+    def test_dead_process_stays_dead(self, tmp_path):
+        injector = FaultInjector(FaultPlan(crash_at_byte=0))
+        fh, _ = _open(tmp_path, injector)
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"x")
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"y")
+        with pytest.raises(SimulatedCrash):
+            fh.sync_to_disk()
+
+
+class TestCrashAfterOps:
+    def test_counts_writes_and_fsyncs(self, tmp_path):
+        injector = FaultInjector(FaultPlan(crash_after_ops=2))
+        fh, path = _open(tmp_path, injector)
+        fh.write(b"one")
+        fsync_file(fh)
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"two")
+        assert path.read_bytes() == b"one"
+
+
+class TestCrashAtFsync:
+    def test_data_durable_but_unacknowledged(self, tmp_path):
+        injector = FaultInjector(FaultPlan(crash_at_fsync=0))
+        fh, path = _open(tmp_path, injector)
+        fh.write(b"payload")
+        with pytest.raises(SimulatedCrash):
+            fsync_file(fh)
+        # the fsync itself completed before the crash fired
+        assert path.read_bytes() == b"payload"
+
+
+class TestBitFlip:
+    def test_single_bit_flipped_once(self, tmp_path):
+        injector = FaultInjector(FaultPlan(flip_bit_at=2, flip_bit=3))
+        fh, path = _open(tmp_path, injector)
+        fh.write(b"\x00" * 4)
+        fh.write(b"\x00" * 4)  # second write unaffected
+        assert path.read_bytes() == bytes([0, 0, 8, 0, 0, 0, 0, 0])
+        assert injector.flipped
+
+    def test_checksum_catches_flip(self, tmp_path):
+        injector = FaultInjector(FaultPlan(flip_bit_at=100, flip_bit=0))
+        store = FileBlobStore(
+            tmp_path / "pages.bin", page_size=64, injector=injector
+        )
+        blob_id = store.put(bytes(range(200)))
+        store.sync()
+        clean = FileBlobStore.open(tmp_path / "pages.bin")
+        with pytest.raises(ChecksumError) as exc:
+            clean.get(blob_id)
+        assert "page(s) [1]" in str(exc.value)
+
+
+class TestWriteThrough:
+    def test_bytes_on_disk_match_accounting(self, tmp_path):
+        injector = FaultInjector()
+        fh, path = _open(tmp_path, injector)
+        fh.write(b"a" * 123)
+        fh.write(b"b" * 77)
+        # no close, no flush by the caller: the proxy already flushed
+        assert os.path.getsize(path) == 200
+        assert injector.bytes_written == 200
+        assert injector.ops == 2

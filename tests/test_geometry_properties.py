@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the geometry kernel invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.geometry import MInterval, covers_exactly, total_cells

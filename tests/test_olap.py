@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.errors import QueryError
-from repro.core.geometry import MInterval
 from repro.core.mddtype import mdd_type
-from repro.query.olap import RollUp, aggregate_by_category
+from repro.query.olap import aggregate_by_category
 from repro.storage.tilestore import Database
 from repro.tiling.aligned import RegularTiling
 from repro.tiling.directional import DirectionalTiling

@@ -1,0 +1,113 @@
+"""Regression tests for ``Database.reset_clock`` at batch boundaries.
+
+``reset_clock`` marks a cold measurement boundary between benchmark
+batches.  Historically it cleared the cache *contents* but left the
+per-query hit/miss tallies running, so the first query after a reset
+inherited counts from the previous batch; and once the WAL landed, its
+activity stats had to reset with the clock while its durable state (log
+file, armed mode, pending buffers) must never be touched by a
+measurement boundary.
+"""
+
+import numpy as np
+
+from repro.core.cells import base_type
+from repro.core.geometry import MInterval
+from repro.core.mddtype import MDDType
+from repro.storage.catalog import create_database, open_database
+from repro.storage.tilestore import Database
+from repro.storage.wal import scan_wal
+from repro.tiling.aligned import RegularTiling
+
+
+def _loaded_database(**kwargs):
+    db = Database(**kwargs)
+    t = MDDType("img", base_type("char"), MInterval.parse("[0:31,0:31]"))
+    obj = db.create_object("c", t, "o")
+    data = (np.arange(32 * 32) % 251).astype(np.uint8).reshape(32, 32)
+    obj.load_array(data, RegularTiling(512))
+    return db, obj
+
+
+class TestCacheCounters:
+    def test_reset_zeroes_pool_tallies(self):
+        db, obj = _loaded_database(buffer_bytes=1 << 20)
+        region = MInterval.parse("[0:31,0:31]")
+        obj.read(region)
+        obj.read(region)
+        assert db.pool.hits + db.pool.misses > 0
+        db.reset_clock()
+        assert (db.pool.hits, db.pool.misses, db.pool.evictions) == (0, 0, 0)
+        # the first post-reset read must start its deltas from zero
+        _, timing = obj.read(region)
+        assert timing.pool_misses == db.pool.misses
+        assert timing.pool_hits == db.pool.hits
+
+    def test_reset_zeroes_decoded_tallies(self):
+        db, obj = _loaded_database(decoded_cache_bytes=1 << 20)
+        region = MInterval.parse("[0:31,0:31]")
+        obj.read(region)
+        obj.read(region)
+        assert db.decoded_cache.hits > 0
+        db.reset_clock()
+        assert db.decoded_cache.hits == 0
+        assert db.decoded_cache.misses == 0
+        assert db.decoded_cache.evictions == 0
+        assert len(db.decoded_cache) == 0  # contents cleared as before
+        _, timing = obj.read(region)
+        assert timing.decoded_misses == db.decoded_cache.misses
+
+    def test_reset_zeroes_disk_counters(self):
+        db, obj = _loaded_database()
+        obj.read(MInterval.parse("[0:31,0:31]"))
+        assert db.disk.counters.blob_reads > 0
+        db.reset_clock()
+        assert db.disk.counters.blob_reads == 0
+        assert db.disk.counters.time_ms == 0.0
+
+
+class TestWalClockInteraction:
+    def test_reset_zeroes_wal_stats_only(self, tmp_path):
+        db = create_database(
+            tmp_path / "db", durability="wal", page_size=128
+        )
+        t = MDDType("img", base_type("char"), MInterval.parse("[0:15,0:15]"))
+        obj = db.create_object("c", t, "o")
+        obj.load_array(
+            (np.arange(256) % 251).astype(np.uint8).reshape(16, 16),
+            RegularTiling(128),
+        )
+        assert db.wal.stats.commits > 0
+        assert db.disk.counters.wal_appends > 0
+        log_size = db.wal.path.stat().st_size
+        db.reset_clock()
+        # measurement state: zeroed
+        assert db.wal.stats.commits == 0
+        assert db.wal.stats.bytes_written == 0
+        assert db.disk.counters.wal_appends == 0
+        # durable state: untouched
+        assert db.wal.path.stat().st_size == log_size
+        assert db.durability == "wal"
+        assert db.store.pending_writes == 0
+        assert len(scan_wal(db.wal.path).batches) > 0
+        db.close()
+        # and the logged work still recovers after the reset
+        reopened = open_database(tmp_path / "db")
+        assert reopened.last_recovery.transactions_replayed > 0
+        assert reopened.collection("c")["o"].tile_count == obj.tile_count
+        reopened.close()
+
+    def test_wal_charges_never_touch_t_o(self, tmp_path):
+        db = create_database(
+            tmp_path / "db", durability="wal+fsync", page_size=128
+        )
+        t = MDDType("img", base_type("char"), MInterval.parse("[0:15,0:15]"))
+        obj = db.create_object("c", t, "o")
+        db.reset_clock()
+        obj.load_array(
+            (np.arange(256) % 251).astype(np.uint8).reshape(16, 16),
+            RegularTiling(128),
+        )
+        assert db.disk.counters.wal_ms > 0.0
+        assert db.disk.counters.time_ms == 0.0  # writes charge no read clock
+        db.close()

@@ -11,7 +11,7 @@ from repro.index.directory import DirectoryIndex
 from repro.storage.backends import FileBlobStore
 from repro.query.timing import QueryTiming
 from repro.storage.tilestore import Database
-from repro.tiling.aligned import AlignedTiling, RegularTiling
+from repro.tiling.aligned import RegularTiling
 from repro.tiling.directional import DirectionalTiling
 
 
