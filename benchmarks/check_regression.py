@@ -1,16 +1,25 @@
 #!/usr/bin/env python
-"""Compare a fresh BENCH_pipeline.json against the committed baseline.
+"""Compare a fresh BENCH_*.json artifact against its committed baseline.
 
-The read pipeline's correctness surface is deterministic: result digests,
-the modelled disk charges (t_o, t_ix, pages/bytes/tiles read), and the
-identity verdicts never vary across runs on the same code.  Wall-clock
-fields do vary, so they are ignored.  A mismatch in any deterministic
-field is a regression and fails the build.
+The benchmarks' correctness surfaces are deterministic and never vary
+across runs on the same code; wall-clock fields do vary, so they are
+ignored.  A mismatch in any deterministic field is a regression and
+fails the build.  The artifact's ``label`` picks the comparison:
+
+* ``pipeline`` — per-mode/query result digests plus the modelled disk
+  charges (t_o, t_ix, pages/bytes/tiles read);
+* ``ingest`` — per-mode WAL tallies (fsyncs, commits), tile counts,
+  logical bytes, and read-back digests.  Compressed sizes and page-file
+  hashes are compared *within* a run by the bench's identity verdicts,
+  not against the baseline (codec output may vary across zlib builds).
+
+Identity verdicts are held to in both cases: a verdict that was True in
+the baseline must stay True.
 
 Usage:
     python benchmarks/check_regression.py CANDIDATE [BASELINE]
 
-BASELINE defaults to benchmarks/baselines/BENCH_pipeline.json relative
+BASELINE defaults to benchmarks/baselines/<candidate filename> relative
 to this script.  Exit status 0 = no regression, 1 = regression, 2 = bad
 invocation or unreadable artifact.
 """
@@ -32,6 +41,15 @@ CHARGE_FIELDS = (
     "cells_fetched",
 )
 
+# deterministic per-mode ingest fields (WAL tallies and logical outcome)
+INGEST_FIELDS = (
+    "fsyncs",
+    "wal_commits",
+    "tile_count",
+    "logical_bytes",
+    "result_digest",
+)
+
 
 def _load(path: Path) -> dict:
     try:
@@ -41,9 +59,8 @@ def _load(path: Path) -> dict:
         raise SystemExit(2)
 
 
-def compare(candidate: dict, baseline: dict) -> list[str]:
+def _compare_identity(candidate: dict, baseline: dict) -> list[str]:
     problems: list[str] = []
-
     base_identity = baseline.get("identity", {})
     cand_identity = candidate.get("identity", {})
     for key, expected in sorted(base_identity.items()):
@@ -59,7 +76,11 @@ def compare(candidate: dict, baseline: dict) -> list[str]:
                 f"identity.{key}: baseline {expected!r}, "
                 f"candidate {actual!r}"
             )
+    return problems
 
+
+def _compare_pipeline_modes(candidate: dict, baseline: dict) -> list[str]:
+    problems: list[str] = []
     base_modes = baseline.get("modes", {})
     cand_modes = candidate.get("modes", {})
     for mode, queries in sorted(base_modes.items()):
@@ -91,6 +112,35 @@ def compare(candidate: dict, baseline: dict) -> list[str]:
     return problems
 
 
+def _compare_ingest_modes(candidate: dict, baseline: dict) -> list[str]:
+    problems: list[str] = []
+    base_modes = baseline.get("modes", {})
+    cand_modes = candidate.get("modes", {})
+    for mode, base_run in sorted(base_modes.items()):
+        cand_run = cand_modes.get(mode)
+        if cand_run is None:
+            problems.append(f"modes.{mode}: missing from candidate")
+            continue
+        for field in INGEST_FIELDS:
+            if field not in base_run:
+                continue
+            if cand_run.get(field) != base_run[field]:
+                problems.append(
+                    f"modes.{mode}.{field}: baseline {base_run[field]!r}, "
+                    f"candidate {cand_run.get(field)!r}"
+                )
+    return problems
+
+
+def compare(candidate: dict, baseline: dict) -> list[str]:
+    problems = _compare_identity(candidate, baseline)
+    if baseline.get("label") == "ingest":
+        problems += _compare_ingest_modes(candidate, baseline)
+    else:
+        problems += _compare_pipeline_modes(candidate, baseline)
+    return problems
+
+
 def main(argv: list[str]) -> int:
     if len(argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
@@ -99,7 +149,7 @@ def main(argv: list[str]) -> int:
     baseline_path = (
         Path(argv[2])
         if len(argv) == 3
-        else Path(__file__).parent / "baselines" / "BENCH_pipeline.json"
+        else Path(__file__).parent / "baselines" / candidate_path.name
     )
     candidate = _load(candidate_path)
     baseline = _load(baseline_path)
@@ -109,9 +159,12 @@ def main(argv: list[str]) -> int:
         for problem in problems:
             print(f"  - {problem}")
         return 1
-    checked = sum(
-        len(queries) for queries in baseline.get("modes", {}).values()
-    )
+    if baseline.get("label") == "ingest":
+        checked = len(baseline.get("modes", {}))
+    else:
+        checked = sum(
+            len(queries) for queries in baseline.get("modes", {}).values()
+        )
     print(
         f"ok: {checked} mode/query results and "
         f"{len(baseline.get('identity', {}))} identity verdicts match "

@@ -157,14 +157,31 @@ class MInterval:
     def hull_of(cls, intervals: Iterable["MInterval"]) -> "MInterval":
         """Minimal bounded interval covering all inputs (closure operation).
 
-        Raises :class:`GeometryError` on an empty iterable.
+        Folds in a single pass over mutable bound lists instead of
+        materialising one intermediate interval per step — this sits on
+        the index's MBR-maintenance hot path.  Raises
+        :class:`GeometryError` on an empty iterable.
         """
-        acc: Optional[MInterval] = None
+        lo: Optional[list[Optional[int]]] = None
+        hi: list[Optional[int]] = []
+        dim = 0
         for iv in intervals:
-            acc = iv if acc is None else acc.hull(iv)
-        if acc is None:
+            if lo is None:
+                lo, hi = list(iv._lo), list(iv._hi)
+                dim = iv.dim
+                continue
+            if iv.dim != dim:
+                raise DimensionMismatchError(
+                    f"cannot hull intervals of dims {dim} and {iv.dim}"
+                )
+            for axis in range(dim):
+                l, u = iv._lo[axis], iv._hi[axis]
+                cl, cu = lo[axis], hi[axis]
+                lo[axis] = None if l is None or cl is None else min(l, cl)
+                hi[axis] = None if u is None or cu is None else max(u, cu)
+        if lo is None:
             raise GeometryError("hull_of needs at least one interval")
-        return acc
+        return cls(lo, hi)
 
     # ------------------------------------------------------------------
     # Basic properties

@@ -93,6 +93,25 @@ def hilbert_key(point: Sequence[int], bits: int = 21) -> int:
     return key
 
 
+def shifted_key(key: TileKey, origin: Sequence[int]) -> TileKey:
+    """Translate points to ``origin`` before keying.
+
+    Z-order and Hilbert keys require non-negative coordinates; objects
+    whose domain starts elsewhere (the salescube starts at ``(1, 1, 1)``)
+    wrap their clustering order with the domain's lower corner so tile
+    corners land on the curve at the right place.
+
+    >>> shifted_key(z_order_key, (1, 1))((1, 1))
+    0
+    """
+    offset = tuple(origin)
+
+    def shifted(point: Sequence[int]) -> object:
+        return key(tuple(c - o for c, o in zip(point, offset)))
+
+    return shifted
+
+
 _ORDERS: dict[str, TileKey] = {
     "row_major": row_major_key,
     "column_major": column_major_key,

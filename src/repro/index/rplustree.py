@@ -75,6 +75,15 @@ class _Node:
         boxes = [b for b in boxes if b is not None]
         self.mbr = MInterval.hull_of(boxes) if boxes else None
 
+    def extend_mbr(self, box: MInterval) -> None:
+        """Grow the MBR to absorb one inserted box without a full rescan.
+
+        Exact for insertions (the MBR only ever grows); any mutation that
+        can shrink a bound must go through :meth:`recompute_mbr`.
+        """
+        self._packed = None
+        self.mbr = box if self.mbr is None else self.mbr.hull(box)
+
     def packed_bounds(self, dim: int) -> np.ndarray:
         """Packed item bounds (entry domains / child MBRs), cached."""
         if self._packed is None or len(self._packed) != len(self.items):
@@ -243,9 +252,10 @@ class RPlusTreeIndex(SpatialIndex):
         """Insert recursively; returns a new sibling when ``node`` split."""
         if node.leaf:
             node.items.append(entry)
-            node.recompute_mbr()
             if len(node.items) > self.max_entries:
+                node.recompute_mbr()
                 return self._split(node)
+            node.extend_mbr(entry.domain)
             return None
         child = min(
             node.items,
@@ -255,9 +265,11 @@ class RPlusTreeIndex(SpatialIndex):
         overflow = self._insert_into(child, entry)
         if overflow is not None:
             node.items.append(overflow)
-        node.recompute_mbr()
-        if len(node.items) > self.max_entries:
-            return self._split(node)
+            node.recompute_mbr()
+            if len(node.items) > self.max_entries:
+                return self._split(node)
+            return None
+        node.extend_mbr(entry.domain)
         return None
 
     def _split(self, node: _Node) -> _Node:

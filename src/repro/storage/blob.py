@@ -16,14 +16,25 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
+from repro import obs
 from repro.core.errors import BlobNotFoundError, StorageError
 from repro.storage.pages import (
     DEFAULT_PAGE_SIZE,
     PageAllocator,
     PageRange,
     pages_needed,
+)
+
+_WRITE_RUNS = obs.counter(
+    "io.coalesced.write_runs", "Flushes that merged adjacent blobs into one write"
+)
+_WRITE_BLOBS = obs.counter(
+    "io.coalesced.write_blobs", "Blobs written as part of a coalesced run"
+)
+_WRITE_PAGES = obs.counter(
+    "io.coalesced.write_pages", "Pages covered by coalesced write runs"
 )
 
 
@@ -63,6 +74,10 @@ class BlobStore(abc.ABC):
         self._next_id = 1
         self._deferred = False
         self._pending: dict[int, bytes] = {}
+        # page CRCs handed in by callers that already computed them (the
+        # ingest pipeline shares one CRC pass between the WAL record and
+        # the backend sidecar); consumed once by the backend write
+        self._crc_stash: dict[int, list[int]] = {}
 
     # -- catalog ---------------------------------------------------------
 
@@ -89,18 +104,31 @@ class BlobStore(abc.ABC):
 
     # -- writes ----------------------------------------------------------
 
-    def put(self, payload: bytes, codec: str = "none") -> int:
-        """Store a real payload, returning the new BLOB id."""
+    def put(
+        self,
+        payload: bytes,
+        codec: str = "none",
+        page_crcs: Optional[list[int]] = None,
+    ) -> int:
+        """Store a real payload, returning the new BLOB id.
+
+        ``page_crcs`` (one CRC32C per storage page of ``payload``) lets
+        a caller that already checksummed the payload spare the backend
+        a recomputation; backends without checksums ignore it.
+        """
         blob_id = self._next_id
         self._next_id += 1
         pages = self._allocator.allocate(pages_needed(len(payload), self.page_size))
         record = BlobRecord(
             blob_id, len(payload), pages, virtual=False, codec=codec
         )
+        if page_crcs is not None:
+            self._crc_stash[blob_id] = page_crcs
         if self._deferred:
             self._pending[blob_id] = payload
         else:
             self._write_payload(record, payload)
+            self._crc_stash.pop(blob_id, None)
         self._catalog[blob_id] = record
         return blob_id
 
@@ -120,6 +148,7 @@ class BlobStore(abc.ABC):
         """Drop a BLOB, returning its pages to the allocator."""
         record = self.record(blob_id)
         self._pending.pop(blob_id, None)
+        self._crc_stash.pop(blob_id, None)
         if not record.virtual:
             self._delete_payload(record)
         self._allocator.release(record.pages)
@@ -163,20 +192,40 @@ class BlobStore(abc.ABC):
         """Number of payloads buffered but not yet on the backend."""
         return len(self._pending)
 
-    def flush_pending(self) -> int:
-        """Write every buffered payload to the backend, in page order.
+    def flush_pending(self) -> list[PageRange]:
+        """Write the buffered payloads to the backend, coalesced.
 
-        Called after the WAL commit record is durable; returns the number
-        of payloads written.
+        Payloads are sorted by page placement and **page-adjacent blobs
+        merge into one contiguous backend write** — a batch of tiles
+        allocated back-to-back (the common ingest case) hits the backend
+        as a single run instead of one call per tile.  Called after the
+        WAL commit record is durable; returns the page range of every
+        run written (the disk model charges one positioning per run).
         """
-        flushed = 0
-        for blob_id in sorted(
+        ordered = sorted(
             self._pending, key=lambda b: self._catalog[b].pages.start
-        ):
-            self._write_payload(self._catalog[blob_id], self._pending[blob_id])
-            flushed += 1
+        )
+        runs: list[list[int]] = []
+        for blob_id in ordered:
+            pages = self._catalog[blob_id].pages
+            if runs and self._catalog[runs[-1][-1]].pages.end == pages.start:
+                runs[-1].append(blob_id)
+            else:
+                runs.append([blob_id])
+        written: list[PageRange] = []
+        for run in runs:
+            records = [self._catalog[b] for b in run]
+            self._write_payload_run(records, [self._pending[b] for b in run])
+            for blob_id in run:
+                self._crc_stash.pop(blob_id, None)
+            first, last = records[0].pages, records[-1].pages
+            written.append(PageRange(first.start, last.end - first.start))
+            if len(run) > 1:
+                _WRITE_RUNS.inc()
+                _WRITE_BLOBS.inc(len(run))
+                _WRITE_PAGES.inc(last.end - first.start)
         self._pending.clear()
-        return flushed
+        return written
 
     def discard_pending(self) -> tuple[int, ...]:
         """Drop buffered payloads (transaction abort); returns their ids.
@@ -187,7 +236,13 @@ class BlobStore(abc.ABC):
         """
         dropped = tuple(self._pending)
         self._pending.clear()
+        for blob_id in dropped:
+            self._crc_stash.pop(blob_id, None)
         return dropped
+
+    def is_pending(self, blob_id: int) -> bool:
+        """Whether the payload is still buffered (not on the backend)."""
+        return blob_id in self._pending
 
     # -- reads -----------------------------------------------------------
 
@@ -201,11 +256,31 @@ class BlobStore(abc.ABC):
             return pending
         return self._read_payload(record)
 
+    def get_run(self, blob_ids: Sequence[int]) -> list[bytes]:
+        """Fetch several page-adjacent BLOBs; backends may coalesce.
+
+        The base implementation is a plain loop; ``FileBlobStore``
+        overrides it with one contiguous read.  Callers guarantee the
+        blobs are real, flushed, and page-adjacent in the given order.
+        """
+        return [self.get(blob_id) for blob_id in blob_ids]
+
     # -- backend hooks -----------------------------------------------------
 
     @abc.abstractmethod
     def _write_payload(self, record: BlobRecord, payload: bytes) -> None:
         """Persist the payload at the record's page range."""
+
+    def _write_payload_run(
+        self, records: Sequence[BlobRecord], payloads: Sequence[bytes]
+    ) -> None:
+        """Persist several page-adjacent payloads (one coalesced run).
+
+        Backends that can write contiguously override this; the default
+        falls back to one :meth:`_write_payload` per blob.
+        """
+        for record, payload in zip(records, payloads):
+            self._write_payload(record, payload)
 
     @abc.abstractmethod
     def _read_payload(self, record: BlobRecord) -> bytes:

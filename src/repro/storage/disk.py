@@ -38,6 +38,9 @@ _BLOB_READ_MS = obs.histogram("disk.blob_read_ms", "Modelled milliseconds per BL
 _WAL_APPENDS = obs.counter("disk.wal_appends", "Write-ahead-log append charges")
 _WAL_PAGES = obs.counter("disk.wal_pages_written", "Pages charged for WAL appends")
 _WAL_MS = obs.counter("disk.wal_ms", "Modelled WAL milliseconds charged")
+_DATA_WRITES = obs.counter("disk.data_writes", "Page-file write runs charged")
+_PAGES_WRITTEN = obs.counter("disk.pages_written", "Pages charged for data writes")
+_DATA_WRITE_MS = obs.counter("disk.data_write_ms", "Modelled data-write milliseconds")
 
 
 @dataclass(frozen=True)
@@ -109,11 +112,15 @@ class DiskCounters:
     sequential_reads: int = 0
     bytes_read: int = 0
     time_ms: float = 0.0
-    # WAL appends are accounted separately from time_ms: durability cost
-    # must not pollute the paper's t_o, which measures retrieval only.
+    # WAL appends and page-file data writes are accounted separately from
+    # time_ms: write-path cost must not pollute the paper's t_o, which
+    # measures retrieval only.
     wal_appends: int = 0
     wal_pages: int = 0
     wal_ms: float = 0.0
+    data_writes: int = 0
+    pages_written: int = 0
+    data_write_ms: float = 0.0
 
     def snapshot(self) -> "DiskCounters":
         return DiskCounters(**vars(self))
@@ -214,6 +221,37 @@ class SimulatedDisk:
         _WAL_MS.inc(cost)
         return cost
 
+    def charge_data_write(self, page_range: PageRange) -> float:
+        """Charge one coalesced page-file write run.
+
+        Positioning follows the same three regimes as reads (the head is
+        shared between reads and writes on a real spindle) but the cost
+        lands in the separate ``data_write`` counters: page-file flushes,
+        like WAL appends, are write-path overhead that must not inflate
+        the paper's ``t_o``.  A run of many coalesced blobs pays one
+        positioning, which is the point of coalescing.
+        """
+        cost = page_range.count * self.parameters.transfer_ms_per_page()
+        if self._head_position == page_range.start:
+            pass
+        elif (
+            self._head_position is not None
+            and 0
+            < page_range.start - self._head_position
+            <= self.parameters.short_skip_pages
+        ):
+            cost += self.parameters.short_skip_ms()
+        else:
+            cost += self.parameters.random_access_ms()
+        self._head_position = page_range.end
+        self.counters.data_writes += 1
+        self.counters.pages_written += page_range.count
+        self.counters.data_write_ms += cost
+        _DATA_WRITES.inc()
+        _PAGES_WRITTEN.inc(page_range.count)
+        _DATA_WRITE_MS.inc(cost)
+        return cost
+
     # -- blob interface ------------------------------------------------------
 
     def read_blob(self, blob_id: int) -> tuple[bytes, float]:
@@ -230,6 +268,34 @@ class SimulatedDisk:
         _MODEL_MS.inc(self.parameters.blob_overhead_ms)
         _BLOB_READ_MS.observe(cost)
         return payload, cost
+
+    def read_blob_run(
+        self, blob_ids: list[int]
+    ) -> list[tuple[bytes, float]]:
+        """Fetch a run of page-adjacent BLOBs with one backend call.
+
+        The charges are **identical** to calling :meth:`read_blob` per
+        blob: each blob is charged in page order, and because every blob
+        after the first continues exactly at the head, they land in the
+        sequential regime — the merged run costs what the per-blob
+        charges already sum to.  Only the backend byte fetch coalesces
+        (``store.get_run``), collapsing N syscalls into one.
+        """
+        costs: list[float] = []
+        for blob_id in blob_ids:
+            record = self.store.record(blob_id)
+            cost = self.charge_pages(record.pages)
+            cost += self.parameters.blob_overhead_ms
+            self.counters.time_ms += self.parameters.blob_overhead_ms
+            self.counters.blob_reads += 1
+            self.counters.bytes_read += record.byte_size
+            _BLOB_READS.inc()
+            _BYTES_READ.inc(record.byte_size)
+            _MODEL_MS.inc(self.parameters.blob_overhead_ms)
+            _BLOB_READ_MS.observe(cost)
+            costs.append(cost)
+        payloads = self.store.get_run(blob_ids)
+        return list(zip(payloads, costs))
 
     def blob_pages(self, blob_id: int) -> PageRange:
         return self.store.record(blob_id).pages

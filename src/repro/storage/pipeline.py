@@ -49,6 +49,12 @@ _TILES_DECODED = obs.counter(
 _DECODE_MS = obs.histogram(
     "pipeline.decode_ms", "Wall milliseconds per tile decode task"
 )
+_READ_RUNS = obs.counter(
+    "io.coalesced.read_runs", "Fetches that merged adjacent blobs into one read"
+)
+_READ_BLOBS = obs.counter(
+    "io.coalesced.read_blobs", "Blobs fetched as part of a coalesced run"
+)
 
 
 @dataclass
@@ -88,6 +94,37 @@ def _decode_task(payload: bytes, codec: str, dtype, shape) -> np.ndarray:
         _WORKERS_BUSY.dec()
 
 
+def _coalesce_runs(
+    database: "Database",
+    items: Sequence[tuple[int, "TileEntry"]],
+) -> list[list[tuple[int, "TileEntry"]]]:
+    """Group page-adjacent cache misses into contiguous read runs.
+
+    Coalescing applies only without a buffer pool (pool lookups and
+    admissions are inherently per-blob) and never spans virtual or
+    still-pending blobs.  Order is preserved, so the per-blob disk
+    charges are issued in exactly the per-item sequence.
+    """
+    store = database.store
+    if database.pool is not None:
+        return [[item] for item in items]
+    runs: list[list[tuple[int, "TileEntry"]]] = []
+    prev_end: Optional[int] = None
+    for item in items:
+        entry = item[1]
+        if entry.virtual or store.is_pending(entry.blob_id):
+            runs.append([item])
+            prev_end = None
+            continue
+        pages = store.record(entry.blob_id).pages
+        if prev_end is not None and pages.start == prev_end:
+            runs[-1].append(item)
+        else:
+            runs.append([item])
+        prev_end = pages.end
+    return runs
+
+
 def fetch_tiles(
     database: "Database",
     entries: Sequence["TileEntry"],
@@ -97,14 +134,19 @@ def fetch_tiles(
 
     Returns one :class:`FetchedTile` per entry, in the given order.  Disk
     and pool interactions happen on the calling thread in entry order;
-    only decoding is (optionally) offloaded.  The result — arrays, costs
-    and cache counters — is identical for any ``io_workers`` setting.
+    only decoding is (optionally) offloaded.  Page-adjacent misses merge
+    into one backend read (:meth:`SimulatedDisk.read_blob_run`) whose
+    per-blob charges equal the serial ones — adjacent follow-on reads
+    are in the sequential regime either way — so the result (arrays,
+    costs, cache counters) is identical for any ``io_workers`` setting
+    and with coalescing on or off.
     """
     cache = database.decoded_cache
     executor = database.pipeline_executor() if len(entries) > 1 else None
     fetched: list[Optional[FetchedTile]] = [None] * len(entries)
     pending: list[tuple[int, float, int]] = []  # (index, cost, payload_bytes)
     futures = []
+    to_fetch: list[tuple[int, "TileEntry"]] = []
 
     for position, entry in enumerate(entries):
         if cache is not None and not entry.virtual:
@@ -118,12 +160,14 @@ def fetch_tiles(
                     decoded_hit=True,
                 )
                 continue
-        payload, cost = database.read_blob(entry.blob_id)
+        to_fetch.append((position, entry))
+
+    def dispatch(position: int, entry: "TileEntry", payload: bytes, cost: float) -> None:
         if entry.virtual:
             fetched[position] = FetchedTile(
                 entry, cost, len(payload), array=None, decoded_hit=False
             )
-            continue
+            return
         shape = entry.domain.shape
         if executor is None:
             array = _decode(payload, entry.codec, dtype, shape)
@@ -135,6 +179,20 @@ def fetch_tiles(
             futures.append(
                 executor.submit(_decode_task, payload, entry.codec, dtype, shape)
             )
+
+    for run in _coalesce_runs(database, to_fetch):
+        if len(run) == 1:
+            position, entry = run[0]
+            payload, cost = database.read_blob(entry.blob_id)
+            dispatch(position, entry, payload, cost)
+        else:
+            _READ_RUNS.inc()
+            _READ_BLOBS.inc(len(run))
+            results = database.disk.read_blob_run(
+                [entry.blob_id for _, entry in run]
+            )
+            for (position, entry), (payload, cost) in zip(run, results):
+                dispatch(position, entry, payload, cost)
 
     if futures:
         _PARALLEL_BATCHES.inc()

@@ -38,10 +38,10 @@ from repro.query.timing import LoadStats, QueryTiming
 from repro.storage.backends import MemoryBlobStore
 from repro.storage.blob import BlobStore
 from repro.storage.bufferpool import BufferPool
-from repro.storage.compression import select_codec
 from repro.storage.decodedcache import DecodedTileCache
 from repro.storage.disk import CpuParameters, DiskParameters, SimulatedDisk
 from repro.storage.faults import FaultInjector
+from repro.storage.ingest import encode_payload, encode_tiles
 from repro.storage.pipeline import fetch_tile, fetch_tiles
 from repro.storage.wal import WriteAheadLog
 
@@ -51,6 +51,10 @@ IndexFactory = Callable[[int, int], SpatialIndex]
 DURABILITY_MODES = ("none", "wal", "wal+fsync")
 
 _TILES_STORED = obs.counter("tilestore.tiles_stored", "Tiles written as BLOBs")
+_WRITE_THROUGH = obs.counter(
+    "cache.decoded.write_throughs",
+    "Decoded tiles admitted to the cache on the write path",
+)
 _TILES_LOADED = obs.counter("tilestore.tiles_loaded", "Tiles fetched for reads")
 _READS = obs.counter("tilestore.reads", "Range reads served")
 _CELLS_FETCHED = obs.counter("tilestore.cells_fetched", "Cells in fetched tiles")
@@ -143,15 +147,76 @@ class StoredMDD:
         """Store one tile (cells copied to a BLOB, domain indexed)."""
         with obs.span("tilestore.insert_tile", object=self.name):
             with self.database.transaction():
-                self._admit_domain(tile.domain)
-                payload = tile.to_bytes()
-                codec = "none"
-                if self.database.compression:
-                    codec, payload = select_codec(payload, self.database.codecs)
-                blob_id = self.database.store.put(payload, codec=codec)
-                self.database._log_blob_put(blob_id, payload)
-                _TILES_STORED.inc()
-                return self._register(tile.domain, blob_id, codec, virtual=False)
+                return self._store_batch([tile])[0]
+
+    def write_tiles(self, tiles: Sequence[Tile]) -> list[int]:
+        """Bulk-insert many tiles as **one** transaction (group commit).
+
+        Tiles are sorted by the database's clustering order, encoded
+        through the parallel ingest pipeline, and committed with a single
+        WAL write (one fsync in ``wal+fsync`` mode) and coalesced
+        page-file flushes.  Stored bytes, blob ids, and page placements
+        are byte-identical to calling :meth:`insert_tile` per tile in the
+        same order; only the transaction boundaries differ.  Returns the
+        new tile ids in storage order.
+        """
+        ordered = sorted(
+            tiles, key=lambda t: self.database.tile_key(t.domain.lowest)
+        )
+        with obs.span(
+            "tilestore.write_tiles", object=self.name, tiles=len(ordered)
+        ):
+            with self.database.transaction():
+                return self._store_batch(ordered)
+
+    def _store_batch(self, tiles: Sequence[Tile]) -> list[int]:
+        """Coordinator half of the ingest pipeline (inside a transaction).
+
+        Order-sensitive work — page allocation, WAL records, tile
+        registration — happens here, tile by tile in the given order, so
+        the on-disk outcome never depends on worker scheduling.  Decoded
+        write-through admissions are deferred to the end of the batch,
+        in page order, mirroring the read pipeline's deferred
+        admissions.
+        """
+        encoded = encode_tiles(self.database, tiles)
+        tile_ids: list[int] = []
+        admissions: list[tuple[int, bytes, tuple[int, ...]]] = []
+        for item in encoded:
+            self._admit_domain(item.tile.domain)
+            blob_id = self.database.store.put(
+                item.payload, codec=item.codec, page_crcs=item.page_crcs
+            )
+            self.database._log_blob_put(
+                blob_id, item.payload, page_crcs=item.page_crcs
+            )
+            _TILES_STORED.inc()
+            tile_ids.append(
+                self._register(item.tile.domain, blob_id, item.codec, virtual=False)
+            )
+            admissions.append((blob_id, item.raw, item.tile.domain.shape))
+        if self.database.decoded_cache is not None:
+            for blob_id, raw, shape in admissions:
+                self._admit_write_through(blob_id, raw, shape)
+        return tile_ids
+
+    def _admit_write_through(
+        self, blob_id: int, raw: bytes, shape: tuple[int, ...]
+    ) -> None:
+        """Admit a just-written tile's decoded cells into the cache.
+
+        Read-after-write then scores a ``decoded_hit`` instead of a
+        fetch+decode miss.  The admitted array is built from the
+        serialised bytes — never a view of the caller's array — and the
+        cache enforces its own byte budget (an oversized tile is simply
+        not admitted).
+        """
+        cache = self.database.decoded_cache
+        if cache is None:
+            return
+        array = np.frombuffer(raw, dtype=self.mdd_type.base.dtype).reshape(shape)
+        cache.put(blob_id, array)
+        _WRITE_THROUGH.inc()
 
     def attach_tile(
         self,
@@ -279,19 +344,22 @@ class StoredMDD:
                 spec.tiles, key=lambda t: self.database.tile_key(t.lowest)
             )
             started = time.perf_counter()
-            stored = 0
+            tiles = []
+            for tile_domain in ordered:
+                data = array[tile_domain.to_slices(origin)]
+                if skip_default_tiles and (data == default_cell).all():
+                    continue
+                tiles.append(Tile(tile_domain, data))
             with self.database.transaction():
-                for tile_domain in ordered:
-                    data = array[tile_domain.to_slices(origin)]
-                    if skip_default_tiles and (data == default_cell).all():
-                        continue
-                    self.insert_tile(Tile(tile_domain, data))
-                    stored += 1
-                if stored == 0:
+                if not tiles:
                     raise StorageError(
                         f"array for {self.name!r} holds only default values; "
                         f"nothing to store with skip_default_tiles"
                     )
+                # One batch, one commit: the whole load is a single WAL
+                # transaction (group commit) encoded through the ingest
+                # pipeline.
+                self._store_batch(tiles)
                 # Partial coverage must not shrink the current domain below
                 # the loaded region (the closure is over what the user
                 # loaded).
@@ -301,7 +369,7 @@ class StoredMDD:
                     {"op": "object_domain", "domain": str(self._current_domain)}
                 )
             stats.store_ms = (time.perf_counter() - started) * 1000.0
-            stats.tile_count = stored
+            stats.tile_count = len(tiles)
             stats.bytes_stored = self.stored_bytes()
         return stats
 
@@ -606,12 +674,15 @@ class StoredMDD:
         self.database.invalidate_blob(tile_entry.blob_id)
         self.database.store.delete(tile_entry.blob_id)
         self._log_meta({"op": "blob_delete", "blob": tile_entry.blob_id})
-        codec = "none"
-        if self.database.compression:
-            codec, payload = select_codec(payload, self.database.codecs)
-        tile_entry.blob_id = self.database.store.put(payload, codec=codec)
+        raw = payload
+        codec, payload, page_crcs = encode_payload(self.database, raw)
+        tile_entry.blob_id = self.database.store.put(
+            payload, codec=codec, page_crcs=page_crcs
+        )
         tile_entry.codec = codec
-        self.database._log_blob_put(tile_entry.blob_id, payload)
+        self.database._log_blob_put(
+            tile_entry.blob_id, payload, page_crcs=page_crcs
+        )
         self._log_meta(
             {
                 "op": "tile_rebind",
@@ -619,6 +690,9 @@ class StoredMDD:
                 "blob": tile_entry.blob_id,
                 "codec": codec,
             }
+        )
+        self._admit_write_through(
+            tile_entry.blob_id, raw, tile_entry.domain.shape
         )
 
     def delete_region(self, region: MInterval) -> int:
@@ -880,14 +954,28 @@ class Database:
             self._txn_depth -= 1
         if self._txn_depth == 0 and self.wal is not None:
             # The WAL rule: log first (durably, in wal+fsync mode), then
-            # let the pending payloads reach the page file.
+            # let the pending payloads reach the page file.  Each
+            # coalesced flush run is charged as one positioned write on
+            # the modelled disk (into the write counters, not t_o).
             self.wal.commit()
-            self.store.flush_pending()
+            for run in self.store.flush_pending():
+                self.disk.charge_data_write(run)
 
-    def _log_blob_put(self, blob_id: int, payload: bytes) -> None:
-        """Buffer a payload redo record for a just-written BLOB."""
+    def _log_blob_put(
+        self,
+        blob_id: int,
+        payload: bytes,
+        page_crcs: Optional[list[int]] = None,
+    ) -> None:
+        """Buffer a payload redo record for a just-written BLOB.
+
+        ``page_crcs`` forwards checksums the ingest pipeline already
+        computed, so the WAL does not checksum the payload again.
+        """
         if self.wal is not None:
-            self.wal.log_blob_put(self.store.record(blob_id), payload)
+            self.wal.log_blob_put(
+                self.store.record(blob_id), payload, page_crcs=page_crcs
+            )
 
     def _log_meta(self, operation: dict) -> None:
         """Buffer a database-level logical redo record."""

@@ -14,21 +14,34 @@ Log layout (all integers little-endian)::
     header := magic "REPROWAL" | u32 version | u32 page_size
     record := u32 payload_len | u32 crc32c | u8 type | u64 lsn | payload
 
-The CRC32C covers ``type || lsn || payload``, so any torn or bit-flipped
-record fails verification and scanning stops there — everything after an
-invalid record is discarded (records are only meaningful in log order).
+The framing CRC32C covers ``type || lsn || payload`` (for ``BLOB_PUT2``:
+``type || lsn || meta``), so any torn or bit-flipped record fails
+verification and scanning stops there — everything after an invalid
+record is discarded (records are only meaningful in log order).
 
 Record types:
 
-==============  =======================================================
-``META (1)``    JSON logical operation (``{"op": ...}``): catalog and
-                tile-table mutations, object domain updates.
-``BLOB_PUT(2)`` ``u32 meta_len | meta JSON | raw payload``.  The JSON
-                carries id, sizes, page placement, codec, virtual flag;
-                the raw bytes are the exact stored payload.
-``COMMIT (3)``  JSON ``{"txn": n, "records": k}`` sealing the ``k``
-                preceding records as transaction ``n``.
-==============  =======================================================
+===============  ======================================================
+``META (1)``     JSON logical operation (``{"op": ...}``): catalog and
+                 tile-table mutations, object domain updates.
+``BLOB_PUT (2)`` ``u32 meta_len | meta JSON | raw payload``.  The JSON
+                 carries id, sizes, page placement, codec, virtual
+                 flag; the raw bytes are the exact stored payload.
+                 Legacy (v1 logs): still decoded, no longer written.
+``COMMIT (3)``   JSON ``{"txn": n, "records": k}`` sealing the ``k``
+                 preceding records as transaction ``n``.
+``BLOB_PUT2(4)`` Same layout as ``BLOB_PUT``, but the meta JSON also
+                 carries ``"crcs"``: one CRC32C per storage page of the
+                 raw payload, and the framing CRC covers only
+                 ``type || lsn || meta`` — the raw tail is verified
+                 against the page CRCs instead.  Detection strength is
+                 unchanged (every raw byte is still CRC-guarded; a torn
+                 tail fails the length framing), but the page CRCs are
+                 now computed **once** — shared with the store's page
+                 sidecar and, on the batched ingest path, produced by
+                 one lockstep-vectorised pass over the whole batch —
+                 instead of CRC-ing every payload twice per tile.
+===============  ======================================================
 
 Group commit: records buffer in memory while a transaction runs and hit
 the file as **one** ``write`` call at commit, commit record included, so
@@ -49,13 +62,14 @@ from typing import Iterator, Optional, Union
 from repro import obs
 from repro.core.errors import WalError
 from repro.storage.blob import BlobRecord
-from repro.storage.checksum import crc32c
+from repro.storage.checksum import crc32c, page_checksums, verify_page_checksums
 from repro.storage.disk import SimulatedDisk
 from repro.storage.faults import FaultInjector, fsync_file
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange
 
 MAGIC = b"REPROWAL"
-VERSION = 1
+VERSION = 2  # v2 adds BLOB_PUT2; v1 logs are still scanned
+_SUPPORTED_VERSIONS = (1, 2)
 _HEADER = struct.Struct("<8sII")
 _RECORD = struct.Struct("<IIBQ")
 _U32 = struct.Struct("<I")
@@ -63,6 +77,7 @@ _U32 = struct.Struct("<I")
 META = 1
 BLOB_PUT = 2
 COMMIT = 3
+BLOB_PUT2 = 4
 
 _RECORDS = obs.counter("wal.records", "Redo records appended (buffered)")
 _COMMITS = obs.counter("wal.commits", "Transactions committed to the log")
@@ -134,33 +149,20 @@ def encode_record(rtype: int, lsn: int, payload: bytes) -> bytes:
     return _RECORD.pack(len(payload), crc, rtype, lsn) + payload
 
 
-def encode_blob_put(record: BlobRecord, payload: bytes) -> bytes:
-    """The BLOB_PUT payload: placement JSON plus the raw stored bytes."""
-    meta = json.dumps(
-        {
-            "id": record.blob_id,
-            "size": record.byte_size,
-            "stored": record.stored_size,
-            "start": record.pages.start,
-            "count": record.pages.count,
-            "virtual": record.virtual,
-            "codec": record.codec,
-        },
-        separators=(",", ":"),
-    ).encode("utf-8")
-    return _U32.pack(len(meta)) + meta + payload
+def _blob_meta(record: BlobRecord) -> dict:
+    return {
+        "id": record.blob_id,
+        "size": record.byte_size,
+        "stored": record.stored_size,
+        "start": record.pages.start,
+        "count": record.pages.count,
+        "virtual": record.virtual,
+        "codec": record.codec,
+    }
 
 
-def decode_blob_put(payload: bytes) -> tuple[BlobRecord, bytes]:
-    """Inverse of :func:`encode_blob_put`."""
-    if len(payload) < _U32.size:
-        raise WalError("BLOB_PUT record too short for its meta length")
-    (meta_len,) = _U32.unpack_from(payload)
-    meta_end = _U32.size + meta_len
-    if len(payload) < meta_end:
-        raise WalError("BLOB_PUT record too short for its meta JSON")
-    meta = json.loads(payload[_U32.size : meta_end].decode("utf-8"))
-    record = BlobRecord(
+def _blob_record(meta: dict) -> BlobRecord:
+    return BlobRecord(
         blob_id=meta["id"],
         byte_size=meta["size"],
         pages=PageRange(meta["start"], meta["count"]),
@@ -168,12 +170,78 @@ def decode_blob_put(payload: bytes) -> tuple[BlobRecord, bytes]:
         codec=meta["codec"],
         stored_size=meta["stored"],
     )
-    raw = payload[meta_end:]
+
+
+def _split_blob_payload(payload: bytes, kind: str) -> tuple[dict, bytes]:
+    if len(payload) < _U32.size:
+        raise WalError(f"{kind} record too short for its meta length")
+    (meta_len,) = _U32.unpack_from(payload)
+    meta_end = _U32.size + meta_len
+    if len(payload) < meta_end:
+        raise WalError(f"{kind} record too short for its meta JSON")
+    meta = json.loads(payload[_U32.size : meta_end].decode("utf-8"))
+    return meta, payload[meta_end:]
+
+
+def encode_blob_put(record: BlobRecord, payload: bytes) -> bytes:
+    """The BLOB_PUT payload: placement JSON plus the raw stored bytes."""
+    meta = json.dumps(_blob_meta(record), separators=(",", ":")).encode("utf-8")
+    return _U32.pack(len(meta)) + meta + payload
+
+
+def decode_blob_put(payload: bytes) -> tuple[BlobRecord, bytes]:
+    """Inverse of :func:`encode_blob_put`."""
+    meta, raw = _split_blob_payload(payload, "BLOB_PUT")
+    record = _blob_record(meta)
     if not record.virtual and len(raw) != record.stored_size:
         raise WalError(
             f"BLOB_PUT for blob {record.blob_id} carries {len(raw)} bytes, "
             f"meta says {record.stored_size}"
         )
+    return record, raw
+
+
+def encode_blob_put2(
+    lsn: int, record: BlobRecord, payload: bytes, page_crcs: list[int]
+) -> bytes:
+    """Frame a complete BLOB_PUT2 record.
+
+    Unlike :func:`encode_record`, the framing CRC covers only
+    ``type || lsn || meta`` — the raw tail is guarded by the per-page
+    CRCs carried inside the meta, so the (expensive) payload checksum is
+    computed once and shared with the store's page sidecar.
+    """
+    blob_meta = _blob_meta(record)
+    blob_meta["crcs"] = list(page_crcs)
+    meta = json.dumps(blob_meta, separators=(",", ":")).encode("utf-8")
+    prefix = _U32.pack(len(meta)) + meta
+    crc = crc32c(bytes([BLOB_PUT2]) + lsn.to_bytes(8, "little") + prefix)
+    return _RECORD.pack(len(prefix) + len(payload), crc, BLOB_PUT2, lsn) + prefix + payload
+
+
+def decode_blob_put2(
+    payload: bytes, page_size: int
+) -> tuple[BlobRecord, bytes]:
+    """Inverse of :func:`encode_blob_put2`; verifies the raw tail.
+
+    The framing CRC only vouched for the meta, so the page CRCs are
+    checked here — a corrupt tail raises :class:`WalError` and the scan
+    stops at this record, exactly as a framing-CRC failure would.
+    """
+    meta, raw = _split_blob_payload(payload, "BLOB_PUT2")
+    record = _blob_record(meta)
+    if not record.virtual:
+        if len(raw) != record.stored_size:
+            raise WalError(
+                f"BLOB_PUT2 for blob {record.blob_id} carries {len(raw)} "
+                f"bytes, meta says {record.stored_size}"
+            )
+        bad = verify_page_checksums(raw, page_size, meta.get("crcs") or [])
+        if bad:
+            raise WalError(
+                f"BLOB_PUT2 for blob {record.blob_id}: page CRC mismatch "
+                f"on page(s) {bad}"
+            )
     return record, raw
 
 
@@ -219,9 +287,29 @@ class WriteAheadLog:
         payload = json.dumps(operation, separators=(",", ":")).encode("utf-8")
         return self._append(META, payload)
 
-    def log_blob_put(self, record: BlobRecord, payload: bytes) -> int:
-        """Buffer a payload redo record (empty payload for virtual BLOBs)."""
-        return self._append(BLOB_PUT, encode_blob_put(record, payload))
+    def log_blob_put(
+        self,
+        record: BlobRecord,
+        payload: bytes,
+        page_crcs: Optional[list[int]] = None,
+    ) -> int:
+        """Buffer a payload redo record (empty payload for virtual BLOBs).
+
+        ``page_crcs`` lets the caller pass CRCs it already computed for
+        the store's page sidecar (the batched ingest path computes them
+        vectorised for the whole batch); omitted, they are computed here.
+        """
+        if record.virtual:
+            page_crcs = []
+        elif page_crcs is None:
+            page_crcs = page_checksums(payload, self.page_size)
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._buffer.append(encode_blob_put2(lsn, record, payload, page_crcs))
+        self._buffered_records += 1
+        self.stats.records += 1
+        _RECORDS.inc()
+        return lsn
 
     @property
     def buffered_records(self) -> int:
@@ -313,9 +401,23 @@ def _iter_records(data: bytes) -> Iterator[tuple[int, int, int, bytes]]:
         payload_start = offset + _RECORD.size
         if payload_start + length > end:
             return  # torn: payload runs past EOF
+        if rtype not in (META, BLOB_PUT, COMMIT, BLOB_PUT2):
+            return  # unknown type: stop, everything after is untrusted
         payload = data[payload_start : payload_start + length]
-        expected = crc32c(bytes([rtype]) + lsn.to_bytes(8, "little") + payload)
-        if crc != expected or rtype not in (META, BLOB_PUT, COMMIT):
+        if rtype == BLOB_PUT2:
+            # the framing CRC covers only the meta prefix; the raw tail
+            # is checked against the page CRCs by decode_blob_put2
+            if length < _U32.size:
+                return
+            (meta_len,) = _U32.unpack_from(payload)
+            covered_end = _U32.size + meta_len
+            if covered_end > length:
+                return  # meta length itself is implausible: torn/corrupt
+            covered = payload[:covered_end]
+        else:
+            covered = payload
+        expected = crc32c(bytes([rtype]) + lsn.to_bytes(8, "little") + covered)
+        if crc != expected:
             return  # corrupt record: stop, everything after is untrusted
         yield offset, rtype, lsn, payload
         offset = payload_start + length
@@ -336,10 +438,10 @@ def scan_wal(path: Union[str, Path]) -> WalScan:
     if len(data) < _HEADER.size:
         scan.torn_bytes = len(data)
         return scan
-    magic, version, _page_size = _HEADER.unpack_from(data)
+    magic, version, page_size = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise WalError(f"{path} is not a write-ahead log (bad magic)")
-    if version != VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise WalError(f"unsupported WAL version {version} in {path}")
     body = data[_HEADER.size :]
     open_records: list = []
@@ -357,7 +459,10 @@ def scan_wal(path: Union[str, Path]) -> WalScan:
             open_records.append(("meta", json.loads(payload.decode("utf-8"))))
         else:
             try:
-                record, raw = decode_blob_put(payload)
+                if rtype == BLOB_PUT2:
+                    record, raw = decode_blob_put2(payload, page_size)
+                else:
+                    record, raw = decode_blob_put(payload)
             except WalError:
                 break  # framing valid but content malformed: stop here
             open_records.append(("blob_put", record, raw))

@@ -3,8 +3,16 @@
 import zlib
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.storage.checksum import crc32c, page_checksums, verify_page_checksums
+from repro.storage.checksum import (
+    crc32c,
+    crc32c_many,
+    page_checksums,
+    page_checksums_many,
+    verify_page_checksums,
+)
 
 
 class TestCrc32c:
@@ -67,3 +75,50 @@ class TestPageChecksums:
         payload = bytes(i % 251 for i in range(size))
         crcs = page_checksums(payload, 256)
         assert verify_page_checksums(payload, 256, crcs) == []
+
+
+class TestCrc32cMany:
+    """The lockstep-vectorised batch CRC must equal the scalar CRC."""
+
+    def test_mixed_sizes_match_scalar(self):
+        # enough chunks to take the lockstep path, with every tail shape:
+        # empty, sub-word, word-aligned, and straddling sizes
+        sizes = [0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256,
+                 257, 1000, 4096, 8192, 0, 5]
+        chunks = [bytes((i * 7 + j) % 256 for j in range(n))
+                  for i, n in enumerate(sizes)]
+        assert crc32c_many(chunks) == [crc32c(c) for c in chunks]
+
+    def test_below_lockstep_threshold_uses_scalar(self):
+        chunks = [b"abc", b"", bytes(range(100))]
+        assert crc32c_many(chunks) == [crc32c(c) for c in chunks]
+
+    def test_empty_batch(self):
+        assert crc32c_many([]) == []
+
+    @given(st.lists(st.binary(max_size=300), max_size=40))
+    def test_matches_scalar_property(self, chunks):
+        assert crc32c_many(chunks) == [crc32c(c) for c in chunks]
+
+
+class TestPageChecksumsMany:
+    def test_matches_per_payload(self):
+        payloads = [
+            b"",
+            b"a" * 100,
+            bytes(range(256)) * 3,
+            b"z" * 1000,
+            bytes(i % 7 for i in range(515)),
+        ] * 4  # enough pages for the lockstep path
+        assert page_checksums_many(payloads, 256) == [
+            page_checksums(p, 256) for p in payloads
+        ]
+
+    def test_empty_list(self):
+        assert page_checksums_many([], 256) == []
+
+    @given(st.lists(st.binary(max_size=700), max_size=20))
+    def test_matches_per_payload_property(self, payloads):
+        assert page_checksums_many(payloads, 128) == [
+            page_checksums(p, 128) for p in payloads
+        ]

@@ -6,6 +6,8 @@ from hypothesis import strategies as st
 
 from repro.core.errors import StorageError
 from repro.storage.compression import (
+    _rle_decode_scalar,
+    _rle_encode_scalar,
     compress,
     decompress,
     known_codecs,
@@ -43,6 +45,29 @@ class TestRLE:
     @given(st.binary(max_size=2000))
     def test_roundtrip_property(self, raw):
         assert rle_decode(rle_encode(raw)) == raw
+
+
+class TestRLEVectorisedEquivalence:
+    """The numpy codec must emit the byte-loop codec's exact wire format."""
+
+    def test_long_run_chunking_matches_reference(self):
+        # 700-byte run: chunks of 255, 255, 190 — byte-for-byte identical
+        raw = b"\x07" * 700 + b"\x01" + b"\x07" * 256
+        assert rle_encode(raw) == _rle_encode_scalar(raw)
+
+    def test_exact_256_boundary(self):
+        for n in (255, 256, 257, 511, 512, 513):
+            raw = b"\x42" * n
+            assert rle_encode(raw) == _rle_encode_scalar(raw)
+
+    @given(st.binary(max_size=3000))
+    def test_encode_matches_reference(self, raw):
+        assert rle_encode(raw) == _rle_encode_scalar(raw)
+
+    @given(st.binary(max_size=600))
+    def test_decode_matches_reference(self, raw):
+        encoded = _rle_encode_scalar(raw)
+        assert rle_decode(encoded) == _rle_decode_scalar(encoded) == raw
 
 
 class TestZlib:
