@@ -11,7 +11,12 @@ fails the build.  The artifact's ``label`` picks the comparison:
 * ``ingest`` — per-mode WAL tallies (fsyncs, commits), tile counts,
   logical bytes, and read-back digests.  Compressed sizes and page-file
   hashes are compared *within* a run by the bench's identity verdicts,
-  not against the baseline (codec output may vary across zlib builds).
+  not against the baseline (codec output may vary across zlib builds);
+* ``concurrent`` — per-mode reader counts and read quotas.  Throughput
+  and scaling live in ``performance`` and are never gated (they depend
+  on the runner's core count); the isolation invariants (no torn reads,
+  cross-object snapshot consistency, reclamation convergence) are the
+  boolean identity verdicts.
 
 Identity verdicts are held to in both cases: a verdict that was True in
 the baseline must stay True.
@@ -48,6 +53,15 @@ INGEST_FIELDS = (
     "tile_count",
     "logical_bytes",
     "result_digest",
+)
+
+# deterministic per-mode concurrent-bench fields (workload shape only:
+# commit counts, wall times and throughputs all vary run to run)
+CONCURRENT_FIELDS = (
+    "readers",
+    "reads",
+    "torn_reads",
+    "inconsistent_snapshots",
 )
 
 
@@ -132,10 +146,32 @@ def _compare_ingest_modes(candidate: dict, baseline: dict) -> list[str]:
     return problems
 
 
+def _compare_concurrent_modes(candidate: dict, baseline: dict) -> list[str]:
+    problems: list[str] = []
+    base_modes = baseline.get("modes", {})
+    cand_modes = candidate.get("modes", {})
+    for mode, base_run in sorted(base_modes.items()):
+        cand_run = cand_modes.get(mode)
+        if cand_run is None:
+            problems.append(f"modes.{mode}: missing from candidate")
+            continue
+        for field in CONCURRENT_FIELDS:
+            if field not in base_run:
+                continue
+            if cand_run.get(field) != base_run[field]:
+                problems.append(
+                    f"modes.{mode}.{field}: baseline {base_run[field]!r}, "
+                    f"candidate {cand_run.get(field)!r}"
+                )
+    return problems
+
+
 def compare(candidate: dict, baseline: dict) -> list[str]:
     problems = _compare_identity(candidate, baseline)
     if baseline.get("label") == "ingest":
         problems += _compare_ingest_modes(candidate, baseline)
+    elif baseline.get("label") == "concurrent":
+        problems += _compare_concurrent_modes(candidate, baseline)
     else:
         problems += _compare_pipeline_modes(candidate, baseline)
     return problems
@@ -159,7 +195,7 @@ def main(argv: list[str]) -> int:
         for problem in problems:
             print(f"  - {problem}")
         return 1
-    if baseline.get("label") == "ingest":
+    if baseline.get("label") in ("ingest", "concurrent"):
         checked = len(baseline.get("modes", {}))
     else:
         checked = sum(

@@ -1,0 +1,327 @@
+"""Concurrent-access benchmark: snapshot readers scaling under a writer.
+
+The concurrency sibling of :mod:`repro.bench.pipeline` /
+:mod:`repro.bench.ingest` (DESIGN §11).  One writer thread commits
+update transactions in a loop while 1, 2 and 4 reader threads each
+perform a fixed number of snapshot reads of the contended region; the
+mode's wall clock is the time for all readers to finish their quota, so
+read throughput (reads/s) across the three modes is the scaling curve.
+
+Two result sections, with the same CI contract as the other benches:
+
+* ``identity`` — deterministic invariant verdicts, **gated** by
+  ``benchmarks/check_regression.py``: every read's bytes digest-match a
+  committed state (no torn reads — checked for every read, not
+  sampled), snapshots are cross-object consistent (both objects always
+  at the same committed epoch), and epoch reclamation converges to an
+  empty limbo once the pins close;
+* ``performance`` — throughput scaling, **reported but never gated**
+  (CI machines often have 2 vCPUs): ``read_scaling_4r`` is the 4-reader
+  vs 1-reader throughput ratio and ``read_scaling_2x`` its >= 2.0
+  verdict.
+
+Reads decompress zlib tiles (the codec releases the GIL), so scaling
+measures the storage layer's actual read concurrency, not a Python
+bytecode artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.bench.harness import ARTIFACTS_ENV
+from repro.bench.report import format_table
+from repro.core.cells import base_type
+from repro.core.geometry import MInterval
+from repro.core.mddtype import MDDType
+from repro.storage.disk import DiskParameters
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import RegularTiling
+
+DOMAIN = MInterval.parse("[0:511,0:511]")
+#: every read and every commit covers all four 256x256 tiles, so a torn
+#: commit leaves a cross-tile mix that digests to no committed state
+REGION = DOMAIN
+TILE_BYTES = 65536
+OBJECTS = ("a", "b")
+READER_COUNTS = (1, 2, 4)
+READS_PER_READER = 24
+MAX_COMMITS = 10_000
+#: fraction of each BLOB read's modelled milliseconds actually slept
+#: (DiskParameters.realtime_scale) — read latency has to exist in wall
+#: time for reader overlap to be measurable, and overlappable waits are
+#: what concurrent snapshot reads exploit even on a single core
+REALTIME_SCALE = 0.15
+#: distinct committed states the writer cycles through; 4-bit-entropy
+#: cells compress ~2x, so reads spend their time in zlib decompress
+#: (which releases the GIL) rather than on degenerate constant tiles
+PAYLOAD_VARIANTS = 8
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(array).tobytes()
+    ).hexdigest()[:16]
+
+
+def _payloads() -> List[np.ndarray]:
+    """The committed-state cycle, deterministic across runs."""
+    rng = np.random.default_rng(1999)
+    return [
+        rng.integers(0, 16, size=REGION.shape).astype(np.uint8)
+        for _ in range(PAYLOAD_VARIANTS)
+    ]
+
+
+def _build_database(payloads: List[np.ndarray]) -> Database:
+    """Fresh in-memory database: two four-tile objects, zlib-compressed.
+
+    Both objects load inside one transaction so they publish at the same
+    epoch — the cross-object consistency verdict then holds from the
+    very first snapshot.
+    """
+    db = Database(
+        compression=True,
+        disk_parameters=DiskParameters(realtime_scale=REALTIME_SCALE),
+    )
+    mdd_type = MDDType("cube", base_type("char"), DOMAIN)
+    with db.transaction():
+        for name in OBJECTS:
+            db.create_object("bench", mdd_type, name)
+            db.collection("bench")[name].load_array(
+                payloads[-1], RegularTiling(TILE_BYTES)
+            )
+    return db
+
+
+def _writer(db: Database, payloads: List[np.ndarray],
+            history: Dict[int, Dict[str, str]],
+            stop: threading.Event, tally: dict):
+    """Commits update transactions until the readers finish their quota.
+
+    Each transaction rewrites the whole contended region of *both*
+    objects from the payload cycle and records the post-commit digests
+    under the publication epoch — the committed history every read is
+    validated against.  The digests are precomputed: a full-region
+    overwrite makes the committed state exactly the payload.
+    """
+    objs = [db.collection("bench")[name] for name in OBJECTS]
+    digests = [_digest(payload) for payload in payloads]
+    commits = 0
+    while not stop.is_set() and commits < MAX_COMMITS:
+        commits += 1
+        committed = {}
+        with db.transaction():
+            for offset, (name, obj) in enumerate(zip(OBJECTS, objs)):
+                variant = (commits + 3 * offset) % len(payloads)
+                obj.update(REGION, payloads[variant])
+                committed[name] = digests[variant]
+        epoch = db.last_commit_epoch()
+        assert epoch is not None
+        history[epoch] = committed
+    tally["commits"] = commits
+
+
+def _reader(db: Database, out: List[tuple], reads: int):
+    """Fixed quota of cross-object snapshot reads of the hot region."""
+    for _ in range(reads):
+        with db.snapshot() as snap:
+            entry = []
+            for name in OBJECTS:
+                epoch = snap.version("bench", name).epoch
+                array, _ = snap.read("bench", name, REGION)
+                entry.append((name, epoch, _digest(array)))
+            out.append(tuple(entry))
+
+
+def _validate(history: Dict[int, Dict[str, str]],
+              observations: List[tuple]) -> dict:
+    """Every-read validation; returns the identity verdict inputs."""
+    torn = 0
+    inconsistent = 0
+    for entry in observations:
+        epochs = {epoch for _name, epoch, _digest in entry}
+        if len(epochs) != 1:
+            # setup commits both objects in one transaction and every
+            # update rewrites both, so a consistent snapshot always has
+            # one epoch across objects
+            inconsistent += 1
+        for name, epoch, content in entry:
+            commit = history.get(epoch)
+            if commit is None or commit.get(name) != content:
+                torn += 1
+    return {"torn_reads": torn, "inconsistent_snapshots": inconsistent}
+
+
+def _run_mode(readers: int, runs: int) -> dict:
+    """One scaling point: ``readers`` concurrent readers under a writer."""
+    walls = []
+    last_checks: dict = {}
+    commits = 0
+    payloads = _payloads()
+    for _ in range(max(1, runs)):
+        db = _build_database(payloads)
+        history: Dict[int, Dict[str, str]] = {}
+        # the setup transaction published both objects under one epoch
+        with db.snapshot() as snap:
+            epoch = snap.version("bench", OBJECTS[0]).epoch
+            history[epoch] = {
+                name: _digest(snap.read("bench", name, REGION)[0])
+                for name in OBJECTS
+            }
+        stop = threading.Event()
+        tally: dict = {}
+        observations: List[tuple] = []
+        writer = threading.Thread(
+            target=_writer,
+            args=(db, payloads, history, stop, tally),
+            name="writer",
+        )
+        pool = [
+            threading.Thread(
+                target=_reader, args=(db, observations, READS_PER_READER),
+                name=f"reader-{k}",
+            )
+            for k in range(readers)
+        ]
+        writer.start()
+        started = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        wall = time.perf_counter() - started
+        stop.set()
+        writer.join()
+        walls.append(wall * 1000.0)
+        checks = _validate(history, observations)
+        checks["reads"] = len(observations)
+        checks["converged"] = (
+            db.epoch.active_pins == 0 and db.epoch.limbo_size == 0
+        )
+        commits = tally.get("commits", 0)
+        last_checks = checks
+    wall_ms = float(np.min(walls))
+    total_reads = readers * READS_PER_READER
+    return {
+        "readers": readers,
+        "reads": total_reads,
+        "wall_ms": float(np.mean(walls)),
+        "wall_ms_min": wall_ms,
+        "throughput_rps": total_reads / (wall_ms / 1000.0) if wall_ms else 0.0,
+        "writer_commits": commits,
+        **last_checks,
+    }
+
+
+def run_concurrent_bench(
+    runs: int = 3,
+    artifact_dir: Optional[Union[str, Path]] = None,
+) -> dict:
+    """Run the reader-scaling curve and return the comparison dict."""
+    modes: Dict[str, dict] = {}
+    with obs.span("bench.concurrent", runs=runs):
+        for readers in READER_COUNTS:
+            modes[f"r{readers}"] = _run_mode(readers, runs)
+    report = {
+        "label": "concurrent",
+        "created_unix": time.time(),
+        "config": {
+            "domain": str(DOMAIN),
+            "region": str(REGION),
+            "tile_bytes": TILE_BYTES,
+            "objects": list(OBJECTS),
+            "reads_per_reader": READS_PER_READER,
+            "reader_counts": list(READER_COUNTS),
+            "payload_variants": PAYLOAD_VARIANTS,
+            "realtime_scale": REALTIME_SCALE,
+            "runs": runs,
+            "compression": "zlib",
+        },
+        "modes": modes,
+        "identity": _verdicts(modes),
+        "performance": _performance(modes),
+        "registry": obs.snapshot(),
+    }
+    if artifact_dir is None:
+        artifact_dir = os.environ.get(ARTIFACTS_ENV) or None
+    if artifact_dir is not None:
+        report["artifact_path"] = str(_write_artifact(report, artifact_dir))
+    return report
+
+
+def _verdicts(modes: Dict[str, dict]) -> dict:
+    """Deterministic invariant checks (gated on in CI)."""
+    return {
+        "reads_match_committed": all(
+            m["torn_reads"] == 0 for m in modes.values()
+        ),
+        "snapshots_cross_object_consistent": all(
+            m["inconsistent_snapshots"] == 0 for m in modes.values()
+        ),
+        "reclamation_converged": all(
+            m["converged"] for m in modes.values()
+        ),
+        "read_quota_completed": all(
+            m["reads"] == m["readers"] * READS_PER_READER
+            for m in modes.values()
+        ),
+        "writer_ran_during_reads": all(
+            m["writer_commits"] >= 1 for m in modes.values()
+        ),
+    }
+
+
+def _performance(modes: Dict[str, dict]) -> dict:
+    """Scaling curve (reported, never gated on in CI)."""
+    t1 = modes["r1"]["throughput_rps"]
+    out = {
+        f"throughput_r{m['readers']}": m["throughput_rps"]
+        for m in modes.values()
+    }
+    scaling = modes["r4"]["throughput_rps"] / t1 if t1 else 0.0
+    out["read_scaling_4r"] = scaling
+    out["read_scaling_2x"] = scaling >= 2.0
+    return out
+
+
+def _write_artifact(report: dict, directory: Union[str, Path]) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "BENCH_concurrent.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def comparison_table(report: dict) -> str:
+    """Fixed-width mode comparison for the CLI."""
+    headers = [
+        "readers", "reads", "wall ms", "reads/s", "commits", "torn",
+        "scaling",
+    ]
+    t1 = report["modes"]["r1"]["throughput_rps"]
+    rows = []
+    for entry in report["modes"].values():
+        scaling = entry["throughput_rps"] / t1 if t1 else 0.0
+        rows.append([
+            str(entry["readers"]),
+            str(entry["reads"]),
+            f"{entry['wall_ms']:.1f}",
+            f"{entry['throughput_rps']:.0f}",
+            str(entry["writer_commits"]),
+            str(entry["torn_reads"]),
+            f"{scaling:.2f}x",
+        ])
+    return format_table(
+        headers, rows,
+        title="concurrent reads under one writer (snapshot isolation)",
+    )

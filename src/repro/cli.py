@@ -13,6 +13,7 @@ Usage::
     python -m repro trace QUERY   # span trace of one sales-cube query
     python -m repro bench pipeline  # serial vs parallel vs decoded cache
     python -m repro bench ingest    # serial vs batched vs parallel writes
+    python -m repro bench concurrent  # snapshot readers scaling under a writer
     python -m repro recover DIR   # replay the write-ahead log of a database
     python -m repro fsck DIR      # offline consistency check (exit 1 on issues)
 
@@ -409,6 +410,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if value is False
         ]
         return 1 if failed else 0
+    if args.mode == "concurrent":
+        from repro.bench.concurrent import (
+            comparison_table,
+            run_concurrent_bench,
+        )
+
+        report = run_concurrent_bench(
+            runs=args.runs,
+            artifact_dir=_artifact_dir(args),
+        )
+        print(comparison_table(report))
+        print()
+        print("identity verdicts:")
+        for name, value in report["identity"].items():
+            print(f"  {name}: {value}")
+        print("performance (not gated):")
+        for name, value in report["performance"].items():
+            formatted = f"{value:.2f}" if isinstance(value, float) else value
+            print(f"  {name}: {formatted}")
+        if "artifact_path" in report:
+            print(f"\nwrote {report['artifact_path']}")
+        failed = [
+            name
+            for name, value in report["identity"].items()
+            if value is False
+        ]
+        return 1 if failed else 0
     raise SystemExit(f"unknown bench mode {args.mode!r}")
 
 
@@ -523,9 +551,10 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="implementation benchmarks (not paper tables)"
     )
     bench.add_argument(
-        "mode", choices=("pipeline", "ingest"),
+        "mode", choices=("pipeline", "ingest", "concurrent"),
         help="pipeline: serial vs parallel vs decoded-cache reads; "
-             "ingest: serial vs batched vs parallel writes",
+             "ingest: serial vs batched vs parallel writes; "
+             "concurrent: snapshot-reader scaling under a writer",
     )
     bench.add_argument(
         "--runs", type=int, default=3, metavar="N",

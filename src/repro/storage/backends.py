@@ -106,6 +106,10 @@ class FileBlobStore(BlobStore):
 
     def sync(self) -> None:
         """Flush the page file and write the catalog sidecar."""
+        with self._latch:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
         self.flush_pending()
         fsync_file(self._file)
         payload = {
@@ -273,6 +277,10 @@ class FileBlobStore(BlobStore):
         a single seek+read syscall.  Falls back to the per-blob loop if
         any blob is virtual or still buffered.
         """
+        with self._latch:
+            return self._get_run_locked(blob_ids)
+
+    def _get_run_locked(self, blob_ids: Sequence[int]) -> list[bytes]:
         records = [self.record(blob_id) for blob_id in blob_ids]
         if len(records) < 2 or any(
             r.virtual or r.blob_id in self._pending for r in records

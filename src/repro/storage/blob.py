@@ -20,6 +20,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro import obs
 from repro.core.errors import BlobNotFoundError, StorageError
+from repro.storage.latch import OrderedLatch
 from repro.storage.pages import (
     DEFAULT_PAGE_SIZE,
     PageAllocator,
@@ -78,29 +79,39 @@ class BlobStore(abc.ABC):
         # ingest pipeline shares one CRC pass between the WAL record and
         # the backend sidecar); consumed once by the backend write
         self._crc_stash: dict[int, list[int]] = {}
+        # One latch over catalog, allocator, pending queue, and backend
+        # handle: every public entry point takes it, so concurrent
+        # readers see either a blob's full (record, payload) or neither.
+        # Reentrant because get() layers over record().
+        self._latch = OrderedLatch("store", 60, reentrant=True)
 
     # -- catalog ---------------------------------------------------------
 
     def record(self, blob_id: int) -> BlobRecord:
         """Catalog entry for a BLOB (raises when unknown)."""
-        try:
-            return self._catalog[blob_id]
-        except KeyError:
-            raise BlobNotFoundError(f"no blob {blob_id}") from None
+        with self._latch:
+            try:
+                return self._catalog[blob_id]
+            except KeyError:
+                raise BlobNotFoundError(f"no blob {blob_id}") from None
 
     def __contains__(self, blob_id: int) -> bool:
-        return blob_id in self._catalog
+        with self._latch:
+            return blob_id in self._catalog
 
     def __len__(self) -> int:
-        return len(self._catalog)
+        with self._latch:
+            return len(self._catalog)
 
     def blob_ids(self) -> Iterator[int]:
-        return iter(self._catalog)
+        with self._latch:
+            return iter(tuple(self._catalog))
 
     @property
     def total_pages(self) -> int:
         """Pages of the underlying page file (high-water mark)."""
-        return self._allocator.high_water
+        with self._latch:
+            return self._allocator.high_water
 
     # -- writes ----------------------------------------------------------
 
@@ -116,43 +127,68 @@ class BlobStore(abc.ABC):
         a caller that already checksummed the payload spare the backend
         a recomputation; backends without checksums ignore it.
         """
-        blob_id = self._next_id
-        self._next_id += 1
-        pages = self._allocator.allocate(pages_needed(len(payload), self.page_size))
-        record = BlobRecord(
-            blob_id, len(payload), pages, virtual=False, codec=codec
-        )
-        if page_crcs is not None:
-            self._crc_stash[blob_id] = page_crcs
-        if self._deferred:
-            self._pending[blob_id] = payload
-        else:
-            self._write_payload(record, payload)
-            self._crc_stash.pop(blob_id, None)
-        self._catalog[blob_id] = record
-        return blob_id
+        with self._latch:
+            blob_id = self._next_id
+            self._next_id += 1
+            pages = self._allocator.allocate(
+                pages_needed(len(payload), self.page_size)
+            )
+            record = BlobRecord(
+                blob_id, len(payload), pages, virtual=False, codec=codec
+            )
+            if page_crcs is not None:
+                self._crc_stash[blob_id] = page_crcs
+            if self._deferred:
+                self._pending[blob_id] = payload
+            else:
+                self._write_payload(record, payload)
+                self._crc_stash.pop(blob_id, None)
+            self._catalog[blob_id] = record
+            return blob_id
 
     def put_virtual(self, byte_size: int) -> int:
         """Register a size-only BLOB (reads synthesise zeros)."""
         if byte_size < 0:
             raise StorageError(f"negative virtual size {byte_size}")
-        blob_id = self._next_id
-        self._next_id += 1
-        pages = self._allocator.allocate(pages_needed(byte_size, self.page_size))
-        self._catalog[blob_id] = BlobRecord(
-            blob_id, byte_size, pages, virtual=True
-        )
-        return blob_id
+        with self._latch:
+            blob_id = self._next_id
+            self._next_id += 1
+            pages = self._allocator.allocate(
+                pages_needed(byte_size, self.page_size)
+            )
+            self._catalog[blob_id] = BlobRecord(
+                blob_id, byte_size, pages, virtual=True
+            )
+            return blob_id
 
     def delete(self, blob_id: int) -> None:
         """Drop a BLOB, returning its pages to the allocator."""
-        record = self.record(blob_id)
-        self._pending.pop(blob_id, None)
-        self._crc_stash.pop(blob_id, None)
-        if not record.virtual:
-            self._delete_payload(record)
-        self._allocator.release(record.pages)
-        del self._catalog[blob_id]
+        with self._latch:
+            record = self.record(blob_id)
+            self._pending.pop(blob_id, None)
+            self._crc_stash.pop(blob_id, None)
+            if not record.virtual:
+                self._delete_payload(record)
+            self._allocator.release(record.pages)
+            del self._catalog[blob_id]
+
+    def forget(self, blob_id: int) -> None:
+        """Roll back an uncommitted :meth:`put` (transaction abort).
+
+        Unlike :meth:`delete` this is not a logged event — the blob never
+        became visible to anyone — so it only unwinds the allocation:
+        pending payload and stashed CRCs are dropped, pages released, the
+        catalog entry removed.  Unknown ids are a no-op (idempotent)."""
+        with self._latch:
+            record = self._catalog.pop(blob_id, None)
+            if record is None:
+                return
+            was_pending = self._pending.pop(blob_id, None) is not None
+            self._crc_stash.pop(blob_id, None)
+            if not record.virtual and not was_pending:
+                # Non-deferred mode wrote through; undo the backend write.
+                self._delete_payload(record)
+            self._allocator.release(record.pages)
 
     def restore(self, record: BlobRecord, payload: Optional[bytes]) -> None:
         """Recreate a BLOB at an exact id and page placement (WAL replay).
@@ -163,37 +199,49 @@ class BlobStore(abc.ABC):
         the placement differs (log/checkpoint disagreement) and a no-op
         when it matches (idempotent re-replay).
         """
-        existing = self._catalog.get(record.blob_id)
-        if existing is not None:
-            if existing.pages != record.pages:
-                raise StorageError(
-                    f"blob {record.blob_id} already placed at {existing.pages}, "
-                    f"log says {record.pages}"
-                )
-            return
-        self._allocator.reserve(record.pages)
-        self._catalog[record.blob_id] = record
-        self._next_id = max(self._next_id, record.blob_id + 1)
-        if not record.virtual:
-            if payload is None:
-                raise StorageError(
-                    f"restore of real blob {record.blob_id} needs a payload"
-                )
-            self._write_payload(record, payload)
+        with self._latch:
+            existing = self._catalog.get(record.blob_id)
+            if existing is not None:
+                if existing.pages != record.pages:
+                    raise StorageError(
+                        f"blob {record.blob_id} already placed at "
+                        f"{existing.pages}, log says {record.pages}"
+                    )
+                return
+            self._allocator.reserve(record.pages)
+            self._catalog[record.blob_id] = record
+            self._next_id = max(self._next_id, record.blob_id + 1)
+            if not record.virtual:
+                if payload is None:
+                    raise StorageError(
+                        f"restore of real blob {record.blob_id} needs a payload"
+                    )
+                self._write_payload(record, payload)
 
     # -- deferred writes (write-ahead-log ordering) ----------------------
 
     def set_deferred_writes(self, deferred: bool) -> None:
         """Toggle write-behind mode; flushes nothing by itself."""
-        self._deferred = deferred
+        with self._latch:
+            self._deferred = deferred
 
     @property
     def pending_writes(self) -> int:
         """Number of payloads buffered but not yet on the backend."""
-        return len(self._pending)
+        with self._latch:
+            return len(self._pending)
+
+    def take_pending(self) -> tuple[int, ...]:
+        """Snapshot the pending ids (a committing transaction's writes).
+
+        The entries stay buffered — and readable via :meth:`get` — until
+        :meth:`flush_ids` lands them on the backend, so a concurrent
+        reader between commit-publish and flush still gets the bytes."""
+        with self._latch:
+            return tuple(self._pending)
 
     def flush_pending(self) -> list[PageRange]:
-        """Write the buffered payloads to the backend, coalesced.
+        """Write every buffered payload to the backend, coalesced.
 
         Payloads are sorted by page placement and **page-adjacent blobs
         merge into one contiguous backend write** — a batch of tiles
@@ -202,9 +250,21 @@ class BlobStore(abc.ABC):
         WAL commit record is durable; returns the page range of every
         run written (the disk model charges one positioning per run).
         """
-        ordered = sorted(
-            self._pending, key=lambda b: self._catalog[b].pages.start
-        )
+        with self._latch:
+            return self._flush_locked(tuple(self._pending))
+
+    def flush_ids(self, blob_ids: Sequence[int]) -> list[PageRange]:
+        """Flush only the given pending ids (one transaction's writes).
+
+        Concurrent transactions each flush their own snapshot from
+        :meth:`take_pending`; ids no longer pending are skipped."""
+        with self._latch:
+            return self._flush_locked(
+                [b for b in blob_ids if b in self._pending]
+            )
+
+    def _flush_locked(self, blob_ids: Sequence[int]) -> list[PageRange]:
+        ordered = sorted(blob_ids, key=lambda b: self._catalog[b].pages.start)
         runs: list[list[int]] = []
         for blob_id in ordered:
             pages = self._catalog[blob_id].pages
@@ -224,7 +284,8 @@ class BlobStore(abc.ABC):
                 _WRITE_RUNS.inc()
                 _WRITE_BLOBS.inc(len(run))
                 _WRITE_PAGES.inc(last.end - first.start)
-        self._pending.clear()
+        for blob_id in ordered:
+            self._pending.pop(blob_id, None)
         return written
 
     def discard_pending(self) -> tuple[int, ...]:
@@ -234,27 +295,30 @@ class BlobStore(abc.ABC):
         aborted transaction is considered dead (crash semantics) and must
         be reopened from the durable state.
         """
-        dropped = tuple(self._pending)
-        self._pending.clear()
-        for blob_id in dropped:
-            self._crc_stash.pop(blob_id, None)
-        return dropped
+        with self._latch:
+            dropped = tuple(self._pending)
+            self._pending.clear()
+            for blob_id in dropped:
+                self._crc_stash.pop(blob_id, None)
+            return dropped
 
     def is_pending(self, blob_id: int) -> bool:
         """Whether the payload is still buffered (not on the backend)."""
-        return blob_id in self._pending
+        with self._latch:
+            return blob_id in self._pending
 
     # -- reads -----------------------------------------------------------
 
     def get(self, blob_id: int) -> bytes:
         """Fetch a BLOB payload (zeros for virtual BLOBs)."""
-        record = self.record(blob_id)
-        if record.virtual:
-            return bytes(record.byte_size)
-        pending = self._pending.get(blob_id)
-        if pending is not None:
-            return pending
-        return self._read_payload(record)
+        with self._latch:
+            record = self.record(blob_id)
+            if record.virtual:
+                return bytes(record.byte_size)
+            pending = self._pending.get(blob_id)
+            if pending is not None:
+                return pending
+            return self._read_payload(record)
 
     def get_run(self, blob_ids: Sequence[int]) -> list[bytes]:
         """Fetch several page-adjacent BLOBs; backends may coalesce.

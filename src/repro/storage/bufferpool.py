@@ -20,6 +20,7 @@ from collections import OrderedDict
 from repro import obs
 from repro.core.errors import StorageError
 from repro.storage.disk import SimulatedDisk
+from repro.storage.latch import OrderedLatch
 
 _HITS = obs.counter("pool.hits", "Buffer-pool hits (no disk charge)")
 _MISSES = obs.counter("pool.misses", "Buffer-pool misses (read through disk)")
@@ -47,6 +48,10 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Guards the LRU table, the local tallies, and the used-byte
+        # accounting (both self._used and its delta into the gauge), so
+        # concurrent admit/evict keeps gauge sums exact (DESIGN §11).
+        self._latch = OrderedLatch("pool", 45)
 
     @property
     def used_bytes(self) -> int:
@@ -54,17 +59,21 @@ class BufferPool:
 
     def read_blob(self, blob_id: int) -> tuple[bytes, float]:
         """BLOB payload and charged disk milliseconds (0.0 on a hit)."""
-        cached = self._entries.get(blob_id)
-        if cached is not None:
-            self._entries.move_to_end(blob_id)
-            self.hits += 1
-            _HITS.inc()
-            return cached, 0.0
-        payload, cost = self.disk.read_blob(blob_id)
-        self.misses += 1
-        _MISSES.inc()
-        self._admit(blob_id, payload)
-        return payload, cost
+        with self._latch:
+            cached = self._entries.get(blob_id)
+            if cached is not None:
+                self._entries.move_to_end(blob_id)
+                self.hits += 1
+                _HITS.inc()
+                return cached, 0.0
+            # The latch is held across the miss read: the disk latch
+            # ranks above the pool latch, and a serialized miss+admit is
+            # what keeps the LRU trajectory and the charges deterministic.
+            payload, cost = self.disk.read_blob(blob_id)
+            self.misses += 1
+            _MISSES.inc()
+            self._admit(blob_id, payload)
+            return payload, cost
 
     def _admit(self, blob_id: int, payload: bytes) -> None:
         if len(payload) > self.capacity_bytes:
@@ -83,25 +92,28 @@ class BufferPool:
 
     def invalidate(self, blob_id: int) -> None:
         """Drop one entry (called on BLOB update/delete)."""
-        payload = self._entries.pop(blob_id, None)
-        if payload is not None:
-            self._used -= len(payload)
-            _USED_BYTES.dec(len(payload))
+        with self._latch:
+            payload = self._entries.pop(blob_id, None)
+            if payload is not None:
+                self._used -= len(payload)
+                _USED_BYTES.dec(len(payload))
 
     def clear(self) -> None:
         """Empty the pool (cold-start benchmarks)."""
-        self._entries.clear()
-        _USED_BYTES.dec(self._used)
-        self._used = 0
+        with self._latch:
+            self._entries.clear()
+            _USED_BYTES.dec(self._used)
+            self._used = 0
 
     def reset_stats(self) -> None:
         """Zero the local hit/miss/eviction tallies (measurement boundary).
 
         Contents are untouched — clearing data and clearing counters are
         different decisions; ``Database.reset_clock`` does both."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._latch:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_rate(self) -> float:

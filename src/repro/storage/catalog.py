@@ -285,6 +285,9 @@ def open_database(
         # log: replaying it again would be idempotent but pointless.
         save_database(database, directory)
         wal_path.unlink(missing_ok=True)
+    # Reload and replay mutated working state outside any transaction;
+    # freeze the final state as what concurrent readers will see.
+    database.republish()
     database.last_recovery = report
     if durability != "none":
         database.arm_durability(

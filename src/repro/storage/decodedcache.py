@@ -36,6 +36,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.errors import StorageError
+from repro.storage.latch import OrderedLatch
 
 _HITS = obs.counter("cache.decoded.hits", "Decoded-tile cache hits")
 _MISSES = obs.counter("cache.decoded.misses", "Decoded-tile cache misses")
@@ -69,6 +70,9 @@ class DecodedTileCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Guards the LRU table, tallies, and used-byte accounting (local
+        # count + gauge delta move together) — see DESIGN §11.
+        self._latch = OrderedLatch("cache.decoded", 70)
 
     # ------------------------------------------------------------------
     # Lookup / admission
@@ -76,19 +80,21 @@ class DecodedTileCache:
 
     def get(self, blob_id: int) -> Optional[np.ndarray]:
         """The decoded tile, or ``None`` on a miss (counted either way)."""
-        array = self._entries.get(blob_id)
-        if array is None:
-            self.misses += 1
-            _MISSES.inc()
-            return None
-        self._entries.move_to_end(blob_id)
-        self.hits += 1
-        _HITS.inc()
-        return array
+        with self._latch:
+            array = self._entries.get(blob_id)
+            if array is None:
+                self.misses += 1
+                _MISSES.inc()
+                return None
+            self._entries.move_to_end(blob_id)
+            self.hits += 1
+            _HITS.inc()
+            return array
 
     def peek(self, blob_id: int) -> Optional[np.ndarray]:
         """Like :meth:`get` but without counters or LRU promotion."""
-        return self._entries.get(blob_id)
+        with self._latch:
+            return self._entries.get(blob_id)
 
     def put(self, blob_id: int, array: np.ndarray) -> np.ndarray:
         """Admit a decoded tile; returns the (read-only) cached array.
@@ -101,14 +107,15 @@ class DecodedTileCache:
         size = array.nbytes
         if size > self.capacity_bytes:
             return array
-        previous = self._entries.pop(blob_id, None)
-        if previous is not None:
-            self._discard_bytes(previous.nbytes)
-        self._evict_down_to(self.capacity_bytes - size)
-        self._entries[blob_id] = array
-        self._used += size
-        _BYTES_ADMITTED.inc(size)
-        _USED_BYTES.inc(size)
+        with self._latch:
+            previous = self._entries.pop(blob_id, None)
+            if previous is not None:
+                self._discard_bytes(previous.nbytes)
+            self._evict_down_to(self.capacity_bytes - size)
+            self._entries[blob_id] = array
+            self._used += size
+            _BYTES_ADMITTED.inc(size)
+            _USED_BYTES.inc(size)
         return array
 
     @staticmethod
@@ -136,24 +143,27 @@ class DecodedTileCache:
 
     def invalidate(self, blob_id: int) -> None:
         """Drop one entry (called on BLOB update/delete)."""
-        array = self._entries.pop(blob_id, None)
-        if array is not None:
-            self._discard_bytes(array.nbytes)
-            _INVALIDATIONS.inc()
+        with self._latch:
+            array = self._entries.pop(blob_id, None)
+            if array is not None:
+                self._discard_bytes(array.nbytes)
+                _INVALIDATIONS.inc()
 
     def clear(self) -> None:
         """Empty the cache (cold measurement boundary)."""
-        self._discard_bytes(self._used)
-        self._entries.clear()
+        with self._latch:
+            self._discard_bytes(self._used)
+            self._entries.clear()
 
     def reset_stats(self) -> None:
         """Zero the local hit/miss/eviction tallies (measurement boundary).
 
         Contents are untouched — clearing data and clearing counters are
         different decisions; ``Database.reset_clock`` does both."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._latch:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,11 +19,13 @@ forward skips, and a 1 ms per-BLOB dereference overhead on 8 KiB pages.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro import obs
 from repro.core.errors import StorageError
 from repro.storage.blob import BlobStore
+from repro.storage.latch import OrderedLatch
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange, pages_needed
 
 _BLOB_READS = obs.counter("disk.blob_reads", "BLOBs fetched from the simulated disk")
@@ -41,6 +43,9 @@ _WAL_MS = obs.counter("disk.wal_ms", "Modelled WAL milliseconds charged")
 _DATA_WRITES = obs.counter("disk.data_writes", "Page-file write runs charged")
 _PAGES_WRITTEN = obs.counter("disk.pages_written", "Pages charged for data writes")
 _DATA_WRITE_MS = obs.counter("disk.data_write_ms", "Modelled data-write milliseconds")
+_REALTIME_WAIT_MS = obs.counter(
+    "disk.realtime_wait_ms", "Real milliseconds slept in realtime mode"
+)
 
 
 @dataclass(frozen=True)
@@ -61,6 +66,14 @@ class DiskParameters:
     settle_ms: float = 2.0
     short_skip_pages: int = 256
     page_size: int = DEFAULT_PAGE_SIZE
+    #: When > 0, BLOB reads additionally *sleep* this fraction of their
+    #: modelled milliseconds in real time.  The wait happens outside the
+    #: disk latch — the modelled device admits concurrent in-flight
+    #: requests (command queuing), so snapshot readers overlap their
+    #: latency while the positioning charges stay serialized and
+    #: deterministic.  Off (0.0) everywhere except concurrency
+    #: benchmarks, which need read waits to exist in wall-clock time.
+    realtime_scale: float = 0.0
 
     def transfer_ms_per_page(self) -> float:
         """Milliseconds to stream one page off the platter."""
@@ -149,6 +162,12 @@ class SimulatedDisk:
             )
         self.counters = DiskCounters()
         self._head_position: int | None = None
+        # One latch serializes head movement and counter updates: the
+        # positioning regime depends on the previous access, so charges
+        # must be atomic for the cost model to stay coherent under
+        # concurrent readers.  Reentrant because read_blob/read_blob_run
+        # layer over charge_pages.
+        self._latch = OrderedLatch("disk", 50, reentrant=True)
 
     # -- timing primitives -------------------------------------------------
 
@@ -159,6 +178,10 @@ class SimulatedDisk:
         head sits is sequential (no positioning); a short forward skip
         pays only a settle; anything else is a full random access.
         """
+        with self._latch:
+            return self._charge_pages_locked(page_range)
+
+    def _charge_pages_locked(self, page_range: PageRange) -> float:
         cost = page_range.count * self.parameters.transfer_ms_per_page()
         if self._head_position == page_range.start:
             self.counters.sequential_reads += 1
@@ -189,10 +212,11 @@ class SimulatedDisk:
             self.parameters.random_access_ms()
             + self.parameters.transfer_ms_per_page()
         )
-        self.counters.pages_read += 1
-        self.counters.random_accesses += 1
-        self.counters.time_ms += cost
-        self._head_position = None
+        with self._latch:
+            self.counters.pages_read += 1
+            self.counters.random_accesses += 1
+            self.counters.time_ms += cost
+            self._head_position = None
         _INDEX_NODE_READS.inc()
         _PAGES_READ.inc()
         _RANDOM_ACCESSES.inc()
@@ -213,9 +237,10 @@ class SimulatedDisk:
         cost = pages * self.parameters.transfer_ms_per_page()
         if fsync:
             cost += self.parameters.rotation_ms / 2.0
-        self.counters.wal_appends += 1
-        self.counters.wal_pages += pages
-        self.counters.wal_ms += cost
+        with self._latch:
+            self.counters.wal_appends += 1
+            self.counters.wal_pages += pages
+            self.counters.wal_ms += cost
         _WAL_APPENDS.inc()
         _WAL_PAGES.inc(pages)
         _WAL_MS.inc(cost)
@@ -231,22 +256,23 @@ class SimulatedDisk:
         the paper's ``t_o``.  A run of many coalesced blobs pays one
         positioning, which is the point of coalescing.
         """
-        cost = page_range.count * self.parameters.transfer_ms_per_page()
-        if self._head_position == page_range.start:
-            pass
-        elif (
-            self._head_position is not None
-            and 0
-            < page_range.start - self._head_position
-            <= self.parameters.short_skip_pages
-        ):
-            cost += self.parameters.short_skip_ms()
-        else:
-            cost += self.parameters.random_access_ms()
-        self._head_position = page_range.end
-        self.counters.data_writes += 1
-        self.counters.pages_written += page_range.count
-        self.counters.data_write_ms += cost
+        with self._latch:
+            cost = page_range.count * self.parameters.transfer_ms_per_page()
+            if self._head_position == page_range.start:
+                pass
+            elif (
+                self._head_position is not None
+                and 0
+                < page_range.start - self._head_position
+                <= self.parameters.short_skip_pages
+            ):
+                cost += self.parameters.short_skip_ms()
+            else:
+                cost += self.parameters.random_access_ms()
+            self._head_position = page_range.end
+            self.counters.data_writes += 1
+            self.counters.pages_written += page_range.count
+            self.counters.data_write_ms += cost
         _DATA_WRITES.inc()
         _PAGES_WRITTEN.inc(page_range.count)
         _DATA_WRITE_MS.inc(cost)
@@ -255,18 +281,26 @@ class SimulatedDisk:
     # -- blob interface ------------------------------------------------------
 
     def read_blob(self, blob_id: int) -> tuple[bytes, float]:
-        """Fetch a BLOB's bytes and the charged time in milliseconds."""
-        record = self.store.record(blob_id)
-        cost = self.charge_pages(record.pages)
-        cost += self.parameters.blob_overhead_ms
-        self.counters.time_ms += self.parameters.blob_overhead_ms
-        payload = self.store.get(blob_id)
-        self.counters.blob_reads += 1
-        self.counters.bytes_read += record.byte_size
+        """Fetch a BLOB's bytes and the charged time in milliseconds.
+
+        Charge and byte fetch happen under the disk latch, so the pages
+        a reader is charged for are the pages whose bytes it gets even
+        while a writer commits concurrently (the store latch ranks above
+        the disk latch, see :mod:`repro.storage.latch`).
+        """
+        with self._latch:
+            record = self.store.record(blob_id)
+            cost = self._charge_pages_locked(record.pages)
+            cost += self.parameters.blob_overhead_ms
+            self.counters.time_ms += self.parameters.blob_overhead_ms
+            payload = self.store.get(blob_id)
+            self.counters.blob_reads += 1
+            self.counters.bytes_read += record.byte_size
         _BLOB_READS.inc()
         _BYTES_READ.inc(record.byte_size)
         _MODEL_MS.inc(self.parameters.blob_overhead_ms)
         _BLOB_READ_MS.observe(cost)
+        self._realtime_wait(cost)
         return payload, cost
 
     def read_blob_run(
@@ -281,21 +315,31 @@ class SimulatedDisk:
         charges already sum to.  Only the backend byte fetch coalesces
         (``store.get_run``), collapsing N syscalls into one.
         """
-        costs: list[float] = []
-        for blob_id in blob_ids:
-            record = self.store.record(blob_id)
-            cost = self.charge_pages(record.pages)
-            cost += self.parameters.blob_overhead_ms
-            self.counters.time_ms += self.parameters.blob_overhead_ms
-            self.counters.blob_reads += 1
-            self.counters.bytes_read += record.byte_size
-            _BLOB_READS.inc()
-            _BYTES_READ.inc(record.byte_size)
-            _MODEL_MS.inc(self.parameters.blob_overhead_ms)
-            _BLOB_READ_MS.observe(cost)
-            costs.append(cost)
-        payloads = self.store.get_run(blob_ids)
+        with self._latch:
+            costs: list[float] = []
+            for blob_id in blob_ids:
+                record = self.store.record(blob_id)
+                cost = self._charge_pages_locked(record.pages)
+                cost += self.parameters.blob_overhead_ms
+                self.counters.time_ms += self.parameters.blob_overhead_ms
+                self.counters.blob_reads += 1
+                self.counters.bytes_read += record.byte_size
+                _BLOB_READS.inc()
+                _BYTES_READ.inc(record.byte_size)
+                _MODEL_MS.inc(self.parameters.blob_overhead_ms)
+                _BLOB_READ_MS.observe(cost)
+                costs.append(cost)
+            payloads = self.store.get_run(blob_ids)
+        self._realtime_wait(sum(costs))
         return list(zip(payloads, costs))
+
+    def _realtime_wait(self, model_ms: float) -> None:
+        """Sleep the scaled modelled time, outside the latch (see
+        :attr:`DiskParameters.realtime_scale`)."""
+        scale = self.parameters.realtime_scale
+        if scale > 0.0 and model_ms > 0.0:
+            time.sleep(model_ms * scale / 1000.0)
+            _REALTIME_WAIT_MS.inc(model_ms * scale)
 
     def blob_pages(self, blob_id: int) -> PageRange:
         return self.store.record(blob_id).pages
@@ -305,7 +349,8 @@ class SimulatedDisk:
     def reset(self) -> DiskCounters:
         """Zero the counters and forget head position; returns the old
         counters for inspection."""
-        old = self.counters
-        self.counters = DiskCounters()
-        self._head_position = None
+        with self._latch:
+            old = self.counters
+            self.counters = DiskCounters()
+            self._head_position = None
         return old

@@ -17,17 +17,24 @@ paper's ``t_ix`` / ``t_o`` / ``t_cpu`` breakdown.
 
 from __future__ import annotations
 
+import copy
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import obs
-from repro.core.errors import DomainError, QueryError, StorageError
+from repro.core.errors import (
+    BlobNotFoundError,
+    DomainError,
+    QueryError,
+    StorageError,
+)
 from repro.core.geometry import MInterval
 from repro.core.mdd import Tile
 from repro.core.mddtype import MDDType
@@ -42,6 +49,8 @@ from repro.storage.decodedcache import DecodedTileCache
 from repro.storage.disk import CpuParameters, DiskParameters, SimulatedDisk
 from repro.storage.faults import FaultInjector
 from repro.storage.ingest import encode_payload, encode_tiles
+from repro.storage.latch import OrderedLatch
+from repro.storage.mvcc import EpochManager, ObjectVersion, Snapshot
 from repro.storage.pipeline import fetch_tile, fetch_tiles
 from repro.storage.wal import WriteAheadLog
 
@@ -101,6 +110,77 @@ class StoredMDD:
         self._tiles: dict[int, TileEntry] = {}
         self._next_tile_id = 1
         self._current_domain: Optional[MInterval] = None
+        # Readers outside a transaction go through this immutable version
+        # (DESIGN §11).  Outside a transaction it aliases the working
+        # containers above; a transaction's first mutation clones the
+        # working containers (copy-on-write), leaving the published
+        # version frozen until commit republishes.
+        self._published = ObjectVersion(
+            tiles=self._tiles,
+            index=self.index,
+            domain=None,
+            epoch=0,
+        )
+
+    # -- MVCC plumbing (DESIGN §11) ------------------------------------
+
+    def _touch(self) -> None:
+        """Copy-on-write hook: call before any working-state mutation.
+
+        Inside a transaction, the first touch saves the published version
+        for rollback and replaces the working containers with private
+        clones, so readers of :attr:`_published` never see mid-transaction
+        state.  Outside a transaction (catalog reload, recovery replay)
+        this is a no-op — those paths republish explicitly when done.
+        """
+        txn = self.database._current_txn()
+        if txn is None or self in txn.dirtied:
+            return
+        txn.dirtied[self] = (self._published, self._next_tile_id)
+        self._tiles = {
+            tile_id: replace(entry) for tile_id, entry in self._tiles.items()
+        }
+        self.index = copy.deepcopy(self.index)
+
+    def _publish(self, epoch: int) -> None:
+        """Freeze the working state as the readable version (at commit)."""
+        self._published = ObjectVersion(
+            tiles=self._tiles,
+            index=self.index,
+            domain=self._current_domain,
+            epoch=epoch,
+        )
+
+    def _restore_version(
+        self, version: ObjectVersion, next_tile_id: int
+    ) -> None:
+        """Roll the working state back to a saved version (abort path)."""
+        self._tiles = dict(version.tiles)
+        self.index = version.index
+        self._current_domain = version.domain
+        self._next_tile_id = next_tile_id
+        self._published = version
+
+    def _reader_view(
+        self, version: Optional[ObjectVersion]
+    ) -> tuple:
+        """``(tiles, index, domain, pinned_epoch)`` for one read.
+
+        An explicit ``version`` (snapshot read) is used as-is — the
+        snapshot holds the pin.  A thread inside its own transaction
+        reads the working state (read-your-own-writes).  Anyone else
+        pins the current epoch and reads the published version; the
+        caller must unpin the returned epoch when done.
+        """
+        if version is not None:
+            return version.tiles, version.index, version.domain, None
+        if self.database._current_txn() is not None:
+            return self._tiles, self.index, self._current_domain, None
+        epoch = self.database.epoch
+        with epoch.latch:
+            pin = epoch.pin_locked()
+            published = self._published
+        return published.tiles, published.index, published.domain, pin
 
     def _log_meta(self, operation: dict) -> None:
         """Buffer a redo record naming this object (no-op without a WAL)."""
@@ -179,6 +259,7 @@ class StoredMDD:
         in page order, mirroring the read pipeline's deferred
         admissions.
         """
+        self._touch()
         encoded = encode_tiles(self.database, tiles)
         tile_ids: list[int] = []
         admissions: list[tuple[int, bytes, tuple[int, ...]]] = []
@@ -187,6 +268,7 @@ class StoredMDD:
             blob_id = self.database.store.put(
                 item.payload, codec=item.codec, page_crcs=item.page_crcs
             )
+            self.database._note_created_blob(blob_id)
             self.database._log_blob_put(
                 blob_id, item.payload, page_crcs=item.page_crcs
             )
@@ -234,6 +316,7 @@ class StoredMDD:
         checkpoint reload.
         """
         record = self.database.store.record(blob_id)  # raises when missing
+        self._touch()
         self._admit_domain(domain)
         expected = domain.cell_count * self.mdd_type.cell_size
         if codec == "none" and record.byte_size != expected:
@@ -241,9 +324,16 @@ class StoredMDD:
                 f"blob {blob_id} holds {record.byte_size} bytes, tile "
                 f"{domain} needs {expected}"
             )
-        return self._register(
+        registered = self._register(
             domain, blob_id, codec, virtual=record.virtual, tile_id=tile_id
         )
+        if self.database._current_txn() is None:
+            # Reload path runs outside any transaction: make the attached
+            # tile (and the grown domain) visible to readers right away.
+            epoch_mgr = self.database.epoch
+            with epoch_mgr.latch:
+                self._publish(epoch_mgr._current)
+        return registered
 
     def insert_virtual_tile(self, domain: MInterval) -> int:
         """Register a tile with synthesized content (benchmark-scale data).
@@ -252,10 +342,12 @@ class StoredMDD:
         reads return default-valued cells.
         """
         with self.database.transaction():
+            self._touch()
             self._admit_domain(domain)
             blob_id = self.database.store.put_virtual(
                 domain.cell_count * self.mdd_type.cell_size
             )
+            self.database._note_created_blob(blob_id)
             self.database._log_blob_put(blob_id, b"")
             return self._register(domain, blob_id, "none", virtual=True)
 
@@ -397,21 +489,30 @@ class StoredMDD:
 
     def resolve_region(self, region: MInterval) -> MInterval:
         """Resolve open bounds against the current domain and clip."""
-        if self._current_domain is None:
+        return self._resolve_in(region, self._current_domain)
+
+    def _resolve_in(
+        self, region: MInterval, domain: Optional[MInterval]
+    ) -> MInterval:
+        if domain is None:
             raise QueryError(f"object {self.name!r} holds no tiles yet")
         if region.dim != self.dim:
             raise QueryError(
                 f"query dim {region.dim} does not match object dim {self.dim}"
             )
-        resolved = region.resolve(self._current_domain)
-        clipped = resolved.intersection(self._current_domain)
+        resolved = region.resolve(domain)
+        clipped = resolved.intersection(domain)
         if clipped is None:
             raise QueryError(
-                f"region {region} outside current domain {self._current_domain}"
+                f"region {region} outside current domain {domain}"
             )
         return clipped
 
-    def read(self, region: MInterval) -> tuple[np.ndarray, QueryTiming]:
+    def read(
+        self,
+        region: MInterval,
+        version: Optional[ObjectVersion] = None,
+    ) -> tuple[np.ndarray, QueryTiming]:
         """Range query: dense result array plus timing breakdown.
 
         The paper's pipeline: (1) index lookup charging ``t_ix``;
@@ -425,8 +526,29 @@ class StoredMDD:
         When a single stored tile fully covers the region, composition is
         skipped entirely and a zero-copy **read-only** view of the decoded
         tile is returned.
+
+        ``version`` reads an explicitly captured
+        :class:`~repro.storage.mvcc.ObjectVersion` (snapshot reads);
+        without one, a thread inside its own transaction sees its working
+        state and every other thread reads the published version under an
+        epoch pin — a concurrently committing writer can never make this
+        read observe half a transaction.
         """
-        region = self.resolve_region(region)
+        tiles_map, index, view_domain, pin = self._reader_view(version)
+        try:
+            return self._read_view(region, tiles_map, index, view_domain)
+        finally:
+            if pin is not None:
+                self.database.epoch.unpin(pin)
+
+    def _read_view(
+        self,
+        region: MInterval,
+        tiles_map,
+        index: SpatialIndex,
+        view_domain: Optional[MInterval],
+    ) -> tuple[np.ndarray, QueryTiming]:
+        region = self._resolve_in(region, view_domain)
         timing = QueryTiming(cells_result=region.cell_count)
         disk = self.database.disk
         pool = self.database.pool
@@ -437,10 +559,10 @@ class StoredMDD:
         ) as read_span:
             # (1) index lookup
             with obs.span(
-                "index.search", index=type(self.index).__name__
+                "index.search", index=type(index).__name__
             ) as ix_span:
                 started = time.perf_counter()
-                result = self.index.search(region)
+                result = index.search(region)
                 cpu_ix = (time.perf_counter() - started) * 1000.0
                 page_ix = sum(
                     disk.charge_index_node()
@@ -453,7 +575,7 @@ class StoredMDD:
 
             # (2) tile retrieval, in page order for sequential runs
             entries = sorted(
-                (self._tiles[e.tile_id] for e in result.entries),
+                (tiles_map[e.tile_id] for e in result.entries),
                 key=lambda t: disk.blob_pages(t.blob_id).start,
             )
             pool_before = (
@@ -538,7 +660,9 @@ class StoredMDD:
         return out, timing
 
     def read_blocks(
-        self, region: MInterval
+        self,
+        region: MInterval,
+        version: Optional[ObjectVersion] = None,
     ) -> "Iterator[tuple[MInterval, np.ndarray, QueryTiming]]":
         """Stream a range query tile by tile (memory-bounded scans).
 
@@ -549,12 +673,32 @@ class StoredMDD:
         yielded — callers wanting defaults should track coverage or use
         :meth:`read`.  The union of parts plus uncovered space equals the
         resolved region; fragments arrive in page order.
+
+        The epoch pin (taken when the generator starts, for readers
+        outside a transaction) is held until the generator is exhausted
+        or closed, so the streamed version stays fetchable throughout.
         """
-        region = self.resolve_region(region)
+        tiles_map, index, view_domain, pin = self._reader_view(version)
+        try:
+            yield from self._read_blocks_view(
+                region, tiles_map, index, view_domain
+            )
+        finally:
+            if pin is not None:
+                self.database.epoch.unpin(pin)
+
+    def _read_blocks_view(
+        self,
+        region: MInterval,
+        tiles_map,
+        index: SpatialIndex,
+        view_domain: Optional[MInterval],
+    ) -> "Iterator[tuple[MInterval, np.ndarray, QueryTiming]]":
+        region = self._resolve_in(region, view_domain)
         disk = self.database.disk
 
         started = time.perf_counter()
-        result = self.index.search(region)
+        result = index.search(region)
         cpu_ix = (time.perf_counter() - started) * 1000.0
         page_ix = sum(
             disk.charge_index_node() for _ in range(result.nodes_visited)
@@ -563,7 +707,7 @@ class StoredMDD:
         pending_nodes = result.nodes_visited
 
         entries = sorted(
-            (self._tiles[e.tile_id] for e in result.entries),
+            (tiles_map[e.tile_id] for e in result.entries),
             key=lambda t: disk.blob_pages(t.blob_id).start,
         )
         dtype = self.mdd_type.base.dtype
@@ -649,6 +793,7 @@ class StoredMDD:
         written = 0
         dtype = self.mdd_type.base.dtype
         with self.database.transaction():
+            self._touch()
             for entry in self.index.search(region).entries:
                 tile_entry = self._tiles[entry.tile_id]
                 if tile_entry.virtual:
@@ -671,8 +816,10 @@ class StoredMDD:
         return written
 
     def _replace_payload(self, tile_entry: TileEntry, payload: bytes) -> None:
-        self.database.invalidate_blob(tile_entry.blob_id)
-        self.database.store.delete(tile_entry.blob_id)
+        # The superseded blob is retired, not deleted: a reader pinned on
+        # an older version may still fetch it.  Epoch reclamation deletes
+        # it once no pin can reach it (immediately when there are none).
+        self.database.retire_blob(tile_entry.blob_id)
         self._log_meta({"op": "blob_delete", "blob": tile_entry.blob_id})
         raw = payload
         codec, payload, page_crcs = encode_payload(self.database, raw)
@@ -680,6 +827,7 @@ class StoredMDD:
             payload, codec=codec, page_crcs=page_crcs
         )
         tile_entry.codec = codec
+        self.database._note_created_blob(tile_entry.blob_id)
         self.database._log_blob_put(
             tile_entry.blob_id, payload, page_crcs=page_crcs
         )
@@ -706,18 +854,18 @@ class StoredMDD:
         dropped.
         """
         self.mdd_type.validate_domain(region, what="delete region")
-        victims = sorted(
-            (
-                self._tiles[hit.tile_id]
-                for hit in self.index.search(region).entries
-                if region.contains(hit.domain)
-            ),
-            key=lambda entry: entry.tile_id,
-        )
         with self.database.transaction():
+            self._touch()
+            victims = sorted(
+                (
+                    self._tiles[hit.tile_id]
+                    for hit in self.index.search(region).entries
+                    if region.contains(hit.domain)
+                ),
+                key=lambda entry: entry.tile_id,
+            )
             for entry in victims:
-                self.database.invalidate_blob(entry.blob_id)
-                self.database.store.delete(entry.blob_id)
+                self.database.retire_blob(entry.blob_id)
                 self.index.remove(entry.tile_id)
                 del self._tiles[entry.tile_id]
                 self._log_meta({"op": "blob_delete", "blob": entry.blob_id})
@@ -776,9 +924,9 @@ class StoredMDD:
     def drop(self) -> None:
         """Delete all tiles and index entries of this object."""
         with self.database.transaction():
+            self._touch()
             for tile_entry in self._tiles.values():
-                self.database.invalidate_blob(tile_entry.blob_id)
-                self.database.store.delete(tile_entry.blob_id)
+                self.database.retire_blob(tile_entry.blob_id)
                 self._log_meta(
                     {"op": "blob_delete", "blob": tile_entry.blob_id}
                 )
@@ -794,12 +942,36 @@ class StoredMDD:
         )
 
 
+@dataclass
+class _TxnState:
+    """Bookkeeping of one in-flight transaction (thread-local).
+
+    ``dirtied`` maps each copy-on-write-cloned object to the
+    ``(published version, next_tile_id)`` pair restored on abort;
+    ``retired`` collects superseded blob ids handed to the epoch manager
+    at commit; the ``created_*`` lists are what a rollback unwinds.
+    """
+
+    depth: int = 1
+    dirtied: dict = field(default_factory=dict)
+    retired: list = field(default_factory=list)
+    created_blobs: list = field(default_factory=list)
+    created_collections: list = field(default_factory=list)
+    created_objects: list = field(default_factory=list)
+
+
 class Database:
     """Shared storage context: BLOB store, disk model, pool, collections.
 
     The unit a RasQL session talks to.  Collections are named sets of
     stored MDD objects, mirroring the ODMG collections RasDaMan queries
     range over.
+
+    Concurrency (DESIGN §11): writers serialize on a writer latch —
+    one transaction at a time, owned by one thread.  Readers never take
+    it: they pin the current epoch and read immutable published
+    versions, so reads run in parallel with a committing writer and see
+    either all of a transaction or none of it.
     """
 
     def __init__(
@@ -845,7 +1017,11 @@ class Database:
         self.wal: Optional[WriteAheadLog] = None
         self.durability = "none"
         self.last_recovery = None
-        self._txn_depth = 0
+        self.epoch = EpochManager(self._reclaim_blob)
+        # One writer transaction at a time; reentrant so nested
+        # transaction() scopes on the owning thread are free.
+        self._writer_latch = OrderedLatch("txn.writer", 10, reentrant=True)
+        self._txn_local = threading.local()
         if durability != "none":
             self.arm_durability(durability, wal_path=wal_path, injector=injector)
 
@@ -931,35 +1107,170 @@ class Database:
         self.durability = durability
         self.store.set_deferred_writes(True)
 
+    # -- transactions (single writer, snapshot-isolated readers) ---------
+
+    def _current_txn(self) -> Optional[_TxnState]:
+        """This thread's in-flight transaction, if any."""
+        return getattr(self._txn_local, "txn", None)
+
+    @property
+    def _txn_depth(self) -> int:
+        """Nesting depth of this thread's transaction (0 outside one)."""
+        txn = self._current_txn()
+        return txn.depth if txn is not None else 0
+
     @contextmanager
     def transaction(self) -> Iterator[None]:
         """Atomic mutation scope; nests (only the outermost commits).
 
-        Without a WAL this is free: writes go straight through and the
-        context only tracks depth.  With one, the commit record hits the
-        log *before* any pending payload reaches the page file; an
-        exception aborts the buffered records and discards the pending
-        writes, leaving the durable state exactly as before.
+        The outermost scope takes the writer latch, so transactions from
+        different threads serialize.  On exit the commit publishes every
+        dirtied object's new version atomically under the epoch latch —
+        concurrent readers flip from the old consistent state to the new
+        one in a single step.  With a WAL, the commit record hits the
+        log *before* any pending payload reaches the page file (the WAL
+        rule); the fsync and the page-file flush happen *after* the
+        writer latch is released, so a queue of committers shares fsyncs
+        through the group-commit door.
+
+        An exception rolls the transaction back: dirtied objects revert
+        to their published versions, created blobs/objects/collections
+        are unwound, and buffered WAL records are dropped — the database
+        stays live and exactly as before the transaction.
         """
-        self._txn_depth += 1
+        txn = self._current_txn()
+        if txn is not None:
+            txn.depth += 1
+            try:
+                yield
+            finally:
+                txn.depth -= 1
+            return
+        self._writer_latch.acquire()
+        txn = self._txn_local.txn = _TxnState()
+        sealed = None
+        pending: Sequence[int] = ()
         try:
-            yield
-        except BaseException:
-            if self._txn_depth == 1 and self.wal is not None:
-                self.wal.abort()
-                for blob_id in self.store.discard_pending():
-                    self.invalidate_blob(blob_id)
-            raise
+            try:
+                yield
+            except BaseException:
+                self._rollback(txn)
+                raise
+            if self.wal is not None:
+                # Log first: the frame is on the OS-buffered log before
+                # any version becomes visible or any payload can land.
+                sealed = self.wal.commit_frame()
+            with self.epoch.latch:
+                next_epoch = self.epoch._current + 1
+                for obj in txn.dirtied:
+                    obj._publish(next_epoch)
+                self.epoch.retire_and_advance(txn.retired)
+                # Thread-local: lets the committing thread pair what it
+                # wrote with the exact epoch readers will see it under
+                # (the concurrency checker keys its history on this).
+                self._txn_local.last_commit_epoch = next_epoch
+            if self.wal is not None:
+                pending = self.store.take_pending()
         finally:
-            self._txn_depth -= 1
-        if self._txn_depth == 0 and self.wal is not None:
-            # The WAL rule: log first (durably, in wal+fsync mode), then
-            # let the pending payloads reach the page file.  Each
-            # coalesced flush run is charged as one positioned write on
-            # the modelled disk (into the write counters, not t_o).
-            self.wal.commit()
-            for run in self.store.flush_pending():
+            self._txn_local.txn = None
+            self._writer_latch.release()
+        if sealed is not None:
+            # Durable (wal+fsync) outside the writer latch: concurrent
+            # committers elect one fsync leader (group commit).
+            self.wal.sync_to(sealed[1])
+        if self.wal is not None:
+            # Pending payloads reach the page file only now, after the
+            # log is durable.  Each coalesced flush run is charged as one
+            # positioned write on the modelled disk (write counters, not
+            # t_o).  Readers keep hitting the pending buffer until the
+            # backend write completes, so bytes are always available.
+            for run in self.store.flush_ids(pending):
                 self.disk.charge_data_write(run)
+
+    def _rollback(self, txn: _TxnState) -> None:
+        """Restore working state to the last published versions."""
+        for obj, (saved, next_tile_id) in txn.dirtied.items():
+            obj._restore_version(saved, next_tile_id)
+        for blob_id in txn.created_blobs:
+            self.invalidate_blob(blob_id)
+            self.store.forget(blob_id)
+        with self.epoch.latch:
+            for coll_name, obj_name in txn.created_objects:
+                coll = self.collections.get(coll_name)
+                if coll is not None:
+                    coll.pop(obj_name, None)
+            for coll_name in txn.created_collections:
+                self.collections.pop(coll_name, None)
+        if self.wal is not None:
+            self.wal.abort()
+
+    def _note_created_blob(self, blob_id: int) -> None:
+        """Track a blob created by the current transaction (for abort)."""
+        txn = self._current_txn()
+        if txn is not None:
+            txn.created_blobs.append(blob_id)
+
+    def retire_blob(self, blob_id: int) -> None:
+        """Queue a superseded blob for epoch-based reclamation.
+
+        Cache entries are dropped right away (the id will never be read
+        through this database's working state again); the physical
+        delete waits until commit publication, and then only until no
+        epoch pin can still reach the old version (immediately, with no
+        readers active).
+        """
+        self.invalidate_blob(blob_id)
+        txn = self._current_txn()
+        if txn is not None:
+            txn.retired.append(blob_id)
+        else:
+            with self.epoch.latch:
+                self.epoch.retire_and_advance([blob_id])
+
+    def _reclaim_blob(self, blob_id: int) -> int:
+        """Physically delete one retired blob; returns freed bytes.
+
+        Runs under the epoch latch as the :class:`EpochManager`'s
+        reclaimer (cache and store latches rank above it)."""
+        self.invalidate_blob(blob_id)
+        try:
+            record = self.store.record(blob_id)
+        except BlobNotFoundError:
+            return 0
+        freed = record.stored_size or 0
+        self.store.delete(blob_id)
+        return freed
+
+    def republish(self) -> None:
+        """Re-freeze every object's working state as its published version.
+
+        For single-threaded maintenance paths that mutate working state
+        outside a transaction (catalog reload, recovery replay); not for
+        use while readers are active.
+        """
+        with self.epoch.latch:
+            epoch = self.epoch._current
+            for objects in self.collections.values():
+                for obj in objects.values():
+                    obj._publish(epoch)
+
+    def last_commit_epoch(self) -> Optional[int]:
+        """Epoch published by this thread's most recent commit (or None).
+
+        Thread-local by construction, so a writer can record "state X is
+        what epoch E readers observe" without racing other committers.
+        """
+        return getattr(self._txn_local, "last_commit_epoch", None)
+
+    def snapshot(self) -> Snapshot:
+        """Open a pinned point-in-time view of every object.
+
+        Reads through the snapshot are repeatable and mutually
+        consistent across objects no matter how many transactions commit
+        meanwhile; close it (or use ``with``) to release the pin so
+        superseded blobs can be reclaimed.
+        """
+        return Snapshot(self)
 
     def _log_blob_put(
         self,
@@ -989,7 +1300,15 @@ class Database:
         if name in self.collections:
             raise StorageError(f"collection {name!r} already exists")
         with self.transaction():
-            self.collections[name] = {}
+            # The epoch latch guards the collections dict only against
+            # concurrent snapshot capture (dict iteration); object
+            # existence itself is visible as soon as it is created —
+            # DDL is immediate, data is snapshot-isolated (DESIGN §11).
+            with self.epoch.latch:
+                self.collections[name] = {}
+            txn = self._current_txn()
+            if txn is not None:
+                txn.created_collections.append(name)
             self._log_meta({"op": "create_collection", "coll": name})
         return self.collections[name]
 
@@ -1004,14 +1323,22 @@ class Database:
         self, collection: str, mdd_type: MDDType, name: str
     ) -> StoredMDD:
         """Create an empty stored MDD inside a collection."""
-        coll = self.collections.setdefault(collection, {})
+        with self.epoch.latch:
+            new_coll = collection not in self.collections
+            coll = self.collections.setdefault(collection, {})
         if name in coll:
             raise StorageError(
                 f"object {name!r} already exists in collection {collection!r}"
             )
         obj = StoredMDD(self, mdd_type, name, collection=collection)
         with self.transaction():
-            coll[name] = obj
+            txn = self._current_txn()
+            if txn is not None:
+                if new_coll:
+                    txn.created_collections.append(collection)
+                txn.created_objects.append((collection, name))
+            with self.epoch.latch:
+                coll[name] = obj
             self._log_meta(
                 {
                     "op": "create_object",

@@ -55,6 +55,8 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Union
@@ -65,6 +67,7 @@ from repro.storage.blob import BlobRecord
 from repro.storage.checksum import crc32c, page_checksums, verify_page_checksums
 from repro.storage.disk import SimulatedDisk
 from repro.storage.faults import FaultInjector, fsync_file
+from repro.storage.latch import OrderedLatch, schedule_point
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageRange
 
 MAGIC = b"REPROWAL"
@@ -91,6 +94,10 @@ _COMMIT_BYTES = obs.histogram(
 _GROUP_SIZE = obs.histogram(
     "wal.group_size", "Records per committed transaction",
     buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+)
+_FSYNC_SHARED = obs.counter(
+    "wal.fsyncs_shared",
+    "Commits made durable by a concurrent leader's fsync (group commit)",
 )
 
 
@@ -264,8 +271,18 @@ class WriteAheadLog:
         self.stats = WalStats()
         self._next_lsn = 1
         self._next_txn = 1
-        self._buffer: list[bytes] = []
-        self._buffered_records = 0
+        # Buffers are per-thread: each in-flight transaction accumulates
+        # its own records, so one commit frame can never interleave two
+        # transactions' records (asserted by the concurrency suite).
+        self._local = threading.local()
+        # Guards LSN/txn counters, file appends, and the frame sequence.
+        self._append_latch = OrderedLatch("wal.append", 20, reentrant=True)
+        # Guards the group-commit door (leader flag, synced sequence).
+        self._sync_latch = OrderedLatch("wal.sync", 25)
+        self._written_seq = 0  # frames written+flushed (under append latch)
+        self._synced_seq = 0  # frames covered by an fsync (under sync latch)
+        self._sync_leader = False
+        self._total_buffered = 0  # records buffered across all threads
         raw = open(self.path, "w+b")
         self._file = injector.wrap(raw, "wal") if injector else raw
         self._file.write(_HEADER.pack(MAGIC, VERSION, page_size))
@@ -273,12 +290,19 @@ class WriteAheadLog:
 
     # -- appends (buffered until commit) ---------------------------------
 
+    def _buf(self) -> list:
+        buf = getattr(self._local, "buffer", None)
+        if buf is None:
+            buf = self._local.buffer = []
+        return buf
+
     def _append(self, rtype: int, payload: bytes) -> int:
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        self._buffer.append(encode_record(rtype, lsn, payload))
-        self._buffered_records += 1
-        self.stats.records += 1
+        with self._append_latch:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self._total_buffered += 1
+            self.stats.records += 1
+        self._buf().append(encode_record(rtype, lsn, payload))
         _RECORDS.inc()
         return lsn
 
@@ -303,66 +327,126 @@ class WriteAheadLog:
             page_crcs = []
         elif page_crcs is None:
             page_crcs = page_checksums(payload, self.page_size)
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        self._buffer.append(encode_blob_put2(lsn, record, payload, page_crcs))
-        self._buffered_records += 1
-        self.stats.records += 1
+        with self._append_latch:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self._total_buffered += 1
+            self.stats.records += 1
+        self._buf().append(encode_blob_put2(lsn, record, payload, page_crcs))
         _RECORDS.inc()
         return lsn
 
     @property
     def buffered_records(self) -> int:
-        return self._buffered_records
+        """Records buffered by the calling thread's open transaction."""
+        return len(self._buf())
 
     # -- transaction boundaries ------------------------------------------
 
-    def commit(self) -> Optional[int]:
-        """Group-commit the buffered records; returns the txn id.
+    def commit_frame(self) -> Optional[tuple[int, int]]:
+        """Seal this thread's buffered records into one commit frame.
 
-        All buffered records plus the COMMIT record go out in a single
-        ``write`` call; ``wal+fsync`` mode then fsyncs before returning.
-        An empty buffer commits nothing and returns ``None``.
+        The records plus the COMMIT record go out as a single ``write``
+        call under the append latch, so frames from concurrent
+        transactions never interleave.  Returns ``(txn, seq)`` where
+        ``seq`` is the frame's position in the file — the handle
+        :meth:`sync_to` uses to make it durable — or ``None`` when this
+        thread buffered nothing.  The frame is flushed to the OS but
+        **not** fsynced here.
         """
-        if not self._buffer:
+        buf = self._buf()
+        if not buf:
             return None
-        txn = self._next_txn
-        self._next_txn += 1
-        commit_payload = json.dumps(
-            {"txn": txn, "records": self._buffered_records},
-            separators=(",", ":"),
-        ).encode("utf-8")
-        batch = b"".join(self._buffer) + encode_record(
-            COMMIT, self._next_lsn, commit_payload
-        )
-        self._next_lsn += 1
-        group = self._buffered_records
-        self._buffer = []
-        self._buffered_records = 0
-        self._file.write(batch)
-        if self.fsync:
-            fsync_file(self._file)
-            self.stats.fsyncs += 1
-            _FSYNCS.inc()
-        else:
+        group = len(buf)
+        with self._append_latch:
+            txn = self._next_txn
+            self._next_txn += 1
+            commit_payload = json.dumps(
+                {"txn": txn, "records": group},
+                separators=(",", ":"),
+            ).encode("utf-8")
+            batch = b"".join(buf) + encode_record(
+                COMMIT, self._next_lsn, commit_payload
+            )
+            self._next_lsn += 1
+            buf.clear()
+            self._total_buffered -= group
+            self._file.write(batch)
             self._file.flush()
-        self.stats.commits += 1
-        self.stats.bytes_written += len(batch)
+            self._written_seq += 1
+            seq = self._written_seq
+            self.stats.commits += 1
+            self.stats.bytes_written += len(batch)
         _COMMITS.inc()
         _BYTES.inc(len(batch))
         _COMMIT_BYTES.observe(len(batch))
         _GROUP_SIZE.observe(group)
         if self.disk is not None:
             self.disk.charge_log_append(len(batch), fsync=self.fsync)
+        return txn, seq
+
+    def sync_to(self, seq: int) -> None:
+        """Make the log durable through frame ``seq`` (group-commit door).
+
+        In ``fsync`` mode, concurrent committers elect one **leader**
+        that issues a single fsync covering every frame written so far;
+        the others spin until the synced sequence passes their frame and
+        return without an fsync of their own.  A leader that crashes
+        mid-fsync releases leadership in ``finally`` so waiting
+        followers retry (and hit the same dead file) instead of hanging.
+        """
+        if not self.fsync:
+            return
+        shared = False
+        while True:
+            with self._sync_latch:
+                if self._synced_seq >= seq:
+                    if shared:
+                        _FSYNC_SHARED.inc()
+                    return
+                if not self._sync_leader:
+                    self._sync_leader = True
+                    # Cover everything written so far, not just our own
+                    # frame — that is what lets followers share the sync.
+                    target = max(self._written_seq, seq)
+                    break
+            shared = True
+            if not schedule_point("wal.sync.wait"):
+                time.sleep(0.0002)
+        synced = False
+        try:
+            fsync_file(self._file)
+            synced = True
+        finally:
+            with self._sync_latch:
+                self._sync_leader = False
+                if synced:
+                    self._synced_seq = max(self._synced_seq, target)
+        self.stats.fsyncs += 1
+        _FSYNCS.inc()
+
+    def commit(self) -> Optional[int]:
+        """Group-commit the buffered records; returns the txn id.
+
+        Equivalent to :meth:`commit_frame` followed by :meth:`sync_to`;
+        an empty buffer commits nothing and returns ``None``.
+        """
+        sealed = self.commit_frame()
+        if sealed is None:
+            return None
+        txn, seq = sealed
+        self.sync_to(seq)
         return txn
 
     def abort(self) -> int:
-        """Drop the buffered records; returns how many were discarded."""
-        dropped = self._buffered_records
-        self._buffer = []
-        self._buffered_records = 0
+        """Drop this thread's buffered records; returns how many."""
+        buf = self._buf()
+        dropped = len(buf)
+        buf.clear()
         if dropped:
-            self.stats.aborts += 1
+            with self._append_latch:
+                self._total_buffered -= dropped
+                self.stats.aborts += 1
             _ABORTS.inc()
         return dropped
 
@@ -370,20 +454,24 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         """Reset the log to an empty header (after a checkpoint)."""
-        if self._buffer:
-            raise WalError("cannot truncate with uncommitted buffered records")
-        self._file.seek(0)
-        self._file.truncate(0)
-        self._file.write(_HEADER.pack(MAGIC, VERSION, self.page_size))
-        fsync_file(self._file)
+        with self._append_latch:
+            if self._total_buffered:
+                raise WalError(
+                    "cannot truncate with uncommitted buffered records"
+                )
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._file.write(_HEADER.pack(MAGIC, VERSION, self.page_size))
+            fsync_file(self._file)
         _TRUNCATES.inc()
 
     def close(self) -> None:
-        if self._buffer:
+        if self._buf():
             self.abort()
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
+        with self._append_latch:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,7 @@
+"""Deterministic concurrency test harness (DESIGN §11).
+
+Real threads, virtual time: :mod:`vsched` serializes worker threads on
+the storage layer's schedule hook so every interleaving is chosen by a
+seeded RNG and replays byte-identically from its seed; :mod:`checker`
+validates every read against the committed history.
+"""

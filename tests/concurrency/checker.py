@@ -1,0 +1,142 @@
+"""Committed-history checker: every read must equal a committed state.
+
+Writers record, for each commit, the post-commit digest of every object
+they wrote, keyed by the **publication epoch** the commit ran under
+(:meth:`Database.last_commit_epoch`).  Readers record what they actually
+observed.  After the schedule finishes, :func:`check` validates — for
+*every* read, not a sample — that:
+
+* **atomicity** — the observed bytes digest-match exactly the state the
+  recorded epoch committed; a reader that caught half a batch produces
+  a digest matching no committed state and fails here;
+* **cross-object consistency** — all objects captured by one snapshot
+  carry versions from the same committed prefix (no snapshot can pair
+  object A after commit E with object B from before E when E wrote
+  both);
+* **freshness** — the version a read observed is at least as new as the
+  newest commit that was fully recorded before the read began, and no
+  newer than the epoch current when it ended (reads never travel in
+  time).
+
+Recording uses only appends to thread-confined lists and single dict
+stores (atomic under the GIL), so the checker adds no synchronization
+that could mask races in the code under test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def digest(array) -> str:
+    """Canonical content digest of one read result."""
+    data = np.ascontiguousarray(array)
+    return hashlib.sha256(
+        str(data.shape).encode() + str(data.dtype).encode() + data.tobytes()
+    ).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One read as a reader saw it.
+
+    ``lo_epoch`` is the epoch floor sampled before the read began —
+    every commit recorded by then must be visible; ``hi_epoch`` the
+    ceiling sampled after it ended.  ``versions`` maps object name to
+    the version epoch the read actually observed, ``digests`` to the
+    content digest of what it returned.
+    """
+
+    reader: str
+    lo_epoch: int
+    hi_epoch: int
+    versions: Dict[str, int]
+    digests: Dict[str, str]
+    snapshot: bool = True
+
+
+@dataclass
+class History:
+    """Commit log shared by writers (epoch -> object -> digest)."""
+
+    initial: Dict[str, str] = field(default_factory=dict)
+    commits: Dict[int, Dict[str, str]] = field(default_factory=dict)
+
+    def record_initial(self, digests: Dict[str, str]) -> None:
+        self.initial = dict(digests)
+
+    def record_commit(self, epoch: int, digests: Dict[str, str]) -> None:
+        """Called by the committing writer right after its transaction."""
+        assert epoch not in self.commits, (
+            f"two commits claim epoch {epoch}: writer latch is broken"
+        )
+        self.commits[epoch] = dict(digests)
+
+    def state_at(self, obj: str, epoch: int) -> Tuple[int, str]:
+        """(version epoch, digest) of ``obj`` as of global epoch ``epoch``."""
+        version, content = 0, self.initial[obj]
+        for e in sorted(self.commits):
+            if e > epoch:
+                break
+            if obj in self.commits[e]:
+                version, content = e, self.commits[e][obj]
+        return version, content
+
+
+def check(history: History, observations: List[Observation]) -> None:
+    """Validate every observation against the committed history."""
+    assert history.initial, "history.record_initial was never called"
+    for obs in observations:
+        ctx = f"{obs.reader} @ epochs [{obs.lo_epoch}, {obs.hi_epoch}]"
+        for obj, version in obs.versions.items():
+            # Atomicity: the digest must be exactly what the version's
+            # commit produced — not a blend of two commits.
+            if version == 0:
+                expected = history.initial[obj]
+            else:
+                commit = history.commits.get(version)
+                assert commit is not None and obj in commit, (
+                    f"{ctx}: read {obj!r} at version {version}, but no "
+                    f"recorded commit published that object then"
+                )
+                expected = commit[obj]
+            actual = obs.digests[obj]
+            assert actual == expected, (
+                f"{ctx}: {obj!r} at version {version} returned digest "
+                f"{actual}, committed state was {expected} — torn read"
+            )
+            # Freshness: at least as new as every commit of this object
+            # recorded before the read started, no newer than its end.
+            floor, _ = history.state_at(obj, obs.lo_epoch)
+            assert version >= floor, (
+                f"{ctx}: {obj!r} observed stale version {version} < "
+                f"{floor} (already committed before the read began)"
+            )
+            assert version <= obs.hi_epoch, (
+                f"{ctx}: {obj!r} observed version {version} from the "
+                f"future (read ended at epoch {obs.hi_epoch})"
+            )
+        if obs.snapshot and len(obs.versions) > 1:
+            # Cross-object consistency: the snapshot maps to one global
+            # epoch E with every object exactly at its state_at(E).
+            lo = max(obs.versions.values())
+            hi = min(
+                (
+                    min(e for e in history.commits if e > v and
+                        obj in history.commits[e])
+                    for obj, v in obs.versions.items()
+                    if any(
+                        e > v and obj in history.commits[e]
+                        for e in history.commits
+                    )
+                ),
+                default=None,
+            )
+            assert hi is None or lo < hi, (
+                f"{ctx}: no single epoch explains versions "
+                f"{obs.versions} — snapshot tore across objects"
+            )

@@ -1,0 +1,256 @@
+"""Snapshot isolation under concurrent writers, on seeded schedules.
+
+Every test drives real reader/writer threads through the
+:class:`~tests.concurrency.vsched.VirtualScheduler`, so the interleaving
+is chosen by a seed and replays byte-identically.  The committed-history
+checker then validates **every** read — a reader that catches half a
+commit, a stale version, or a torn cross-object snapshot fails the run
+and prints the seed to replay it with.
+
+``SCHED_SEED_BASE`` / ``SCHED_SEED_COUNT`` select the seed matrix (CI
+runs >= 200 schedules across its shards); ``SCHED_LOG_DIR`` collects the
+decision traces of failing seeds.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.cells import base_type
+from repro.core.geometry import MInterval
+from repro.core.mddtype import MDDType
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import RegularTiling
+from tests.concurrency.checker import History, Observation, check, digest
+from tests.concurrency.vsched import VirtualScheduler, format_trace
+
+SEED_BASE = int(os.environ.get("SCHED_SEED_BASE", "100"))
+SEED_COUNT = int(os.environ.get("SCHED_SEED_COUNT", "8"))
+SEEDS = list(range(SEED_BASE, SEED_BASE + SEED_COUNT))
+
+DOMAIN = MInterval.parse("[0:15,0:15]")
+# Touches all four 8x8 tiles: a torn commit leaves a mixed-value region
+# whose digest matches no committed state.
+REGION = MInterval.parse("[4:11,4:11]")
+OBJECTS = ("a", "b")
+
+
+def _mdd_type():
+    return MDDType("img", base_type("char"), DOMAIN)
+
+
+def _build_db():
+    """Fresh in-memory database with two four-tile objects."""
+    db = Database()
+    for name in OBJECTS:
+        db.create_object("c", _mdd_type(), name)
+        db.collection("c")[name].load_array(
+            np.zeros((16, 16), np.uint8), RegularTiling(64)
+        )
+    return db
+
+
+def _setup_history(db) -> History:
+    history = History()
+    with db.snapshot() as snap:
+        digests = {}
+        for name in OBJECTS:
+            version = snap.version("c", name)
+            array, _ = snap.read("c", name, DOMAIN)
+            digests[name] = digest(array)
+            history.record_commit(version.epoch, {name: digests[name]})
+        history.record_initial(digests)
+    return history
+
+
+def _writer(db, history: History, rounds: int):
+    """Each round commits one transaction updating *both* objects."""
+
+    def run():
+        objs = [db.collection("c")[name] for name in OBJECTS]
+        for i in range(1, rounds + 1):
+            with db.transaction():
+                for offset, obj in enumerate(objs):
+                    obj.update(
+                        REGION,
+                        np.full((8, 8), (i + 100 * offset) % 251, np.uint8),
+                    )
+                committed = {
+                    name: digest(obj.read(DOMAIN)[0])
+                    for name, obj in zip(OBJECTS, objs)
+                }
+            history.record_commit(db.last_commit_epoch(), committed)
+
+    return run
+
+
+def _snapshot_reader(name, db, out: list, rounds: int):
+    """Reads both objects through one snapshot; checks repeatability."""
+
+    def run():
+        for _ in range(rounds):
+            lo = db.epoch.current
+            with db.snapshot() as snap:
+                versions, digests = {}, {}
+                for obj in OBJECTS:
+                    versions[obj] = snap.version("c", obj).epoch
+                    array, _ = snap.read("c", obj, DOMAIN)
+                    digests[obj] = digest(array)
+                # Repeatable read: the same snapshot returns the same
+                # bytes no matter what committed meanwhile.
+                again, _ = snap.read("c", OBJECTS[0], DOMAIN)
+                assert digest(again) == digests[OBJECTS[0]], (
+                    "snapshot read was not repeatable"
+                )
+            hi = db.epoch.current
+            out.append(Observation(name, lo, hi, versions, digests))
+
+    return run
+
+
+def _plain_reader(name, db, out: list, rounds: int):
+    """Unpinned obj.read() path: records digests, epochs resolved later."""
+
+    def run():
+        obj = db.collection("c")[OBJECTS[0]]
+        for _ in range(rounds):
+            lo = db.epoch.current
+            array, _ = obj.read(DOMAIN)
+            hi = db.epoch.current
+            out.append((name, lo, hi, digest(array)))
+
+    return run
+
+
+def _resolve_plain(history: History, raw: list) -> list:
+    """Map each plain read's digest back to the epoch that committed it.
+
+    A digest matching no committed state of the object *is* the torn
+    read the checker exists to catch, so it fails here.
+    """
+    by_digest = {history.initial[OBJECTS[0]]: 0}
+    for epoch, commit in history.commits.items():
+        if OBJECTS[0] in commit:
+            by_digest[commit[OBJECTS[0]]] = epoch
+    observations = []
+    for name, lo, hi, content in raw:
+        assert content in by_digest, (
+            f"{name}: read digest {content} matches no committed state "
+            f"of {OBJECTS[0]!r} — torn read"
+        )
+        observations.append(
+            Observation(
+                name, lo, hi,
+                versions={OBJECTS[0]: by_digest[content]},
+                digests={OBJECTS[0]: content},
+                snapshot=False,
+            )
+        )
+    return observations
+
+
+def _dump_trace(seed: int, sched: VirtualScheduler, tag: str) -> None:
+    log_dir = os.environ.get("SCHED_LOG_DIR")
+    if not log_dir:
+        return
+    Path(log_dir).mkdir(parents=True, exist_ok=True)
+    path = Path(log_dir) / f"{tag}_seed{seed}.trace"
+    path.write_text(format_trace(sched.trace) + "\n", encoding="utf-8")
+
+
+def _run_schedule(seed: int):
+    """One full scenario; returns (scheduler, history, observations)."""
+    db = _build_db()
+    history = _setup_history(db)
+    snap_obs: list = []
+    plain_obs: list = []
+    sched = VirtualScheduler(seed)
+    sched.add("writer", _writer(db, history, rounds=5))
+    sched.add("reader-1", _snapshot_reader("reader-1", db, snap_obs, 4))
+    sched.add("reader-2", _snapshot_reader("reader-2", db, snap_obs, 4))
+    sched.add("reader-3", _plain_reader("reader-3", db, plain_obs, 4))
+    try:
+        sched.run()
+        observations = snap_obs + _resolve_plain(history, plain_obs)
+        check(history, observations)
+    except Exception:
+        _dump_trace(seed, sched, "snapshot_isolation")
+        raise
+    return sched, history, observations
+
+
+class TestSeededSchedules:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_read_matches_committed_history(self, seed):
+        sched, history, observations = _run_schedule(seed)
+        # the scenario really exercised concurrency: all commits landed
+        # and every reader produced every observation
+        assert len(history.commits) == 5 + len(OBJECTS)
+        assert len(observations) == 12
+        assert len(sched.trace) > 20
+
+    def test_reclamation_converges_after_schedule(self):
+        db = _build_db()
+        history = _setup_history(db)
+        sched = VirtualScheduler(SEED_BASE)
+        out: list = []
+        sched.add("writer", _writer(db, history, rounds=3))
+        sched.add("reader", _snapshot_reader("reader", db, out, 3))
+        sched.run()
+        # no pins survive the schedule, so every superseded blob was
+        # physically reclaimed — MVCC does not leak storage
+        assert db.epoch.active_pins == 0
+        assert db.epoch.limbo_size == 0
+
+
+class TestDeterminism:
+    def test_same_seed_replays_byte_identically(self):
+        first, _, first_obs = _run_schedule(SEED_BASE)
+        second, _, second_obs = _run_schedule(SEED_BASE)
+        assert first.trace == second.trace
+        assert first_obs == second_obs
+
+    def test_seeds_explore_different_interleavings(self):
+        traces = {tuple(_run_schedule(seed)[0].trace) for seed in SEEDS[:4]}
+        assert len(traces) > 1, "seed matrix explored only one schedule"
+
+
+class TestSnapshotLifecycle:
+    """Single-threaded MVCC semantics (no scheduler needed)."""
+
+    def test_snapshot_pins_old_version_until_closed(self):
+        db = _build_db()
+        obj = db.collection("c")[OBJECTS[0]]
+        before, _ = obj.read(DOMAIN)
+        snap = db.snapshot()
+        obj.update(REGION, np.full((8, 8), 9, np.uint8))
+        # superseded blobs sit in limbo while the pin is open
+        assert db.epoch.limbo_size > 0
+        old, _ = snap.read("c", OBJECTS[0], DOMAIN)
+        assert np.array_equal(old, before), "snapshot saw the new write"
+        new, _ = obj.read(DOMAIN)
+        assert new[4, 4] == 9, "plain read missed the committed write"
+        snap.close()
+        assert db.epoch.limbo_size == 0, "close did not trigger reclamation"
+        # the pinned-then-reclaimed blobs are really gone: a fresh read
+        # still works off the new version
+        again, _ = obj.read(DOMAIN)
+        assert np.array_equal(again, new)
+
+    def test_rollback_restores_published_state(self):
+        db = _build_db()
+        obj = db.collection("c")[OBJECTS[0]]
+        before, _ = obj.read(DOMAIN)
+        with pytest.raises(RuntimeError, match="boom"):
+            with db.transaction():
+                obj.update(REGION, np.full((8, 8), 77, np.uint8))
+                raise RuntimeError("boom")
+        after, _ = obj.read(DOMAIN)
+        assert np.array_equal(after, before), "abort leaked partial writes"
+        # and the database is still writable
+        obj.update(REGION, np.full((8, 8), 5, np.uint8))
+        assert obj.read(DOMAIN)[0][4, 4] == 5

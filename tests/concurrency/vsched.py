@@ -1,0 +1,222 @@
+"""Virtual scheduler: seeded, replayable interleavings of real threads.
+
+The storage layer's latches call the schedule hook
+(:func:`repro.storage.latch.set_schedule_hook`) at every acquisition
+attempt and at explicit yield points.  :class:`VirtualScheduler`
+installs a hook that **parks** each managed worker thread at those
+points; a coordinator waits until every live worker is parked, then
+wakes exactly one, chosen by ``random.Random(seed)``.  Between two
+schedule points a worker therefore runs *alone* — the interleaving of
+latch-protected operations is fully determined by the seed, and the
+recorded trace of ``(step, worker, label)`` tuples replays
+byte-identically on a second run with the same seed.
+
+Threads the scheduler does not manage (pytest's main thread, any I/O
+executor) pass through the hook untouched, so databases driven under
+the scheduler must run with ``io_workers=1``.
+
+A worker that raises stops the schedule; :meth:`run` re-raises the
+first failure (chaining any others) after every thread has been
+reaped.  ``SimulatedCrash`` is special-cased by callers that expect
+it — the scheduler itself treats it like any other exit.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.storage.latch import clear_schedule_hook, set_schedule_hook
+
+#: One scheduling decision: (step number, worker name, hook label).
+TraceEntry = Tuple[int, str, str]
+
+
+class ScheduleDeadlock(AssertionError):
+    """No runnable worker became schedulable within the watchdog window."""
+
+
+@dataclass
+class _Worker:
+    name: str
+    fn: Callable[[], None]
+    thread: Optional[threading.Thread] = None
+    parked: bool = False
+    label: str = ""
+    granted: bool = False
+    finished: bool = False
+    error: Optional[BaseException] = None
+    steps: int = 0
+    expected: List[BaseException] = field(default_factory=list)
+
+
+class VirtualScheduler:
+    """Runs named workers under one seeded, serialized schedule.
+
+    Usage::
+
+        sched = VirtualScheduler(seed=7)
+        sched.add("writer", writer_fn)
+        sched.add("reader", reader_fn)
+        trace = sched.run()   # raises on worker failure or deadlock
+
+    ``expect`` lists exception types a worker may legitimately die with
+    (e.g. ``SimulatedCrash`` in crash tests) — those end the worker
+    without failing the run and are collected in ``worker_errors``.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        max_steps: int = 200_000,
+        watchdog_s: float = 60.0,
+    ) -> None:
+        self.seed = seed
+        self.max_steps = max_steps
+        self.watchdog_s = watchdog_s
+        self.trace: List[TraceEntry] = []
+        self.worker_errors: dict[str, BaseException] = {}
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._workers: dict[str, _Worker] = {}
+        self._by_ident: dict[int, _Worker] = {}
+        self._ran = False
+        self._draining = False
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[[], None],
+        expect: Tuple[type, ...] = (),
+    ) -> None:
+        if name in self._workers:
+            raise ValueError(f"duplicate worker {name!r}")
+        worker = _Worker(name, fn)
+        worker.expected = list(expect)
+        self._workers[name] = worker
+
+    # -- the hook (runs on worker threads) -------------------------------
+
+    def _hook(self, label: str) -> None:
+        worker = self._by_ident.get(threading.get_ident())
+        if worker is None:
+            return  # unmanaged thread: run free
+        with self._cond:
+            if self._draining:
+                return  # teardown: run free so join() terminates
+            worker.parked = True
+            worker.label = label
+            self._cond.notify_all()
+            while not worker.granted and not self._draining:
+                self._cond.wait()
+            worker.granted = False
+            worker.parked = False
+
+    def _run_worker(self, worker: _Worker) -> None:
+        self._by_ident[threading.get_ident()] = worker
+        try:
+            worker.fn()
+        except BaseException as exc:  # noqa: BLE001 - reported by run()
+            worker.error = exc
+        finally:
+            with self._cond:
+                worker.finished = True
+                self._cond.notify_all()
+
+    # -- the coordinator (runs on the calling thread) --------------------
+
+    def _all_settled(self) -> bool:
+        # A granted worker that has not woken yet is still flagged
+        # ``parked`` — treating it as settled would let the coordinator
+        # double-grant and run two threads at once.  In flight counts as
+        # running until it re-parks (granted back to False) or finishes.
+        return all(
+            w.finished or (w.parked and not w.granted)
+            for w in self._workers.values()
+        )
+
+    def run(self) -> List[TraceEntry]:
+        """Drive all workers to completion; returns the decision trace."""
+        if self._ran:
+            raise RuntimeError("a VirtualScheduler runs once; make a new one")
+        self._ran = True
+        set_schedule_hook(self._hook)
+        try:
+            # Threads start concurrently but the first scheduling
+            # decision is only made once every worker is parked at its
+            # first schedule point (or already finished) — the parked
+            # set at every step is therefore seed-deterministic.
+            for worker in self._workers.values():
+                worker.thread = threading.Thread(
+                    target=self._run_worker, args=(worker,), name=worker.name
+                )
+                worker.thread.start()
+            step = 0
+            with self._cond:
+                while True:
+                    if not self._cond.wait_for(
+                        self._all_settled, timeout=self.watchdog_s
+                    ):
+                        raise ScheduleDeadlock(
+                            f"seed {self.seed}: workers stuck at step "
+                            f"{step}: " + ", ".join(
+                                f"{w.name}="
+                                f"{'parked@' + w.label if w.parked else 'running'}"
+                                for w in self._workers.values()
+                                if not w.finished
+                            )
+                        )
+                    runnable = sorted(
+                        (
+                            w
+                            for w in self._workers.values()
+                            if w.parked and not w.finished
+                        ),
+                        key=lambda w: w.name,
+                    )
+                    if not runnable:
+                        break  # everyone finished
+                    if step >= self.max_steps:
+                        raise ScheduleDeadlock(
+                            f"seed {self.seed}: exceeded {self.max_steps} "
+                            f"steps (livelock?)"
+                        )
+                    chosen = self._rng.choice(runnable)
+                    self.trace.append((step, chosen.name, chosen.label))
+                    chosen.steps += 1
+                    step += 1
+                    chosen.granted = True
+                    self._cond.notify_all()
+        finally:
+            # Unblock any survivors so join() terminates even on a
+            # coordinator failure, then restore the production hook.
+            with self._cond:
+                self._draining = True
+                self._cond.notify_all()
+            for worker in self._workers.values():
+                if worker.thread is not None:
+                    worker.thread.join(timeout=self.watchdog_s)
+            clear_schedule_hook()
+        failures = []
+        for worker in self._workers.values():
+            if worker.error is None:
+                continue
+            if any(isinstance(worker.error, t) for t in worker.expected):
+                self.worker_errors[worker.name] = worker.error
+            else:
+                failures.append(worker)
+        if failures:
+            worker = failures[0]
+            raise AssertionError(
+                f"seed {self.seed}: worker {worker.name!r} failed at "
+                f"schedule step {len(self.trace)}; replay with "
+                f"SCHED_SEED_BASE={self.seed} SCHED_SEED_COUNT=1"
+            ) from worker.error
+        return self.trace
+
+
+def format_trace(trace: List[TraceEntry]) -> str:
+    """One line per decision — the artifact dumped on failing seeds."""
+    return "\n".join(f"{s:6d} {name:<12} {label}" for s, name, label in trace)
