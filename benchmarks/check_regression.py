@@ -17,6 +17,11 @@ fails the build.  The artifact's ``label`` picks the comparison:
   on the runner's core count); the isolation invariants (no torn reads,
   cross-object snapshot consistency, reclamation convergence) are the
   boolean identity verdicts.
+* ``obs`` — per-mode/query result digests and modelled charges, same
+  shape as ``pipeline``.  The overhead gate itself
+  (``disabled_overhead_ok``) is a boolean identity verdict, so a
+  baseline where it held keeps it held; the raw overhead percentages
+  stay in ``performance`` and are never compared across machines.
 
 Identity verdicts are held to in both cases: a verdict that was True in
 the baseline must stay True.
@@ -173,6 +178,7 @@ def compare(candidate: dict, baseline: dict) -> list[str]:
     elif baseline.get("label") == "concurrent":
         problems += _compare_concurrent_modes(candidate, baseline)
     else:
+        # "pipeline" and "obs" share the per-mode/query digest+charges shape
         problems += _compare_pipeline_modes(candidate, baseline)
     return problems
 

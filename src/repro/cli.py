@@ -11,6 +11,8 @@ Usage::
     python -m repro tables        # everything above
     python -m repro stats         # observability registry snapshot
     python -m repro trace QUERY   # span trace of one sales-cube query
+    python -m repro explain QUERY # EXPLAIN ANALYZE one sales-cube query
+    python -m repro serve-metrics # live /metrics, /healthz, /debug/spans
     python -m repro bench pipeline  # serial vs parallel vs decoded cache
     python -m repro bench ingest    # serial vs batched vs parallel writes
     python -m repro bench concurrent  # snapshot readers scaling under a writer
@@ -362,6 +364,60 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN ANALYZE one sales-cube query: per-stage profile."""
+    region = salescube.QUERIES[args.query]
+    schemes = salescube.build_schemes()
+    if args.scheme not in schemes:
+        print(f"unknown scheme {args.scheme!r}; known: "
+              f"{', '.join(sorted(schemes))}", file=sys.stderr)
+        return 2
+    obs.enable()
+    buffer_bytes = args.buffer_mb * 1024 * 1024
+    database = Database(buffer_bytes=buffer_bytes)
+    mdd = database.create_object(
+        "explain", salescube.sales_mdd_type(), args.scheme
+    )
+    print(f"Loading sales cube with {args.scheme}...", file=sys.stderr)
+    mdd.load_array(
+        salescube.generate_sales_data(), schemes[args.scheme], origin=(1, 1, 1)
+    )
+    database.reset_clock()
+    obs.reset()  # profile the query, not the load
+    profile = database.profile("explain", args.scheme, region)
+    if args.json:
+        print(json.dumps(profile.as_dict(), indent=2))
+    else:
+        print(profile.format())
+    ok = profile.modelled_reconciles and profile.wall_reconciles() is not False
+    return 0 if ok else 1
+
+
+def cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Serve /metrics, /healthz and /debug/spans over HTTP."""
+    from repro.obs.server import MetricsServer
+
+    obs.enable()
+    if args.demo:
+        _demo_workload()
+    server = MetricsServer(host=args.host, port=args.port)
+    server.start()
+    print(f"serving metrics on http://{args.host}:{server.port}/metrics "
+          f"(healthz, debug/spans)", file=sys.stderr)
+    try:
+        if args.duration is not None:
+            import time as _time
+
+            _time.sleep(args.duration)
+        else:
+            server.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.mode == "pipeline":
         from repro.bench.pipeline import comparison_table, run_pipeline_bench
@@ -399,6 +455,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for name, value in report["identity"].items():
             print(f"  {name}: {value}")
         print("performance (not gated):")
+        for name, value in report["performance"].items():
+            formatted = f"{value:.2f}" if isinstance(value, float) else value
+            print(f"  {name}: {formatted}")
+        if "artifact_path" in report:
+            print(f"\nwrote {report['artifact_path']}")
+        failed = [
+            name
+            for name, value in report["identity"].items()
+            if value is False
+        ]
+        return 1 if failed else 0
+    if args.mode == "obs":
+        from repro.bench.obsbench import comparison_table, run_obs_bench
+
+        report = run_obs_bench(
+            runs=args.runs,
+            artifact_dir=_artifact_dir(args),
+        )
+        print(comparison_table(report))
+        print()
+        print("identity verdicts:")
+        for name, value in report["identity"].items():
+            print(f"  {name}: {value}")
+        print("performance (overhead gate in identity):")
         for name, value in report["performance"].items():
             formatted = f"{value:.2f}" if isinstance(value, float) else value
             print(f"  {name}: {formatted}")
@@ -485,6 +565,8 @@ _COMMANDS = {
     "tables": cmd_tables,
     "stats": cmd_stats,
     "trace": cmd_trace,
+    "explain": cmd_explain,
+    "serve-metrics": cmd_serve_metrics,
     "bench": cmd_bench,
     "recover": cmd_recover,
     "fsck": cmd_fsck,
@@ -551,10 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="implementation benchmarks (not paper tables)"
     )
     bench.add_argument(
-        "mode", choices=("pipeline", "ingest", "concurrent"),
+        "mode", choices=("pipeline", "ingest", "concurrent", "obs"),
         help="pipeline: serial vs parallel vs decoded-cache reads; "
              "ingest: serial vs batched vs parallel writes; "
-             "concurrent: snapshot-reader scaling under a writer",
+             "concurrent: snapshot-reader scaling under a writer; "
+             "obs: observability overhead, enabled vs disabled vs no-obs",
     )
     bench.add_argument(
         "--runs", type=int, default=3, metavar="N",
@@ -603,6 +686,45 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--jsonl", metavar="PATH",
         help="also export metrics and spans to a JSONL event log",
+    )
+    explain = subparsers.add_parser(
+        "explain", help="EXPLAIN ANALYZE one sales-cube query"
+    )
+    explain.add_argument(
+        "query", choices=sorted(salescube.QUERIES),
+        help="Table 3 query letter",
+    )
+    explain.add_argument(
+        "--scheme", default="Dir64K3P",
+        help="tiling scheme to load (default: Dir64K3P)",
+    )
+    explain.add_argument(
+        "--buffer-mb", type=int, default=0, metavar="M",
+        help="LRU buffer pool capacity in MiB (default: 0 = no pool)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the profile as JSON instead of the text report",
+    )
+    serve = subparsers.add_parser(
+        "serve-metrics",
+        help="HTTP endpoint: /metrics, /healthz, /debug/spans",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=9464,
+        help="TCP port; 0 picks a free one (default: 9464)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for a fixed time then exit (default: until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--demo", action="store_true",
+        help="run a small query workload first so /metrics has data",
     )
     return parser
 

@@ -33,24 +33,39 @@ from typing import Iterator, Sequence
 
 from repro.obs.metrics import (
     BYTE_BUCKETS,
+    COUNT_BUCKETS,
     DEFAULT_BUCKETS,
+    FINE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer, format_span_tree
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    SpanContext,
+    Tracer,
+    format_span_tree,
+)
 from repro.obs.export import (
+    escape_label_value,
     export_jsonl,
     jsonl_records,
     prometheus_name,
     prometheus_text,
     read_jsonl,
 )
+from repro.obs.accesslog import AccessEvent, AccessRing
 
 __all__ = [
+    "AccessEvent",
+    "AccessRing",
     "BYTE_BUCKETS",
+    "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
+    "FINE_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -58,12 +73,15 @@ __all__ = [
     "NULL_SPAN",
     "NullSpan",
     "Span",
+    "SpanContext",
     "Tracer",
     "counter",
+    "current_context",
     "disable",
     "disabled",
     "enable",
     "enabled",
+    "escape_label_value",
     "export_jsonl",
     "format_span_tree",
     "gauge",
@@ -109,9 +127,18 @@ def histogram(
     return registry.histogram(name, help, buckets=buckets)
 
 
-def span(name: str, **attrs: object):
-    """A span on the default tracer (no-op when disabled)."""
-    return tracer.span(name, **attrs)
+def span(name: str, *, parent: "SpanContext | None" = None, **attrs: object):
+    """A span on the default tracer (no-op when disabled).
+
+    ``parent`` adopts a :class:`SpanContext` captured on another thread
+    so worker spans join the coordinator's tree.
+    """
+    return tracer.span(name, parent=parent, **attrs)
+
+
+def current_context() -> "SpanContext | None":
+    """Cross-thread handle to the calling thread's innermost open span."""
+    return tracer.current_context()
 
 
 # -- global switches -------------------------------------------------------

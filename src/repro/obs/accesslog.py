@@ -1,0 +1,216 @@
+"""Structured access-log ring: every read/write region, live and bounded.
+
+The offline :class:`repro.stats.AccessLog` records accesses only when a
+caller wires one into the query engine.  The ring replaces it as the
+*live* source: every :class:`~repro.storage.tilestore.Database` owns an
+:class:`AccessRing`, and the tile store records each read and write
+region into it with the epoch it was served at and its modelled cost —
+no wiring required, recording gated on ``obs.enabled()``.
+
+The ring is bounded (oldest events evicted first, with a running
+``dropped`` count so truncation is visible), thread-safe, and can be
+
+* flushed to JSON lines (:meth:`AccessRing.flush_jsonl`) for offline
+  analysis,
+* fed straight into the MaxTileSize tuner —
+  :meth:`AccessRing.workload` yields the ``Sequence[MInterval]`` that
+  :func:`repro.stats.tuner.choose_max_tile_size` consumes,
+* converted to the offline log (:meth:`AccessRing.to_access_log`) for
+  the statistic tiling strategy and kind histograms.
+
+Imports of geometry/stats types happen lazily inside the conversion
+methods, keeping ``repro.obs`` dependency-free for the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One recorded access: region plus where/when/how much it cost."""
+
+    seq: int
+    kind: str          # "read" | "write" | "delete"
+    collection: str
+    object: str
+    region: str        # MInterval spec, e.g. "[0:9,3:5]"
+    epoch: int         # commit epoch the access was served at
+    cost_ms: float     # modelled time charged to this access
+    cells: int         # result/ingest cells the access moved
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "AccessEvent":
+        return cls(
+            seq=int(record["seq"]),
+            kind=str(record["kind"]),
+            collection=str(record["collection"]),
+            object=str(record["object"]),
+            region=str(record["region"]),
+            epoch=int(record["epoch"]),
+            cost_ms=float(record["cost_ms"]),
+            cells=int(record["cells"]),
+        )
+
+
+class AccessRing:
+    """Bounded, thread-safe ring of :class:`AccessEvent` records."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"ring capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: "deque[AccessEvent]" = deque(maxlen=capacity or 1)
+        self._seq = 0
+        self._dropped = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        collection: str,
+        object_name: str,
+        region: str,
+        epoch: int,
+        cost_ms: float = 0.0,
+        cells: int = 0,
+    ) -> None:
+        """Append one access (no-op when obs is disabled or capacity 0)."""
+        from repro import obs  # lazy: obs.__init__ re-exports this module
+
+        if self.capacity == 0 or not obs.registry.enabled:
+            return
+        with self._lock:
+            self._seq += 1
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(
+                AccessEvent(
+                    seq=self._seq,
+                    kind=kind,
+                    collection=collection,
+                    object=object_name,
+                    region=region,
+                    epoch=epoch,
+                    cost_ms=cost_ms,
+                    cells=cells,
+                )
+            )
+
+    # -- inspection --------------------------------------------------------
+
+    def events(self) -> Tuple[AccessEvent, ...]:
+        """Recorded events, oldest first."""
+        with self._lock:
+            return tuple(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted because the ring was full."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (including since-evicted ones)."""
+        with self._lock:
+            return self._seq
+
+    def clear(self) -> None:
+        """Drop all events and zero the counters (measurement boundary)."""
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+            self._dropped = 0
+
+    # -- export ------------------------------------------------------------
+
+    def flush_jsonl(
+        self, path: Union[str, Path], clear: bool = False
+    ) -> int:
+        """Append events to ``path`` as JSON lines; returns lines written."""
+        events = self.events()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+        if clear:
+            self.clear()
+        return len(events)
+
+    @staticmethod
+    def read_jsonl(path: Union[str, Path]) -> List[AccessEvent]:
+        """Load events previously written by :meth:`flush_jsonl`."""
+        events: List[AccessEvent] = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(AccessEvent.from_dict(json.loads(line)))
+        return events
+
+    # -- feeding the tuner / statistic tiling ------------------------------
+
+    def workload(
+        self,
+        object_name: Optional[str] = None,
+        kinds: Tuple[str, ...] = ("read",),
+    ) -> list:
+        """Regions as ``MInterval`` — the tuner's ``workload`` argument.
+
+        Filtered to one object (or all when ``object_name`` is None) and
+        to the given kinds; reads only by default, because writes say
+        nothing about the access pattern a tiling should serve.
+        """
+        from repro.core.geometry import MInterval
+
+        return [
+            MInterval.parse(event.region)
+            for event in self.events()
+            if (object_name is None or event.object == object_name)
+            and event.kind in kinds
+        ]
+
+    def to_access_log(self, kinds: Tuple[str, ...] = ("read",)):
+        """Convert to the offline :class:`repro.stats.AccessLog`.
+
+        Access kinds (whole/subarray/partial/section) need the object's
+        domain, which the ring does not retain — regions recorded here
+        are already resolved, so classification against themselves
+        degrades gracefully (fully-specified regions classify by their
+        own shape when replayed through the engine).  The offline log
+        only needs regions for statistic tiling, which is what this
+        conversion preserves.
+        """
+        from repro.core.geometry import MInterval
+        from repro.query.access import Access, AccessKind
+        from repro.stats.log import AccessLog
+
+        log = AccessLog()
+        for event in self.events():
+            if event.kind not in kinds:
+                continue
+            region = MInterval.parse(event.region)
+            degenerate = any(
+                lo is not None and lo == hi
+                for lo, hi in zip(region.lower, region.upper)
+            )
+            kind = AccessKind.SECTION if degenerate else AccessKind.SUBARRAY
+            log.record(event.object, Access(region, kind))
+        return log

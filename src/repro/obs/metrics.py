@@ -39,6 +39,17 @@ BYTE_BUCKETS: Tuple[float, ...] = (
     64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
 )
 
+#: Microsecond-resolution bounds for latch wait/hold times — an
+#: uncontended hold lasts microseconds; contention pushes into
+#: milliseconds, and anything past 100 ms is pathological.
+FINE_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+#: Small-integer bounds for count-flavoured histograms (coalescing run
+#: lengths, group-commit batch sizes).
+COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
 
 class Metric:
     """Base of all instruments: a name, a help string, a home registry."""
@@ -157,6 +168,36 @@ class Histogram(Metric):
         with self._registry._lock:
             return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate (Prometheus style).
+
+        Linear interpolation inside the bucket that crosses the target
+        rank, against the bucket's lower bound (0 for the first).  A
+        rank that falls into the ``+Inf`` overflow bucket clamps to the
+        highest finite bound — the estimate cannot exceed what the
+        bucket layout can resolve.  An empty histogram estimates 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._registry._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        target = q * total
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, counts):
+            if count:
+                before = running
+                running += count
+                if running >= target:
+                    fraction = (target - before) / count
+                    fraction = min(max(fraction, 0.0), 1.0)
+                    return lower + (bound - lower) * fraction
+            lower = bound
+        return self.buckets[-1]
+
     def bucket_counts(self) -> Tuple[Tuple[float, int], ...]:
         """Cumulative ``(upper_bound, count)`` pairs, +Inf bound last."""
         with self._registry._lock:
@@ -265,6 +306,8 @@ class MetricsRegistry:
                 histograms[metric.name] = {
                     "count": metric.count,
                     "sum": metric.sum,
+                    "p50": metric.quantile(0.5),
+                    "p99": metric.quantile(0.99),
                     "buckets": [
                         ["+Inf" if bound == float("inf") else bound, count]
                         for bound, count in metric.bucket_counts()

@@ -1,0 +1,251 @@
+"""Pure-python Prometheus exposition-format checker (text version 0.0.4).
+
+CI's metrics-smoke job scrapes ``/metrics`` and runs the payload through
+:func:`validate` — no external ``promtool`` dependency.  The checks
+follow the exposition-format spec:
+
+* sample lines parse as ``name{labels} value [timestamp]`` with a legal
+  metric name, legal label names, correctly escaped quoted label
+  values, and a float (or ``+Inf``/``-Inf``/``NaN``) value;
+* ``# TYPE`` names one of the known metric kinds, appears at most once
+  per metric family, and precedes that family's first sample;
+* ``# HELP`` appears at most once per family;
+* histogram families expose ``_bucket`` series with an ``le`` label and
+  end in an ``+Inf`` bucket whose count equals ``_count``.
+
+:func:`validate` returns a list of human-readable problems (empty means
+the text is well-formed).  ``python -m repro.obs.promcheck [FILE]``
+validates a file or stdin and exits 1 on problems.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_labels(text: str) -> Tuple[Optional[Dict[str, str]], str]:
+    """Parse a ``{name="value",...}`` body; (labels, error) — one is None."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while True:
+        # Skip whitespace, detect the closing brace / trailing comma.
+        while i < len(text) and text[i] in " \t":
+            i += 1
+        if i >= len(text):
+            return None, "unterminated label set"
+        if text[i] == "}":
+            if text[i + 1:].strip():
+                return None, f"trailing garbage after '}}': {text[i + 1:]!r}"
+            return labels, ""
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[i:])
+        if not match:
+            return None, f"bad label name at {text[i:]!r}"
+        name = match.group(0)
+        i += len(name)
+        if i >= len(text) or text[i] != "=":
+            return None, f"expected '=' after label {name!r}"
+        i += 1
+        if i >= len(text) or text[i] != '"':
+            return None, f"label {name!r} value is not quoted"
+        i += 1
+        value = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text):
+                    return None, f"dangling escape in label {name!r}"
+                escaped = text[i + 1]
+                if escaped not in ('"', "\\", "n"):
+                    return None, (
+                        f"bad escape \\{escaped} in label {name!r} "
+                        f"(only \\\" \\\\ \\n are legal)"
+                    )
+                value.append({"n": "\n"}.get(escaped, escaped))
+                i += 2
+                continue
+            if ch == "\n":
+                return None, f"raw newline in label {name!r}"
+            if ch == '"':
+                break
+            value.append(ch)
+            i += 1
+        else:
+            return None, f"unterminated value for label {name!r}"
+        i += 1  # closing quote
+        labels[name] = "".join(value)
+        while i < len(text) and text[i] in " \t":
+            i += 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+
+
+def _parse_value(text: str) -> bool:
+    if text in ("+Inf", "-Inf", "Inf", "NaN"):
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _family(name: str) -> str:
+    """Metric family of a sample name (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text: str) -> List[str]:
+    """All format problems in a Prometheus exposition payload."""
+    problems: List[str] = []
+    declared_type: Dict[str, str] = {}
+    declared_help: Dict[str, int] = {}
+    samples_seen: Dict[str, int] = {}  # family -> first sample line no
+    buckets: Dict[Tuple[str, str], Dict[str, float]] = {}
+    counts: Dict[Tuple[str, str], float] = {}
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            keyword = parts[1] if len(parts) > 1 else ""
+            if keyword == "TYPE":
+                if len(parts) < 4:
+                    problems.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                name, kind = parts[2], parts[3].strip()
+                if not _METRIC_NAME_RE.match(name):
+                    problems.append(
+                        f"line {lineno}: illegal metric name {name!r} in TYPE"
+                    )
+                if kind not in _TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown type {kind!r} for {name}"
+                    )
+                if name in declared_type:
+                    problems.append(
+                        f"line {lineno}: duplicate TYPE for {name}"
+                    )
+                if name in samples_seen:
+                    problems.append(
+                        f"line {lineno}: TYPE for {name} after its first "
+                        f"sample (line {samples_seen[name]})"
+                    )
+                declared_type[name] = kind
+            elif keyword == "HELP":
+                if len(parts) < 3:
+                    problems.append(f"line {lineno}: malformed HELP line")
+                    continue
+                name = parts[2]
+                if name in declared_help:
+                    problems.append(
+                        f"line {lineno}: duplicate HELP for {name}"
+                    )
+                declared_help[name] = lineno
+            # Any other comment is legal and ignored.
+            continue
+
+        # Sample line: name[{labels}] value [timestamp]
+        brace = line.find("{")
+        if brace != -1:
+            name = line[:brace]
+            close = line.rfind("}")
+            if close == -1:
+                problems.append(f"line {lineno}: unterminated label set")
+                continue
+            labels, error = _parse_labels(line[brace + 1: close + 1])
+            if labels is None:
+                problems.append(f"line {lineno}: {error}")
+                continue
+            rest = line[close + 1:].strip()
+        else:
+            fields = line.split(None, 1)
+            name = fields[0]
+            labels = {}
+            rest = fields[1].strip() if len(fields) > 1 else ""
+        if not _METRIC_NAME_RE.match(name):
+            problems.append(f"line {lineno}: illegal metric name {name!r}")
+            continue
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                problems.append(
+                    f"line {lineno}: illegal label name {label_name!r}"
+                )
+        value_fields = rest.split()
+        if not value_fields:
+            problems.append(f"line {lineno}: sample {name} has no value")
+            continue
+        if not _parse_value(value_fields[0]):
+            problems.append(
+                f"line {lineno}: bad value {value_fields[0]!r} for {name}"
+            )
+        if len(value_fields) > 2:
+            problems.append(
+                f"line {lineno}: trailing garbage after value of {name}"
+            )
+
+        family = _family(name)
+        samples_seen.setdefault(family, lineno)
+        samples_seen.setdefault(name, lineno)
+        series = labels.get("name", "")
+        if declared_type.get(family) == "histogram":
+            key = (family, series)
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket {name} missing "
+                        f"'le' label"
+                    )
+                else:
+                    buckets.setdefault(key, {})[labels["le"]] = float(
+                        value_fields[0]
+                    )
+            elif name.endswith("_count"):
+                counts[key] = float(value_fields[0])
+
+    for key, series_buckets in buckets.items():
+        family, series = key
+        label = f"{family}{{name={series!r}}}" if series else family
+        if "+Inf" not in series_buckets:
+            problems.append(f"histogram {label} has no +Inf bucket")
+        elif key in counts and series_buckets["+Inf"] != counts[key]:
+            problems.append(
+                f"histogram {label}: +Inf bucket "
+                f"{series_buckets['+Inf']:g} != _count {counts[key]:g}"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+        source = argv[0]
+    else:
+        text = sys.stdin.read()
+        source = "<stdin>"
+    problems = validate(text)
+    for problem in problems:
+        print(f"{source}: {problem}", file=sys.stderr)
+    samples = sum(
+        1
+        for line in text.split("\n")
+        if line.strip() and not line.startswith("#")
+    )
+    if not problems:
+        print(f"{source}: OK ({samples} samples)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

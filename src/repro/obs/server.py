@@ -1,0 +1,157 @@
+"""Zero-dependency HTTP endpoint for live metrics and spans.
+
+A tiny :class:`ThreadingHTTPServer` (standard library only) exposing the
+process-wide observability state:
+
+* ``GET /metrics``      — Prometheus exposition text (version 0.0.4);
+* ``GET /healthz``      — liveness JSON (instrument and span counts);
+* ``GET /debug/spans``  — finished spans of the tracer ring as JSON.
+
+The server serves *reads* of the registry and tracer — it never mutates
+them — and runs on a daemon thread, so a process that exits does not
+hang on an open scrape.  Port ``0`` binds an ephemeral port; the bound
+port is available as :attr:`MetricsServer.port` after :meth:`start`
+(the pattern tests and the CI smoke job rely on).
+
+Usage::
+
+    server = MetricsServer(port=0)
+    server.start()
+    ...  # scrape http://127.0.0.1:{server.port}/metrics
+    server.stop()
+
+or via the CLI: ``python -m repro serve-metrics --port 9464``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs import export, metrics, trace
+
+
+class MetricsServer:
+    """Threaded HTTP server over a registry/tracer pair (defaults: global)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9464,
+        registry: Optional[metrics.MetricsRegistry] = None,
+        tracer: Optional[trace.Tracer] = None,
+    ) -> None:
+        # Late import keeps module load free of the obs package cycle
+        # (obs/__init__ does not import this module).
+        from repro import obs
+
+        self.host = host
+        self.registry = registry if registry is not None else obs.registry
+        self.tracer = tracer if tracer is not None else obs.tracer
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = _make_handler(self.registry, self.tracer)
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def join(self) -> None:
+        """Block until the server thread exits (Ctrl-C to stop)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def _make_handler(registry, tracer):
+    """Handler class closed over the registry/tracer to serve."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Scrapes arrive every few seconds; stock stderr access logging
+        # would drown the process output.
+        def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+            pass
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                body = export.prometheus_text(registry).encode("utf-8")
+                self._reply(
+                    200, body, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            elif path == "/healthz":
+                payload = {
+                    "status": "ok",
+                    "enabled": registry.enabled,
+                    "instruments": len(registry.metrics()),
+                    "spans": len(tracer.finished()),
+                }
+                self._reply(
+                    200,
+                    json.dumps(payload).encode("utf-8"),
+                    "application/json",
+                )
+            elif path == "/debug/spans":
+                spans = [span.as_dict() for span in tracer.finished()]
+                self._reply(
+                    200,
+                    json.dumps({"spans": spans}).encode("utf-8"),
+                    "application/json",
+                )
+            else:
+                self._reply(
+                    404,
+                    b"not found; try /metrics, /healthz, /debug/spans\n",
+                    "text/plain; charset=utf-8",
+                )
+
+        def _reply(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler

@@ -12,6 +12,19 @@ tree (parent id and depth, maintained per thread).  An exception inside
 the ``with`` body is recorded on the span (``error``) and re-raised —
 tracing never swallows failures.
 
+Nesting is tracked per thread, so work handed to a worker pool would
+normally start a fresh root over there.  :class:`SpanContext` carries a
+span's identity across the thread boundary: the coordinator captures
+``tracer.current_context()`` before submitting, the worker opens its
+span with ``tracer.span(name, parent=ctx)``, and the whole query stays
+one rooted tree::
+
+    ctx = obs.tracer.current_context()
+    executor.submit(work, payload, ctx)
+    # ... in the worker:
+    with obs.span("pipeline.decode", parent=ctx):
+        ...
+
 When the tracer is disabled, :meth:`Tracer.span` returns a shared no-op
 span, so the hot-path cost of a disabled tracer is one branch.  Finished
 spans land in a bounded ring buffer (oldest evicted first); exporters
@@ -45,6 +58,35 @@ class NullSpan:
 NULL_SPAN = NullSpan()
 
 
+class SpanContext:
+    """Immutable handle to a live span, safe to hand to another thread.
+
+    Captured on the coordinator with :meth:`Tracer.current_context` and
+    passed as ``parent=`` to :meth:`Tracer.span` in a worker so the
+    worker's spans join the coordinator's tree instead of becoming
+    orphan roots.
+    """
+
+    __slots__ = ("span_id", "depth")
+
+    def __init__(self, span_id: int, depth: int) -> None:
+        self.span_id = span_id
+        self.depth = depth
+
+    def __repr__(self) -> str:
+        return f"SpanContext(span_id={self.span_id}, depth={self.depth})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and other.span_id == self.span_id
+            and other.depth == self.depth
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.span_id, self.depth))
+
+
 class Span:
     """One timed operation; created via :meth:`Tracer.span`."""
 
@@ -59,10 +101,18 @@ class Span:
         "error",
         "_tracer",
         "_t0",
+        "_parent_ctx",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, object],
+        parent_ctx: Optional[SpanContext] = None,
+    ) -> None:
         self._tracer = tracer
+        self._parent_ctx = parent_ctx
         self.name = name
         self.attrs = attrs
         self.span_id = 0
@@ -119,11 +169,22 @@ class Tracer:
 
     # -- span lifecycle ----------------------------------------------------
 
-    def span(self, name: str, **attrs: object):
-        """Context manager timing one operation (no-op when disabled)."""
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[SpanContext] = None,
+        **attrs: object,
+    ):
+        """Context manager timing one operation (no-op when disabled).
+
+        ``parent`` adopts a :class:`SpanContext` captured on another
+        thread; it applies only when the calling thread has no open
+        span of its own (local nesting always wins).
+        """
         if not self.enabled:
             return NULL_SPAN
-        return Span(self, name, attrs)
+        return Span(self, name, attrs, parent_ctx=parent)
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -138,6 +199,9 @@ class Tracer:
         if stack:
             span.parent_id = stack[-1].span_id
             span.depth = stack[-1].depth + 1
+        elif span._parent_ctx is not None:
+            span.parent_id = span._parent_ctx.span_id
+            span.depth = span._parent_ctx.depth + 1
         stack.append(span)
         span._t0 = time.perf_counter()
         span.start_ms = (span._t0 - self._epoch) * 1000.0
@@ -176,6 +240,13 @@ class Tracer:
         """The innermost open span of the calling thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def current_context(self) -> Optional[SpanContext]:
+        """Cross-thread handle to the calling thread's innermost span."""
+        span = self.current()
+        if span is None:
+            return None
+        return SpanContext(span.span_id, span.depth)
 
 
 def format_span_tree(spans: Tuple[Span, ...]) -> str:

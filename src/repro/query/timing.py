@@ -32,6 +32,11 @@ class QueryTiming:
     t_ix: float = 0.0
     t_o: float = 0.0
     t_cpu: float = 0.0
+    #: Modelled page component of ``t_ix`` (index-node reads charged to
+    #: the simulated disk); ``t_ix - t_ix_pages`` is the measured CPU
+    #: part.  The per-query profiler reconciles ``t_o + t_ix_pages``
+    #: against the disk's modelled clock.
+    t_ix_pages: float = 0.0
     tiles_read: int = 0
     bytes_read: int = 0
     pages_read: int = 0
@@ -72,6 +77,7 @@ class QueryTiming:
         self.t_ix += other.t_ix
         self.t_o += other.t_o
         self.t_cpu += other.t_cpu
+        self.t_ix_pages += other.t_ix_pages
         self.tiles_read += other.tiles_read
         self.bytes_read += other.bytes_read
         self.pages_read += other.pages_read
@@ -99,6 +105,7 @@ class QueryTiming:
             t_ix=self.t_ix * factor,
             t_o=self.t_o * factor,
             t_cpu=self.t_cpu * factor,
+            t_ix_pages=self.t_ix_pages * factor,
             tiles_read=round(self.tiles_read * factor),
             bytes_read=round(self.bytes_read * factor),
             pages_read=round(self.pages_read * factor),
@@ -118,6 +125,7 @@ class QueryTiming:
             "t_ix": self.t_ix,
             "t_o": self.t_o,
             "t_cpu": self.t_cpu,
+            "t_ix_pages": self.t_ix_pages,
             "t_totalaccess": self.t_totalaccess,
             "t_totalcpu": self.t_totalcpu,
             "tiles_read": self.tiles_read,

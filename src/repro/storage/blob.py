@@ -37,6 +37,11 @@ _WRITE_BLOBS = obs.counter(
 _WRITE_PAGES = obs.counter(
     "io.coalesced.write_pages", "Pages covered by coalesced write runs"
 )
+_WRITE_RUN_LEN = obs.histogram(
+    "io.coalesced.write_run_length",
+    "Blobs per backend write issued by the flush path (1 = not coalesced)",
+    buckets=obs.COUNT_BUCKETS,
+)
 
 
 @dataclass
@@ -280,6 +285,7 @@ class BlobStore(abc.ABC):
                 self._crc_stash.pop(blob_id, None)
             first, last = records[0].pages, records[-1].pages
             written.append(PageRange(first.start, last.end - first.start))
+            _WRITE_RUN_LEN.observe(len(run))
             if len(run) > 1:
                 _WRITE_RUNS.inc()
                 _WRITE_BLOBS.inc(len(run))

@@ -33,6 +33,11 @@ _BYTES_EVICTED = obs.counter("pool.bytes_evicted", "Payload bytes evicted")
 _USED_BYTES = obs.gauge(
     "pool.used_bytes", "Bytes currently cached (summed over all pools)"
 )
+_ADMITTED_SIZE = obs.histogram(
+    "pool.admitted_size_bytes",
+    "Payload size per pool admission",
+    buckets=obs.BYTE_BUCKETS,
+)
 
 
 class BufferPool:
@@ -88,6 +93,7 @@ class BufferPool:
         self._entries[blob_id] = payload
         self._used += len(payload)
         _BYTES_ADMITTED.inc(len(payload))
+        _ADMITTED_SIZE.observe(len(payload))
         _USED_BYTES.inc(len(payload))
 
     def invalidate(self, blob_id: int) -> None:

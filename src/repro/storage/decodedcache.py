@@ -56,6 +56,11 @@ _USED_BYTES = obs.gauge(
     "cache.decoded.used_bytes",
     "Decoded bytes currently cached (summed over all caches)",
 )
+_ADMITTED_SIZE = obs.histogram(
+    "cache.decoded.admitted_size_bytes",
+    "Decoded tile size per cache admission",
+    buckets=obs.BYTE_BUCKETS,
+)
 
 
 class DecodedTileCache:
@@ -115,6 +120,7 @@ class DecodedTileCache:
             self._entries[blob_id] = array
             self._used += size
             _BYTES_ADMITTED.inc(size)
+            _ADMITTED_SIZE.observe(size)
             _USED_BYTES.inc(size)
         return array
 

@@ -123,8 +123,14 @@ def encode_tiles(
         codec, payload = _encode(raw, compression, codecs)
         return raw, codec, payload
 
-    def chunk_task(chunk: Sequence[Tile]) -> list[tuple[bytes, str, bytes]]:
-        return [task(tile) for tile in chunk]
+    def chunk_task(
+        chunk: Sequence[Tile],
+        parent: Optional[obs.SpanContext] = None,
+    ) -> list[tuple[bytes, str, bytes]]:
+        # The coordinator's span context rides along so worker encode
+        # spans join the load's tree instead of rooting on pool threads.
+        with obs.span("ingest.encode_chunk", parent=parent, tiles=len(chunk)):
+            return [task(tile) for tile in chunk]
 
     executor = database.pipeline_executor() if len(tiles) > 1 else None
     if executor is None:
@@ -133,9 +139,12 @@ def encode_tiles(
         # one contiguous chunk per worker: future overhead stays O(workers),
         # and flattening in submission order keeps the output deterministic
         _PARALLEL_BATCHES.inc()
+        trace_ctx = obs.tracer.current_context()
         size = -(-len(tiles) // database.io_workers)
         futures = [
-            executor.submit(chunk_task, tiles[start:start + size])
+            executor.submit(
+                chunk_task, tiles[start:start + size], parent=trace_ctx
+            )
             for start in range(0, len(tiles), size)
         ]
         results = [item for future in futures for item in future.result()]

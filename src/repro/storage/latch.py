@@ -81,6 +81,11 @@ _WAITS = obs.counter("latch.waits", "Latch acquisitions that had to wait")
 _WAIT_MS = obs.histogram(
     "latch.wait_ms", "Milliseconds spent waiting for contended latches"
 )
+_HOLD_MS = obs.histogram(
+    "latch.hold_ms",
+    "Milliseconds latches were held (all latches)",
+    buckets=obs.FINE_BUCKETS,
+)
 
 _schedule_hook: Optional[Callable[[str], None]] = None
 
@@ -138,7 +143,16 @@ class OrderedLatch:
     checking is skipped only for such re-acquisitions.
     """
 
-    __slots__ = ("name", "rank", "reentrant", "_lock", "_waits")
+    __slots__ = (
+        "name",
+        "rank",
+        "reentrant",
+        "_lock",
+        "_waits",
+        "_wait_ms",
+        "_hold_ms",
+        "_hold_local",
+    )
 
     def __init__(self, name: str, rank: int, reentrant: bool = False) -> None:
         expected = LATCH_RANKS.get(name)
@@ -155,12 +169,33 @@ class OrderedLatch:
         self._waits = obs.counter(
             f"latch.{name}.waits", f"Contended acquisitions of latch {name!r}"
         )
+        self._wait_ms = obs.histogram(
+            f"latch.{name}.wait_ms",
+            f"Wait time for contended acquisitions of latch {name!r} (ms)",
+            buckets=obs.FINE_BUCKETS,
+        )
+        self._hold_ms = obs.histogram(
+            f"latch.{name}.hold_ms",
+            f"Time latch {name!r} was held, acquire to release (ms)",
+            buckets=obs.FINE_BUCKETS,
+        )
+        self._hold_local = threading.local()
+
+    def _note_acquired(self) -> None:
+        """Start the hold clock (None placeholder keeps the per-thread
+        stack balanced when obs is toggled between acquire and release)."""
+        holds = getattr(self._hold_local, "stack", None)
+        if holds is None:
+            holds = []
+            self._hold_local.stack = holds
+        holds.append(time.perf_counter() if obs.registry.enabled else None)
 
     def acquire(self) -> None:
         stack = _held.stack
         if self.reentrant and any(latch is self for latch in stack):
             self._lock.acquire()  # re-entry: order already established
             stack.append(self)
+            self._note_acquired()
             return
         if stack and stack[-1].rank >= self.rank:
             raise StorageError(
@@ -172,7 +207,9 @@ class OrderedLatch:
         if hook is not None:
             # Harness mode: never block the OS thread while the virtual
             # scheduler thinks it is runnable — spin through non-blocking
-            # attempts, yielding the schedule between them.
+            # attempts, yielding the schedule between them.  Wall time is
+            # meaningless under the virtual schedule, so only the wait
+            # *counters* move here, not the wait histograms.
             hook(f"latch:{self.name}")
             if not self._lock.acquire(blocking=False):
                 _WAITS.inc()
@@ -184,9 +221,12 @@ class OrderedLatch:
             self._waits.inc()
             started = time.perf_counter()
             self._lock.acquire()
-            _WAIT_MS.observe((time.perf_counter() - started) * 1000.0)
+            waited_ms = (time.perf_counter() - started) * 1000.0
+            _WAIT_MS.observe(waited_ms)
+            self._wait_ms.observe(waited_ms)
         _ACQUIRES.inc()
         stack.append(self)
+        self._note_acquired()
 
     def release(self) -> None:
         stack = _held.stack
@@ -198,6 +238,13 @@ class OrderedLatch:
             raise StorageError(
                 f"latch {self.name!r} released by a thread not holding it"
             )
+        holds = getattr(self._hold_local, "stack", None)
+        if holds:
+            started = holds.pop()
+            if started is not None:
+                held_ms = (time.perf_counter() - started) * 1000.0
+                _HOLD_MS.observe(held_ms)
+                self._hold_ms.observe(held_ms)
         self._lock.release()
 
     def held(self) -> bool:

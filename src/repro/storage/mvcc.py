@@ -59,6 +59,21 @@ _RECLAIMED_BLOBS = obs.counter(
 _RECLAIMED_BYTES = obs.counter(
     "mvcc.reclaimed_bytes", "Stored bytes freed by epoch reclamation"
 )
+_LIVE_VERSIONS = obs.gauge(
+    "mvcc.live_versions",
+    "Published object versions currently live (one per stored object)",
+)
+_PIN_FLOOR = obs.gauge(
+    "mvcc.pin_floor",
+    "Oldest pinned epoch — the reclamation watermark "
+    "(equals the current epoch when nothing is pinned)",
+)
+
+
+def note_live_versions(count: int) -> None:
+    """Record how many published versions are live (called by the
+    Database whenever publication or object creation/drop changes it)."""
+    _LIVE_VERSIONS.set(count)
 
 
 @dataclass(frozen=True)
@@ -184,9 +199,9 @@ class EpochManager:
         _LIMBO_BLOBS.set(len(self._limbo))
 
     def _update_age(self) -> None:
-        _SNAPSHOT_AGE.set(
-            self._current - min(self._pins) if self._pins else 0
-        )
+        floor = min(self._pins) if self._pins else self._current
+        _SNAPSHOT_AGE.set(self._current - floor)
+        _PIN_FLOOR.set(floor)
 
 
 class Snapshot:

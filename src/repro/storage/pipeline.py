@@ -55,6 +55,11 @@ _READ_RUNS = obs.counter(
 _READ_BLOBS = obs.counter(
     "io.coalesced.read_blobs", "Blobs fetched as part of a coalesced run"
 )
+_READ_RUN_LEN = obs.histogram(
+    "io.coalesced.read_run_length",
+    "Blobs per backend read issued by the fetch path (1 = not coalesced)",
+    buckets=obs.COUNT_BUCKETS,
+)
 
 
 @dataclass
@@ -85,11 +90,23 @@ def _decode(payload: bytes, codec: str, dtype, shape) -> np.ndarray:
     return array
 
 
-def _decode_task(payload: bytes, codec: str, dtype, shape) -> np.ndarray:
-    """Worker wrapper around :func:`_decode` tracking pool occupancy."""
+def _decode_task(
+    payload: bytes,
+    codec: str,
+    dtype,
+    shape,
+    parent: Optional[obs.SpanContext] = None,
+) -> np.ndarray:
+    """Worker wrapper around :func:`_decode` tracking pool occupancy.
+
+    ``parent`` is the coordinator's span context, captured before the
+    submit; adopting it keeps the worker's span inside the query's tree
+    instead of starting an orphan root on the pool thread.
+    """
     _WORKERS_BUSY.inc()
     try:
-        return _decode(payload, codec, dtype, shape)
+        with obs.span("pipeline.decode", parent=parent, bytes=len(payload)):
+            return _decode(payload, codec, dtype, shape)
     finally:
         _WORKERS_BUSY.dec()
 
@@ -143,6 +160,7 @@ def fetch_tiles(
     """
     cache = database.decoded_cache
     executor = database.pipeline_executor() if len(entries) > 1 else None
+    trace_ctx = obs.tracer.current_context() if executor is not None else None
     fetched: list[Optional[FetchedTile]] = [None] * len(entries)
     pending: list[tuple[int, float, int]] = []  # (index, cost, payload_bytes)
     futures = []
@@ -177,10 +195,18 @@ def fetch_tiles(
         else:
             pending.append((position, cost, len(payload)))
             futures.append(
-                executor.submit(_decode_task, payload, entry.codec, dtype, shape)
+                executor.submit(
+                    _decode_task,
+                    payload,
+                    entry.codec,
+                    dtype,
+                    shape,
+                    parent=trace_ctx,
+                )
             )
 
     for run in _coalesce_runs(database, to_fetch):
+        _READ_RUN_LEN.observe(len(run))
         if len(run) == 1:
             position, entry = run[0]
             payload, cost = database.read_blob(entry.blob_id)

@@ -50,7 +50,12 @@ from repro.storage.disk import CpuParameters, DiskParameters, SimulatedDisk
 from repro.storage.faults import FaultInjector
 from repro.storage.ingest import encode_payload, encode_tiles
 from repro.storage.latch import OrderedLatch
-from repro.storage.mvcc import EpochManager, ObjectVersion, Snapshot
+from repro.storage.mvcc import (
+    EpochManager,
+    ObjectVersion,
+    Snapshot,
+    note_live_versions,
+)
 from repro.storage.pipeline import fetch_tile, fetch_tiles
 from repro.storage.wal import WriteAheadLog
 
@@ -280,6 +285,16 @@ class StoredMDD:
         if self.database.decoded_cache is not None:
             for blob_id, raw, shape in admissions:
                 self._admit_write_through(blob_id, raw, shape)
+        ring = self.database.access_ring
+        if tiles and ring.capacity and obs.registry.enabled:
+            ring.record(
+                "write",
+                self.collection,
+                self.name,
+                str(MInterval.hull_of(t.domain for t in tiles)),
+                self.database.epoch._current,
+                cells=sum(t.domain.cell_count for t in tiles),
+            )
         return tile_ids
 
     def _admit_write_through(
@@ -536,10 +551,28 @@ class StoredMDD:
         """
         tiles_map, index, view_domain, pin = self._reader_view(version)
         try:
-            return self._read_view(region, tiles_map, index, view_domain)
+            out, timing = self._read_view(region, tiles_map, index, view_domain)
         finally:
             if pin is not None:
                 self.database.epoch.unpin(pin)
+        ring = self.database.access_ring
+        if ring.capacity and obs.registry.enabled:
+            if version is not None:
+                epoch = version.epoch
+            elif pin is not None:
+                epoch = pin
+            else:  # read-your-own-writes inside a transaction
+                epoch = self.database.epoch._current
+            ring.record(
+                "read",
+                self.collection,
+                self.name,
+                str(self._resolve_in(region, view_domain)),
+                epoch,
+                cost_ms=timing.t_totalcpu,
+                cells=timing.cells_result,
+            )
+        return out, timing
 
     def _read_view(
         self,
@@ -571,6 +604,7 @@ class StoredMDD:
                 ix_span.set_attr("nodes_visited", result.nodes_visited)
                 ix_span.set_attr("entries", len(result.entries))
             timing.t_ix = cpu_ix + page_ix
+            timing.t_ix_pages = page_ix
             timing.index_nodes = result.nodes_visited
 
             # (2) tile retrieval, in page order for sequential runs
@@ -716,8 +750,10 @@ class StoredMDD:
         for entry in entries:
             timing = QueryTiming()
             timing.t_ix = pending_ix
+            timing.t_ix_pages = page_ix
             timing.index_nodes = pending_nodes
             pending_ix = 0.0
+            page_ix = 0.0
             pending_nodes = 0
             pool_before = (
                 (pool.hits, pool.misses, pool.evictions) if pool else None
@@ -813,6 +849,16 @@ class StoredMDD:
                 if payload == fetched.array.tobytes(order="C"):
                     continue  # unchanged cells: keep BLOB and caches as-is
                 self._replace_payload(tile_entry, payload)
+        ring = self.database.access_ring
+        if ring.capacity and obs.registry.enabled:
+            ring.record(
+                "write",
+                self.collection,
+                self.name,
+                str(region),
+                self.database.epoch._current,
+                cells=written,
+            )
         return written
 
     def _replace_payload(self, tile_entry: TileEntry, payload: bytes) -> None:
@@ -889,6 +935,16 @@ class StoredMDD:
                         ),
                     }
                 )
+        ring = self.database.access_ring
+        if victims and ring.capacity and obs.registry.enabled:
+            ring.record(
+                "delete",
+                self.collection,
+                self.name,
+                str(region),
+                self.database.epoch._current,
+                cells=sum(entry.domain.cell_count for entry in victims),
+            )
         return len(victims)
 
     def retile(self, strategy, skip_default_tiles: bool = False) -> LoadStats:
@@ -989,6 +1045,7 @@ class Database:
         durability: str = "none",
         wal_path: Optional[Union[str, Path]] = None,
         injector: Optional[FaultInjector] = None,
+        access_log_capacity: int = 1024,
     ) -> None:
         self.store = store if store is not None else MemoryBlobStore()
         if disk_parameters is None:
@@ -1018,6 +1075,9 @@ class Database:
         self.durability = "none"
         self.last_recovery = None
         self.epoch = EpochManager(self._reclaim_blob)
+        # Live access log: every read/write region lands here (bounded,
+        # obs-gated); capacity 0 disables recording entirely.
+        self.access_ring = obs.AccessRing(access_log_capacity)
         # One writer transaction at a time; reentrant so nested
         # transaction() scopes on the owning thread are free.
         self._writer_latch = OrderedLatch("txn.writer", 10, reentrant=True)
@@ -1165,6 +1225,7 @@ class Database:
                 for obj in txn.dirtied:
                     obj._publish(next_epoch)
                 self.epoch.retire_and_advance(txn.retired)
+                self._note_live_versions()
                 # Thread-local: lets the committing thread pair what it
                 # wrote with the exact epoch readers will see it under
                 # (the concurrency checker keys its history on this).
@@ -1253,6 +1314,15 @@ class Database:
             for objects in self.collections.values():
                 for obj in objects.values():
                     obj._publish(epoch)
+            self._note_live_versions()
+
+    def _note_live_versions(self) -> None:
+        """Refresh the ``mvcc.live_versions`` gauge (one live published
+        version per stored object); caller holds the epoch latch or is
+        otherwise serialized against publication."""
+        note_live_versions(
+            sum(len(objects) for objects in self.collections.values())
+        )
 
     def last_commit_epoch(self) -> Optional[int]:
         """Epoch published by this thread's most recent commit (or None).
@@ -1339,6 +1409,7 @@ class Database:
                 txn.created_objects.append((collection, name))
             with self.epoch.latch:
                 coll[name] = obj
+                self._note_live_versions()
             self._log_meta(
                 {
                     "op": "create_object",
@@ -1377,3 +1448,15 @@ class Database:
             self.decoded_cache.reset_stats()
         if self.wal is not None:
             self.wal.stats.reset()
+        self.access_ring.clear()
+
+    def profile(self, collection: str, name: str, region) -> "QueryProfile":
+        """Run one read with EXPLAIN ANALYZE-style per-stage accounting.
+
+        Returns a :class:`repro.query.profile.QueryProfile` whose stages
+        reconcile against the read's :class:`QueryTiming` (modelled time
+        exactly, wall time within tolerance).
+        """
+        from repro.query.profile import profile_read
+
+        return profile_read(self, collection, name, region)

@@ -99,6 +99,13 @@ _FSYNC_SHARED = obs.counter(
     "wal.fsyncs_shared",
     "Commits made durable by a concurrent leader's fsync (group commit)",
 )
+_FSYNC_LEADERS = obs.counter(
+    "wal.fsync_leaders",
+    "Group-commit leader elections (threads that issued the fsync)",
+)
+_FSYNC_MS = obs.histogram(
+    "wal.fsync_ms", "Wall time per fsync issued by the log (ms)"
+)
 
 
 @dataclass
@@ -414,6 +421,7 @@ class WriteAheadLog:
             if not schedule_point("wal.sync.wait"):
                 time.sleep(0.0002)
         synced = False
+        started = time.perf_counter()
         try:
             fsync_file(self._file)
             synced = True
@@ -424,6 +432,8 @@ class WriteAheadLog:
                     self._synced_seq = max(self._synced_seq, target)
         self.stats.fsyncs += 1
         _FSYNCS.inc()
+        _FSYNC_LEADERS.inc()
+        _FSYNC_MS.observe((time.perf_counter() - started) * 1000.0)
 
     def commit(self) -> Optional[int]:
         """Group-commit the buffered records; returns the txn id.

@@ -1,0 +1,460 @@
+"""Observability v2: quantiles, trace propagation, contention telemetry,
+reset empty-equivalence, and the live access-log ring."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.geometry import MInterval
+from repro.core.mddtype import mdd_type
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.tilestore import Database
+from repro.tiling.aligned import RegularTiling
+
+DOMAIN = MInterval.parse("[0:63,0:63]")
+IMG = mdd_type("ObsV2Img", "char", str(DOMAIN))
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    """Every test starts enabled with a zeroed registry and tracer."""
+    was_registry = obs.registry.enabled
+    was_tracer = obs.tracer.enabled
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    obs.registry.enabled = was_registry
+    obs.tracer.enabled = was_tracer
+
+
+def _load(**kwargs) -> Database:
+    database = Database(**kwargs)
+    mdd = database.create_object("obsv2", IMG, "img")
+    data = (np.indices((64, 64)).sum(axis=0) % 251).astype(np.uint8)
+    mdd.load_array(data, RegularTiling(1024))
+    return database
+
+
+# ----------------------------------------------------------------------
+# Satellite: Histogram.quantile
+# ----------------------------------------------------------------------
+
+class TestHistogramQuantile:
+    def test_empty_histogram_estimates_zero(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h", buckets=(1.0, 2.0)).quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_interpolates_within_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(10.0,))
+        for _ in range(10):
+            h.observe(5.0)
+        # All mass in [0, 10); the median interpolates to the middle.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_bimodal_distribution(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(50):
+            h.observe(0.5)
+        for _ in range(50):
+            h.observe(3.0)
+        # p50 exhausts the first bucket exactly at its upper bound.
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        # p99 lands 98% into the (2, 4] bucket.
+        assert h.quantile(0.99) == pytest.approx(2.0 + 2.0 * 0.98)
+
+    def test_overflow_clamps_to_highest_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 8.0))
+        for _ in range(4):
+            h.observe(100.0)  # all in +Inf overflow
+        assert h.quantile(0.9) == 8.0
+
+    def test_snapshot_reports_p50_p99(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat.ms", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        data = reg.snapshot()["histograms"]["lat.ms"]
+        assert data["p50"] == pytest.approx(h.quantile(0.5))
+        assert data["p99"] == pytest.approx(h.quantile(0.99))
+
+    def test_bench_artifacts_carry_quantiles(self):
+        """Any artifact embedding obs.snapshot() now carries p50/p99."""
+        obs.histogram("quant.check.ms").observe(3.0)
+        snap = obs.snapshot()
+        assert "p50" in snap["histograms"]["quant.check.ms"]
+        assert "p99" in snap["histograms"]["quant.check.ms"]
+
+
+# ----------------------------------------------------------------------
+# Tentpole 1: cross-thread trace propagation
+# ----------------------------------------------------------------------
+
+class TestSpanContextPropagation:
+    def test_no_open_span_no_context(self):
+        assert obs.current_context() is None
+
+    def test_worker_adopts_coordinator_context(self):
+        recorded = {}
+
+        def worker(ctx):
+            with obs.span("worker.op", parent=ctx) as span:
+                recorded["parent_id"] = span.parent_id
+                recorded["depth"] = span.depth
+
+        with obs.span("coordinator") as root:
+            ctx = obs.current_context()
+            thread = threading.Thread(target=worker, args=(ctx,))
+            thread.start()
+            thread.join()
+        assert recorded["parent_id"] == root.span_id
+        assert recorded["depth"] == root.depth + 1
+
+    def test_local_nesting_beats_adopted_parent(self):
+        recorded = {}
+
+        def worker(ctx):
+            with obs.span("worker.outer") as outer:
+                with obs.span("worker.inner", parent=ctx) as inner:
+                    recorded["parent_id"] = inner.parent_id
+                    recorded["outer_id"] = outer.span_id
+
+        with obs.span("coordinator"):
+            ctx = obs.current_context()
+            thread = threading.Thread(target=worker, args=(ctx,))
+            thread.start()
+            thread.join()
+        assert recorded["parent_id"] == recorded["outer_id"]
+
+    def _read_span_structure(self, database):
+        """(root count, edge multiset) of one 4-worker full read."""
+        mdd = database.collection("obsv2")["img"]
+        obs.reset()
+        mdd.read(DOMAIN)
+        spans = obs.tracer.finished()
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        edges = sorted(
+            (by_id[s.parent_id].name, s.name)
+            for s in spans
+            if s.parent_id is not None
+        )
+        return roots, edges
+
+    def test_four_worker_read_is_one_rooted_tree(self):
+        """Satellite: a 4-worker pipeline read yields a single rooted
+        span tree with deterministic structure — no orphan roots."""
+        database = _load(io_workers=4, compression=True)
+        roots, edges = self._read_span_structure(database)
+        assert len(roots) == 1
+        assert roots[0].name == "tilestore.read"
+        # Worker decode spans hang off the fetch span, never float free.
+        decode_edges = [e for e in edges if e[1] == "pipeline.decode"]
+        assert decode_edges  # parallel read really decoded on workers
+        assert all(parent == "tilestore.fetch" for parent, _ in decode_edges)
+        # Deterministic structure: the same read produces the same tree.
+        roots2, edges2 = self._read_span_structure(database)
+        assert len(roots2) == 1
+        assert edges2 == edges
+        database.close()
+
+    def test_parallel_ingest_spans_join_the_tree(self):
+        database = Database(io_workers=4, compression=True)
+        mdd = database.create_object("obsv2", IMG, "img")
+        data = (np.indices((64, 64)).sum(axis=0) % 251).astype(np.uint8)
+        obs.reset()
+        with obs.span("ingest.root"):
+            mdd.load_array(data, RegularTiling(1024))
+        spans = obs.tracer.finished()
+        encodes = [s for s in spans if s.name == "ingest.encode_chunk"]
+        assert encodes
+        assert all(s.parent_id is not None for s in encodes)
+        database.close()
+
+
+# ----------------------------------------------------------------------
+# Tentpole 2: contention and durability telemetry
+# ----------------------------------------------------------------------
+
+class TestContentionTelemetry:
+    def test_latch_hold_histograms_move(self):
+        database = _load()
+        mdd = database.collection("obsv2")["img"]
+        obs.reset()
+        mdd.read(MInterval.parse("[0:31,0:31]"))
+        global_hold = obs.registry.get("latch.hold_ms")
+        store_hold = obs.registry.get("latch.store.hold_ms")
+        assert global_hold is not None and global_hold.count > 0
+        assert store_hold is not None and store_hold.count > 0
+
+    def test_latch_hold_survives_mid_hold_toggle(self):
+        """Disabling obs while a latch is held must not corrupt the
+        per-thread hold stack (release pops a None placeholder)."""
+        from repro.storage.latch import OrderedLatch
+
+        latch = OrderedLatch("toggletest", 99)
+        obs.disable()
+        latch.acquire()
+        obs.enable()
+        latch.release()  # pushed None while disabled: no observation
+        latch.acquire()
+        latch.release()  # normal path still works afterwards
+        hist = obs.registry.get("latch.toggletest.hold_ms")
+        assert hist is not None and hist.count == 1
+
+    def test_wal_fsync_leader_metrics(self, tmp_path):
+        from repro.storage.catalog import create_database
+
+        database = create_database(
+            tmp_path / "db", durability="wal+fsync"
+        )
+        mdd = database.create_object("obsv2", IMG, "img")
+        data = (np.indices((64, 64)).sum(axis=0) % 251).astype(np.uint8)
+        obs.reset()
+        mdd.load_array(data, RegularTiling(1024))
+        assert obs.registry.value("wal.fsync_leaders") > 0
+        fsync_hist = obs.registry.get("wal.fsync_ms")
+        assert fsync_hist is not None and fsync_hist.count > 0
+        database.close()
+
+    def test_mvcc_live_versions_gauge(self):
+        database = _load()
+        assert obs.registry.value("mvcc.live_versions") == 1.0
+        database.create_object("obsv2", IMG, "img2")
+        assert obs.registry.value("mvcc.live_versions") == 2.0
+
+    def test_mvcc_pin_floor_tracks_oldest_snapshot(self):
+        database = _load()
+        mdd = database.collection("obsv2")["img"]
+        with database.snapshot() as snap:
+            pinned = obs.registry.value("mvcc.pin_floor")
+            with database.transaction():
+                mdd.update(
+                    MInterval.parse("[0:3,0:3]"),
+                    np.ones((4, 4), dtype=np.uint8),
+                )
+            # The open snapshot holds the floor while epochs advance.
+            assert obs.registry.value("mvcc.pin_floor") == pinned
+            assert obs.registry.value("mvcc.epoch") > pinned
+        del snap
+
+    def test_coalesced_read_run_length_histogram(self):
+        database = _load()  # no pool: coalescing active
+        mdd = database.collection("obsv2")["img"]
+        obs.reset()
+        mdd.read(DOMAIN)
+        hist = obs.registry.get("io.coalesced.read_run_length")
+        assert hist is not None and hist.count > 0
+
+    def test_coalesced_write_run_length_histogram(self, tmp_path):
+        from repro.storage.catalog import create_database
+
+        obs.reset()
+        database = create_database(tmp_path / "db", durability="wal")
+        mdd = database.create_object("obsv2", IMG, "img")
+        data = (np.indices((64, 64)).sum(axis=0) % 251).astype(np.uint8)
+        mdd.load_array(data, RegularTiling(1024))
+        database.close()
+        hist = obs.registry.get("io.coalesced.write_run_length")
+        assert hist is not None and hist.count > 0
+
+
+# ----------------------------------------------------------------------
+# Satellite: disable()/reset() cover every new instrument
+# ----------------------------------------------------------------------
+
+def _full_workload(tmp_path):
+    """Touch every instrument family: latch, WAL, MVCC, ring, pipeline."""
+    from repro.storage.catalog import create_database
+
+    database = create_database(
+        tmp_path / "db", durability="wal+fsync", io_workers=2
+    )
+    mdd = database.create_object("obsv2", IMG, "img")
+    data = (np.indices((64, 64)).sum(axis=0) % 251).astype(np.uint8)
+    mdd.load_array(data, RegularTiling(1024))
+    mdd.read(DOMAIN)
+    with database.transaction():
+        mdd.update(
+            MInterval.parse("[0:3,0:3]"), np.zeros((4, 4), dtype=np.uint8)
+        )
+    with database.snapshot():
+        mdd.read(MInterval.parse("[0:7,0:7]"))
+    return database
+
+
+class TestResetEmptyEquivalence:
+    def test_registry_empty_equivalent_after_reset(self, tmp_path):
+        database = _full_workload(tmp_path)
+        snap = obs.snapshot()
+        assert any(v for v in snap["counters"].values())
+        assert any(h["count"] for h in snap["histograms"].values())
+
+        database.reset_clock()
+        obs.reset()
+        snap = obs.snapshot()
+        assert all(v == 0 for v in snap["counters"].values())
+        assert all(v == 0 for v in snap["gauges"].values())
+        assert all(h["count"] == 0 for h in snap["histograms"].values())
+        assert all(
+            h["p50"] == 0.0 and h["p99"] == 0.0
+            for h in snap["histograms"].values()
+        )
+        assert obs.tracer.finished() == ()
+        assert len(database.access_ring) == 0
+        assert database.access_ring.total_recorded == 0
+        database.close()
+
+    def test_disable_freezes_every_instrument(self, tmp_path):
+        database = _full_workload(tmp_path)
+        database.reset_clock()
+        obs.reset()
+        obs.disable()
+        mdd = database.collection("obsv2")["img"]
+        mdd.read(DOMAIN)
+        with database.transaction():
+            mdd.update(
+                MInterval.parse("[0:3,0:3]"),
+                np.ones((4, 4), dtype=np.uint8),
+            )
+        snap = obs.snapshot()
+        assert all(v == 0 for v in snap["counters"].values())
+        assert all(h["count"] == 0 for h in snap["histograms"].values())
+        assert obs.tracer.finished() == ()
+        assert len(database.access_ring) == 0
+        database.close()
+
+
+# ----------------------------------------------------------------------
+# Tentpole 4: the access-log ring feeding the tuner
+# ----------------------------------------------------------------------
+
+class TestAccessRing:
+    def test_reads_and_writes_recorded(self):
+        database = _load()
+        mdd = database.collection("obsv2")["img"]
+        database.access_ring.clear()
+        region = MInterval.parse("[0:15,0:15]")
+        mdd.read(region)
+        with database.transaction():
+            mdd.update(region, np.ones((16, 16), dtype=np.uint8))
+        kinds = [e.kind for e in database.access_ring.events()]
+        assert "read" in kinds and "write" in kinds
+        read = next(
+            e for e in database.access_ring.events() if e.kind == "read"
+        )
+        assert read.collection == "obsv2"
+        assert read.object == "img"
+        assert read.region == str(region)
+        assert read.cells == region.cell_count
+        assert read.cost_ms > 0
+
+    def test_load_records_write_hull(self):
+        database = _load()
+        events = [
+            e for e in database.access_ring.events() if e.kind == "write"
+        ]
+        assert events
+        assert MInterval.parse(events[-1].region) == DOMAIN
+
+    def test_delete_region_recorded(self):
+        database = _load()
+        mdd = database.collection("obsv2")["img"]
+        database.access_ring.clear()
+        # Region must fully contain at least one 32x32 tile to drop it.
+        dropped = mdd.delete_region(MInterval.parse("[0:31,0:31]"))
+        assert dropped > 0
+        assert any(
+            e.kind == "delete" for e in database.access_ring.events()
+        )
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        database = _load(access_log_capacity=4)
+        mdd = database.collection("obsv2")["img"]
+        database.access_ring.clear()
+        for _ in range(6):
+            mdd.read(MInterval.parse("[0:3,0:3]"))
+        assert len(database.access_ring) == 4
+        assert database.access_ring.dropped == 2
+        assert database.access_ring.total_recorded == 6
+
+    def test_capacity_zero_disables_recording(self):
+        database = _load(access_log_capacity=0)
+        mdd = database.collection("obsv2")["img"]
+        mdd.read(DOMAIN)
+        assert len(database.access_ring) == 0
+
+    def test_epoch_attribution_snapshot_vs_live(self):
+        database = _load()
+        mdd = database.collection("obsv2")["img"]
+        with database.snapshot() as snap:
+            with database.transaction():
+                mdd.update(
+                    MInterval.parse("[0:3,0:3]"),
+                    np.ones((4, 4), dtype=np.uint8),
+                )
+            database.access_ring.clear()
+            snap.read("obsv2", "img", MInterval.parse("[0:3,0:3]"))
+            mdd.read(MInterval.parse("[0:3,0:3]"))
+        events = database.access_ring.events()
+        snap_epoch, live_epoch = events[0].epoch, events[1].epoch
+        # The snapshot pinned the pre-update epoch; the live read sees
+        # the committed one.
+        assert live_epoch > snap_epoch
+
+    def test_flush_jsonl_round_trip(self, tmp_path):
+        from repro.obs.accesslog import AccessRing
+
+        database = _load()
+        path = tmp_path / "access.jsonl"
+        written = database.access_ring.flush_jsonl(path, clear=True)
+        assert written > 0
+        assert len(database.access_ring) == 0
+        events = AccessRing.read_jsonl(path)
+        assert len(events) == written
+        assert events[0].kind in ("read", "write", "delete")
+
+    def test_workload_feeds_tuner_directly(self):
+        from repro.stats.tuner import choose_max_tile_size
+
+        database = _load()
+        mdd = database.collection("obsv2")["img"]
+        database.access_ring.clear()
+        for spec in ("[0:15,0:63]", "[16:31,0:63]", "[32:47,0:63]"):
+            mdd.read(MInterval.parse(spec))
+        workload = database.access_ring.workload(object_name="img")
+        assert len(workload) == 3
+        assert all(isinstance(r, MInterval) for r in workload)
+        result = choose_max_tile_size(
+            lambda size: RegularTiling(size),
+            DOMAIN,
+            cell_size=1,
+            workload=workload,
+            candidates=(256, 1024, 4096),
+        )
+        assert result.best_size in (256, 1024, 4096)
+
+    def test_to_access_log_conversion(self):
+        database = _load()
+        mdd = database.collection("obsv2")["img"]
+        database.access_ring.clear()
+        mdd.read(MInterval.parse("[0:15,0:15]"))
+        mdd.read(MInterval.parse("[3:3,0:63]"))  # degenerate axis
+        log = database.access_ring.to_access_log()
+        regions = log.regions("img")
+        assert len(regions) == 2
+        kinds = log.kind_histogram("img")
+        assert sum(kinds.values()) == 2
