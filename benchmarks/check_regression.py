@@ -22,6 +22,12 @@ fails the build.  The artifact's ``label`` picks the comparison:
   (``disabled_overhead_ok``) is a boolean identity verdict, so a
   baseline where it held keeps it held; the raw overhead percentages
   stay in ``performance`` and are never compared across machines.
+* ``prune`` — per-mode/selectivity result digests and modelled charges
+  (including ``tiles_pruned`` / ``tiles_synopsis_answered``), same
+  shape as ``pipeline``.  Byte-identity of pruned vs full-scan reads
+  and the zero-decode condenser verdicts are hard-gated via identity;
+  the modelled speedups live in ``performance`` and are soft (reported,
+  never compared).
 
 Identity verdicts are held to in both cases: a verdict that was True in
 the baseline must stay True.
@@ -49,6 +55,8 @@ CHARGE_FIELDS = (
     "index_nodes",
     "cells_result",
     "cells_fetched",
+    "tiles_pruned",
+    "tiles_synopsis_answered",
 )
 
 # deterministic per-mode ingest fields (WAL tallies and logical outcome)
@@ -177,6 +185,9 @@ def compare(candidate: dict, baseline: dict) -> list[str]:
         problems += _compare_ingest_modes(candidate, baseline)
     elif baseline.get("label") == "concurrent":
         problems += _compare_concurrent_modes(candidate, baseline)
+    elif baseline.get("label") == "prune":
+        # same per-mode/point digest+charges shape as pipeline
+        problems += _compare_pipeline_modes(candidate, baseline)
     else:
         # "pipeline" and "obs" share the per-mode/query digest+charges shape
         problems += _compare_pipeline_modes(candidate, baseline)

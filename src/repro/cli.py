@@ -384,7 +384,18 @@ def cmd_explain(args: argparse.Namespace) -> int:
     )
     database.reset_clock()
     obs.reset()  # profile the query, not the load
-    profile = database.profile("explain", args.scheme, region)
+    predicate = None
+    if args.where is not None:
+        from repro.index.zonemap import parse_predicate
+
+        try:
+            predicate = parse_predicate(args.where)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    profile = database.profile(
+        "explain", args.scheme, region, predicate=predicate
+    )
     if args.json:
         print(json.dumps(profile.as_dict(), indent=2))
     else:
@@ -490,6 +501,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if value is False
         ]
         return 1 if failed else 0
+    if args.mode == "prune":
+        from repro.bench.prune import comparison_table, run_prune_bench
+
+        report = run_prune_bench(
+            runs=args.runs,
+            artifact_dir=_artifact_dir(args),
+        )
+        print(comparison_table(report))
+        print()
+        print("identity verdicts:")
+        for name, value in report["identity"].items():
+            print(f"  {name}: {value}")
+        print("performance (not gated):")
+        for name, value in report["performance"].items():
+            formatted = f"{value:.2f}" if isinstance(value, float) else value
+            print(f"  {name}: {formatted}")
+        if "artifact_path" in report:
+            print(f"\nwrote {report['artifact_path']}")
+        failed = [
+            name
+            for name, value in report["identity"].items()
+            if value is False
+        ]
+        return 1 if failed else 0
     if args.mode == "concurrent":
         from repro.bench.concurrent import (
             comparison_table,
@@ -548,7 +583,7 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     """Offline consistency check; exit 1 when inconsistencies exist."""
     from repro.storage.fsck import fsck_database
 
-    report = fsck_database(args.directory)
+    report = fsck_database(args.directory, deep=args.deep)
     print(report.summary())
     for issue in report.issues:
         print(f"  {issue}")
@@ -633,11 +668,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="implementation benchmarks (not paper tables)"
     )
     bench.add_argument(
-        "mode", choices=("pipeline", "ingest", "concurrent", "obs"),
+        "mode", choices=("pipeline", "ingest", "concurrent", "obs", "prune"),
         help="pipeline: serial vs parallel vs decoded-cache reads; "
              "ingest: serial vs batched vs parallel writes; "
              "concurrent: snapshot-reader scaling under a writer; "
-             "obs: observability overhead, enabled vs disabled vs no-obs",
+             "obs: observability overhead, enabled vs disabled vs no-obs; "
+             "prune: zone-map pruning selectivity sweep vs full scan",
     )
     bench.add_argument(
         "--runs", type=int, default=3, metavar="N",
@@ -668,6 +704,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fsck", help="offline consistency check of a database directory"
     )
     fsck.add_argument("directory", help="database directory to check")
+    fsck.add_argument(
+        "--deep", action="store_true",
+        help="also recompute every zone-map synopsis from its decoded "
+             "payload (reads all blobs twice)",
+    )
     trace = subparsers.add_parser(
         "trace", help="span-trace one sales-cube query"
     )
@@ -705,6 +746,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--json", action="store_true",
         help="emit the profile as JSON instead of the text report",
+    )
+    explain.add_argument(
+        "--where", metavar="PRED", default=None,
+        help="cell-level predicate, e.g. '> 128' or 'c != 0'; adds a "
+             "prune stage reporting tiles_pruned",
     )
     serve = subparsers.add_parser(
         "serve-metrics",

@@ -1,4 +1,5 @@
-"""Spatial indexes on tiles: R+-tree-like tree and a flat directory."""
+"""Spatial indexes on tiles — R+-tree-like tree, flat directory — plus
+per-tile value synopses (zone maps) for predicate pruning."""
 
 from repro.index.base import (
     IndexEntry,
@@ -9,14 +10,30 @@ from repro.index.base import (
 from repro.index.directory import DirectoryIndex
 from repro.index.grid import GridIndex, grid_index_factory
 from repro.index.rplustree import RPlusTreeIndex
+from repro.index.zonemap import (
+    CellPredicate,
+    TilePruner,
+    TileSynopsis,
+    compute_synopsis,
+    constant_synopsis,
+    parse_predicate,
+    synopsis_can_match,
+)
 
 __all__ = [
+    "CellPredicate",
     "DirectoryIndex",
     "GridIndex",
     "IndexEntry",
     "RPlusTreeIndex",
     "SearchResult",
     "SpatialIndex",
+    "TilePruner",
+    "TileSynopsis",
+    "compute_synopsis",
+    "constant_synopsis",
     "entry_bytes",
     "grid_index_factory",
+    "parse_predicate",
+    "synopsis_can_match",
 ]

@@ -1,0 +1,553 @@
+"""Per-tile zone maps: value synopses for pruning and short-circuiting.
+
+The spatial index answers only geometry — *which tiles intersect this
+box* — so every value predicate used to decode every intersected tile.
+This module adds the value dimension: a :class:`TileSynopsis` per tile
+(min, max, cell count, sum, NaN count, plus an optional K-bin equi-width
+occupancy bitmap) computed during ingest and published through MVCC at
+the same epoch as the tile it describes.  Two read-side consumers:
+
+* **Pruning** — :func:`synopsis_can_match` decides whether *any* cell of
+  a tile can satisfy a :class:`CellPredicate`; tiles that cannot are
+  skipped before ``fetch_tiles``, paying neither disk nor decode.
+* **Short-circuiting** — the condensers (``count_cells`` / ``min_cells``
+  / ``max_cells`` / ``add_cells`` / ``avg_cells``) over fully-covered
+  tiles are answered from the synopsis with zero decode, via
+  :func:`aggregate_eligible` / :func:`combine_aggregate`.
+
+Every decision here is **conservative and exact**: a pruned tile
+provably contains no matching cell (the monotone relops are decided by
+applying the *same* numpy comparison to the tile's min/max, which are
+actual cell values), and a synopsis-answered aggregate is only allowed
+when its result is bit-identical to decoding and reducing — integer
+sums/averages under overflow/precision guards, min/max/count for every
+numeric dtype with explicit NaN bookkeeping.  Float sums and averages
+always fall back to a full decode: float addition re-associates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import obs
+
+__all__ = [
+    "AGG_FUNCS",
+    "CellPredicate",
+    "TilePruner",
+    "TileSynopsis",
+    "aggregate_eligible",
+    "combine_aggregate",
+    "compute_synopsis",
+    "constant_synopsis",
+    "note_synopsis_answered",
+    "note_tiles_pruned",
+    "parse_predicate",
+    "synopsis_can_match",
+]
+
+#: Default number of equi-width histogram bins per tile.
+DEFAULT_BINS = 8
+
+#: Integer-sum short-circuit bound: with ``cells * max|v| < 2**63`` the
+#: int64/uint64 accumulators numpy uses for ``a.sum()`` cannot wrap, so
+#: the synopsis total equals the decoded total exactly.
+_SUM_BOUND = 2 ** 63
+
+#: Average short-circuit bound: with ``cells * max|v| < 2**53`` every
+#: float64 partial sum inside ``np.mean`` is an exactly-representable
+#: integer, so ``exact_sum / cells`` reproduces ``a.mean()`` bitwise.
+_AVG_BOUND = 2 ** 53
+
+#: Above this magnitude, distinct integers can alias under the float64
+#: arithmetic the bitmap uses for bin assignment; the bitmap is then
+#: neither built nor consulted (range pruning alone stays exact).
+_FLOAT_EXACT_BOUND = 2 ** 53
+
+_SYNOPSES_BUILT = obs.counter(
+    "index.zone.synopses_built", "Tile zone-map synopses computed"
+)
+_PRUNE_CHECKS = obs.counter(
+    "index.zone.prune_checks", "Tile synopses consulted for pruning"
+)
+_TILES_PRUNED = obs.counter(
+    "index.zone.tiles_pruned", "Tiles skipped by value-predicate pruning"
+)
+_SYNOPSIS_ANSWERED = obs.counter(
+    "index.zone.synopsis_answered",
+    "Fully-covered tiles answered from the synopsis with zero decode",
+)
+
+
+def note_tiles_pruned(count: int) -> None:
+    """Record tiles a read skipped thanks to zone-map pruning."""
+    if count:
+        _TILES_PRUNED.inc(count)
+
+
+def note_synopsis_answered(count: int) -> None:
+    """Record tiles an aggregate answered from synopses without decode."""
+    if count:
+        _SYNOPSIS_ANSWERED.inc(count)
+
+
+#: The condensers, exactly as the query engine applies them to a decoded
+#: region (the engine imports this table) — the short-circuit path must
+#: reproduce these bitwise, so there is one definition.
+AGG_FUNCS: Dict[str, Callable[[np.ndarray], Union[int, float]]] = {
+    "add_cells": lambda a: a.sum().item(),
+    "avg_cells": lambda a: a.mean().item(),
+    "max_cells": lambda a: a.max().item(),
+    "min_cells": lambda a: a.min().item(),
+    "count_cells": lambda a: int(np.count_nonzero(a)),
+}
+
+
+@dataclass(frozen=True)
+class TileSynopsis:
+    """Value summary of one tile (immutable; MVCC-published with it).
+
+    ``vmin`` / ``vmax`` are actual cell values (NaN excluded) or ``None``
+    when the tile holds no comparable value (empty, or all-NaN).
+    ``vsum`` is the numpy-accumulator sum for integer/bool tiles (exact
+    whenever the short-circuit guards admit it) and the NaN-ignoring sum
+    for float tiles (informational only — float sums never
+    short-circuit).  ``bins`` is a ``nbins``-bit occupancy bitmask of an
+    equi-width histogram over ``[vmin, vmax]``; ``0`` means "no bitmap".
+    """
+
+    cell_count: int
+    nonzero: int
+    vmin: Optional[Union[int, float, bool]]
+    vmax: Optional[Union[int, float, bool]]
+    vsum: Union[int, float]
+    nan_count: int = 0
+    nbins: int = 0
+    bins: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.cell_count,
+            "nonzero": self.nonzero,
+            "min": self.vmin,
+            "max": self.vmax,
+            "sum": self.vsum,
+            "nan": self.nan_count,
+            "nbins": self.nbins,
+            "bins": self.bins,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TileSynopsis":
+        return cls(
+            cell_count=payload["count"],
+            nonzero=payload["nonzero"],
+            vmin=payload["min"],
+            vmax=payload["max"],
+            vsum=payload["sum"],
+            nan_count=payload.get("nan", 0),
+            nbins=payload.get("nbins", 0),
+            bins=payload.get("bins", 0),
+        )
+
+    def same_as(self, other: "TileSynopsis") -> bool:
+        """Field equality with NaN treated as equal to NaN (fsck deep)."""
+
+        def eq(a: object, b: object) -> bool:
+            if (
+                isinstance(a, float)
+                and isinstance(b, float)
+                and math.isnan(a)
+                and math.isnan(b)
+            ):
+                return True
+            return bool(a == b)
+
+        return (
+            self.cell_count == other.cell_count
+            and self.nonzero == other.nonzero
+            and eq(self.vmin, other.vmin)
+            and eq(self.vmax, other.vmax)
+            and eq(self.vsum, other.vsum)
+            and self.nan_count == other.nan_count
+            and self.nbins == other.nbins
+            and self.bins == other.bins
+        )
+
+
+def _build_bitmap(
+    values: np.ndarray,
+    vmin: Union[int, float, bool],
+    vmax: Union[int, float, bool],
+    nbins: int,
+) -> int:
+    """Occupancy bitmask of an equi-width histogram over ``[vmin, vmax]``.
+
+    Bin assignment runs in float64; the query side repeats the identical
+    arithmetic, so a cell and an equality probe for its value always land
+    in the same bin.  Skipped (returns 0) when magnitudes are large
+    enough for float64 to alias distinct integers.
+    """
+    if nbins < 2 or values.size == 0 or vmin >= vmax:
+        return 0
+    if not (
+        math.isfinite(float(vmin))
+        and math.isfinite(float(vmax))
+        and max(abs(vmin), abs(vmax)) < _FLOAT_EXACT_BOUND
+    ):
+        return 0
+    width = np.float64(vmax) - np.float64(vmin)
+    idx = np.floor(
+        (values.astype(np.float64) - np.float64(vmin)) * nbins / width
+    ).astype(np.int64)
+    np.clip(idx, 0, nbins - 1, out=idx)
+    occupied = np.bincount(idx, minlength=nbins) > 0
+    return int(sum(1 << i for i in np.flatnonzero(occupied)))
+
+
+def _probe_bin(
+    syn: TileSynopsis, value: Union[int, float]
+) -> Optional[int]:
+    """The bin an equality probe for ``value`` falls into (query side).
+
+    ``None`` when the synopsis carries no usable bitmap; mirrors
+    :func:`_build_bitmap`'s arithmetic exactly.
+    """
+    if syn.bins == 0 or syn.nbins < 2:
+        return None
+    assert syn.vmin is not None and syn.vmax is not None
+    if not (
+        math.isfinite(float(syn.vmin))
+        and math.isfinite(float(syn.vmax))
+        and max(abs(syn.vmin), abs(syn.vmax)) < _FLOAT_EXACT_BOUND
+    ):
+        return None
+    width = np.float64(syn.vmax) - np.float64(syn.vmin)
+    if width <= 0:
+        return None
+    idx = int(
+        np.floor((np.float64(value) - np.float64(syn.vmin)) * syn.nbins / width)
+    )
+    return min(max(idx, 0), syn.nbins - 1)
+
+
+def compute_synopsis(
+    array: np.ndarray, nbins: int = DEFAULT_BINS
+) -> Optional[TileSynopsis]:
+    """Vectorized synopsis of one tile's cells (``None`` for struct cells).
+
+    Runs inside the ingest workers, piggybacked on serialisation; every
+    reduction is a single numpy pass.  Contract (the property tests hold
+    it against brute force): ``cell_count == a.size``, ``nonzero ==
+    np.count_nonzero(a)`` (NaN counts as nonzero, as numpy does),
+    ``vmin``/``vmax`` are the NaN-ignoring extremes (``None`` when no
+    comparable value exists), ``nan_count == isnan(a).sum()``, ``vsum``
+    is the numpy-accumulator sum (ints/bools) or the NaN-ignoring sum
+    (floats).
+    """
+    a = np.asarray(array)
+    if a.dtype.fields is not None or a.dtype.kind not in "biuf":
+        return None
+    count = int(a.size)
+    if count == 0:
+        return TileSynopsis(0, 0, None, None, 0, 0, 0, 0)
+    nonzero = int(np.count_nonzero(a))
+    if a.dtype.kind == "f":
+        nan_mask = np.isnan(a)
+        nan_count = int(nan_mask.sum())
+        values = a[~nan_mask].ravel() if nan_count else a.ravel()
+        if values.size == 0:
+            syn = TileSynopsis(count, nonzero, None, None, 0.0, nan_count)
+        else:
+            vmin = values.min().item()
+            vmax = values.max().item()
+            syn = TileSynopsis(
+                count,
+                nonzero,
+                vmin,
+                vmax,
+                float(values.sum()),
+                nan_count,
+                nbins if nbins >= 2 else 0,
+                _build_bitmap(values, vmin, vmax, nbins),
+            )
+    else:
+        vmin = a.min().item()
+        vmax = a.max().item()
+        syn = TileSynopsis(
+            count,
+            nonzero,
+            vmin,
+            vmax,
+            int(a.sum()),
+            0,
+            nbins if nbins >= 2 else 0,
+            _build_bitmap(a.ravel(), vmin, vmax, nbins),
+        )
+    _SYNOPSES_BUILT.inc()
+    return syn
+
+
+def constant_synopsis(
+    cell_count: int, value: object, nbins: int = 0
+) -> TileSynopsis:
+    """Analytic synopsis of a constant-valued (virtual) tile."""
+    value = value.item() if hasattr(value, "item") else value
+    if isinstance(value, float) and math.isnan(value):
+        syn = TileSynopsis(
+            cell_count, cell_count, None, None, 0.0, cell_count
+        )
+    else:
+        nonzero = cell_count if value != 0 else 0
+        syn = TileSynopsis(
+            cell_count, nonzero, value, value, value * cell_count, 0
+        )
+    _SYNOPSES_BUILT.inc()
+    return syn
+
+
+# ---------------------------------------------------------------------------
+# Cell predicates and pruning
+# ---------------------------------------------------------------------------
+
+_PRED_OPS: Dict[str, Callable] = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "=": np.equal,
+    "!=": np.not_equal,
+}
+
+import re as _re
+
+_PREDICATE_RE = _re.compile(
+    r"^\s*(?:[A-Za-z_]\w*\s*)?"
+    r"(?P<op><=|>=|!=|<|>|=)\s*"
+    r"(?P<value>-?\d+(?:\.\d+)?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class CellPredicate:
+    """A cell-level comparison against a constant: ``cell OP value``.
+
+    :meth:`mask` applies numpy's comparison semantics — the single
+    source of truth the pruner's conservativeness is defined against
+    (NaN cells fail every ordered comparison and ``=``, and satisfy
+    ``!=``, exactly as numpy evaluates them).
+    """
+
+    op: str
+    value: Union[int, float]
+
+    def __post_init__(self) -> None:
+        if self.op not in _PRED_OPS:
+            raise ValueError(
+                f"unknown predicate operator {self.op!r}; "
+                f"expected one of {sorted(_PRED_OPS)}"
+            )
+
+    def mask(self, array: np.ndarray) -> np.ndarray:
+        """Boolean mask of cells satisfying the predicate."""
+        # np.asarray gives the constant a concrete dtype, so comparison
+        # follows ordinary promotion (no out-of-range surprises against
+        # unsigned arrays).
+        return _PRED_OPS[self.op](array, np.asarray(self.value))
+
+    def __str__(self) -> str:
+        return f"cell {self.op} {self.value}"
+
+
+def parse_predicate(text: str) -> CellPredicate:
+    """Parse ``"> 128"`` / ``"c >= 5.5"`` / ``"!= 0"`` into a predicate."""
+    match = _PREDICATE_RE.match(text)
+    if match is None:
+        raise ValueError(
+            f"cannot parse cell predicate {text!r}; expected e.g. "
+            f"'> 128', 'c <= 5.5', '!= 0'"
+        )
+    literal = match.group("value")
+    value = float(literal) if "." in literal else int(literal)
+    return CellPredicate(match.group("op"), value)
+
+
+def synopsis_can_match(
+    syn: TileSynopsis, predicate: CellPredicate, dtype: np.dtype
+) -> bool:
+    """Can *any* cell of the summarised tile satisfy the predicate?
+
+    ``False`` is a proof (the tile is safely pruned); ``True`` is merely
+    "cannot rule it out".  The monotone relops are decided by applying
+    the predicate's own mask to the tile's min/max — actual cell values
+    — so the decision matches :meth:`CellPredicate.mask` bit for bit.
+    ``=`` additionally consults the bin-occupancy bitmap; ``!=`` prunes
+    only the constant tile equal to the probe (NaN cells satisfy ``!=``).
+    """
+    _PRUNE_CHECKS.inc()
+    if syn.cell_count == 0:
+        return False
+    if predicate.op == "!=":
+        if syn.nan_count:
+            return True  # NaN != x is True under numpy semantics
+        if syn.vmin is None:
+            return False
+        if syn.vmin == syn.vmax:
+            return bool(
+                predicate.mask(np.asarray([syn.vmin], dtype=dtype)).any()
+            )
+        return True  # two distinct values cannot both equal the probe
+    if syn.vmin is None:
+        # Only NaN cells: every ordered comparison and ``=`` is False.
+        return False
+    endpoints = np.asarray([syn.vmin, syn.vmax], dtype=dtype)
+    edge_match = bool(predicate.mask(endpoints).any())
+    if predicate.op in ("<", "<=", ">", ">="):
+        # Monotone in the cell value: satisfiable iff an extreme matches.
+        return edge_match
+    # "=": an extreme matches, or the probe sits strictly inside the
+    # range — then only an occupied bin can hold an equal cell.
+    if edge_match:
+        return True
+    if not (syn.vmin < predicate.value < syn.vmax):
+        return False
+    bin_index = _probe_bin(syn, predicate.value)
+    if bin_index is None:
+        return True
+    return bool((syn.bins >> bin_index) & 1)
+
+
+class TilePruner:
+    """Partition index hits into fetchable and provably-irrelevant tiles.
+
+    Sits between ``index.search()`` and ``fetch_tiles``: given the
+    reader's zone-map view (published at the same epoch as the tile
+    table, so synopsis and tile can never disagree), answers per tile
+    whether it may hold a matching cell.  Tiles without a synopsis are
+    always fetched.
+    """
+
+    def __init__(
+        self,
+        predicate: CellPredicate,
+        zones: "dict[int, TileSynopsis]",
+        dtype: np.dtype,
+    ) -> None:
+        self.predicate = predicate
+        self.zones = zones
+        self.dtype = dtype
+        self.pruned = 0
+
+    def can_match(self, tile_id: int) -> bool:
+        syn = self.zones.get(tile_id)
+        if syn is None:
+            return True
+        if synopsis_can_match(syn, self.predicate, self.dtype):
+            return True
+        self.pruned += 1
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Aggregate short-circuiting
+# ---------------------------------------------------------------------------
+
+
+def aggregate_eligible(
+    op: str,
+    dtype: np.dtype,
+    synopses: Iterable[Optional[TileSynopsis]],
+    uncovered: int,
+    default: object,
+    region_cells: int,
+) -> bool:
+    """May ``op`` over this region be answered without full decode?
+
+    ``synopses`` covers **every** intersecting tile (``None`` when a tile
+    has no synopsis).  ``count``/``min``/``max`` are always eligible —
+    tiles lacking a synopsis are simply decoded as if partial.  Integer
+    ``add``/``avg`` need a synopsis-backed bound on every cell magnitude
+    (tiles *and* the uncovered default) to guarantee the numpy
+    accumulator and float64 mean are reproduced exactly; float
+    ``add``/``avg`` are never eligible (float addition re-associates).
+    """
+    if dtype.fields is not None or dtype.kind not in "biuf":
+        return False
+    if op in ("count_cells", "min_cells", "max_cells"):
+        return True
+    if op not in ("add_cells", "avg_cells"):
+        return False
+    if dtype.kind == "f":
+        return False
+    max_abs = abs(default) if uncovered else 0  # type: ignore[arg-type]
+    for syn in synopses:
+        if syn is None:
+            return False
+        if syn.cell_count == 0:
+            continue
+        if syn.vmin is None:
+            return False
+        max_abs = max(max_abs, abs(syn.vmin), abs(syn.vmax))
+    bound = _SUM_BOUND if op == "add_cells" else _AVG_BOUND
+    return region_cells * max_abs < bound
+
+
+def combine_aggregate(
+    op: str,
+    dtype: np.dtype,
+    syn_parts: Sequence[TileSynopsis],
+    array_parts: Sequence[np.ndarray],
+    default_cells: int,
+    default: object,
+    region_cells: int,
+) -> Union[int, float, bool]:
+    """Exact aggregate from synopses + decoded fragments + default fill.
+
+    ``syn_parts`` are fully-covered tiles answered without decode;
+    ``array_parts`` are the region-clipped cells of partially-covered
+    (or synopsis-less) tiles; ``default_cells`` counts cells carrying
+    the default value (uncovered space and virtual fragments).  Under
+    :func:`aggregate_eligible`'s guards the result equals
+    ``AGG_FUNCS[op]`` applied to the composed region bitwise.
+    """
+    if op == "count_cells":
+        total = sum(s.nonzero for s in syn_parts)
+        total += sum(int(np.count_nonzero(a)) for a in array_parts)
+        if default_cells and default != 0:  # NaN default: != 0 is True
+            total += default_cells
+        return total
+    if op in ("min_cells", "max_cells"):
+        pick = min if op == "min_cells" else max
+        saw_nan = False
+        values: list = []
+        for syn in syn_parts:
+            if syn.nan_count:
+                saw_nan = True
+            if syn.vmin is not None:
+                values.append(syn.vmin if op == "min_cells" else syn.vmax)
+        for part in array_parts:
+            value = (part.min() if op == "min_cells" else part.max()).item()
+            if isinstance(value, float) and math.isnan(value):
+                saw_nan = True
+            else:
+                values.append(value)
+        if default_cells:
+            if isinstance(default, float) and math.isnan(default):
+                saw_nan = True
+            else:
+                values.append(default)
+        if saw_nan and dtype.kind == "f":
+            return float("nan")  # np.min/np.max propagate NaN
+        return pick(values)
+    if op in ("add_cells", "avg_cells"):
+        total = sum(int(s.vsum) for s in syn_parts)
+        total += sum(int(a.sum()) for a in array_parts)
+        total += int(default) * default_cells  # type: ignore[call-overload]
+        if op == "add_cells":
+            return total
+        return total / region_cells
+    raise KeyError(f"unknown aggregate {op!r}")

@@ -17,6 +17,7 @@ import numpy as np
 from repro import obs
 from repro.core.errors import QueryError
 from repro.core.geometry import MInterval
+from repro.index.zonemap import AGG_FUNCS, CellPredicate
 from repro.query.access import Access, classify
 from repro.query.result import QueryResult
 
@@ -32,14 +33,10 @@ if TYPE_CHECKING:  # imported for annotations only (avoids a cycle with storage)
 
 AggFunc = Callable[[np.ndarray], Union[int, float]]
 
-#: RasQL condenser operations supported by the engine.
-AGGREGATES: dict[str, AggFunc] = {
-    "add_cells": lambda a: a.sum().item(),
-    "avg_cells": lambda a: a.mean().item(),
-    "max_cells": lambda a: a.max().item(),
-    "min_cells": lambda a: a.min().item(),
-    "count_cells": lambda a: int(np.count_nonzero(a)),
-}
+#: RasQL condenser operations supported by the engine — one definition,
+#: shared with the zone-map short-circuit path so both reduce bitwise
+#: identically (:data:`repro.index.zonemap.AGG_FUNCS`).
+AGGREGATES: dict[str, AggFunc] = AGG_FUNCS
 
 
 class QueryEngine:
@@ -91,6 +88,35 @@ class QueryEngine:
             object_name=obj.name,
         )
 
+    def filtered_range_query(
+        self,
+        obj: StoredMDD,
+        region: MInterval,
+        predicate: CellPredicate,
+        prune: bool = True,
+    ) -> QueryResult:
+        """Range query with a cell-level predicate (``c > 128``-style).
+
+        Cells failing the predicate carry the base type's default value;
+        zone-map pruning skips tiles that provably hold no matching cell
+        before they are fetched (``prune=False`` verifies byte-identity).
+        """
+        with obs.span(
+            "query.filtered_range",
+            object=obj.name,
+            region=str(region),
+            predicate=str(predicate),
+        ):
+            data, timing = obj.read(region, predicate=predicate, prune=prune)
+            self._log(obj, region)
+        _RANGE_QUERIES.inc()
+        return QueryResult(
+            value=data,
+            timing=timing,
+            region=obj.resolve_region(region),
+            object_name=obj.name,
+        )
+
     def whole_object(self, obj: StoredMDD) -> QueryResult:
         """Access type (a)."""
         if obj.current_domain is None:
@@ -113,10 +139,20 @@ class QueryEngine:
         )
 
     def aggregate_query(
-        self, obj: StoredMDD, region: MInterval, op: str
+        self,
+        obj: StoredMDD,
+        region: MInterval,
+        op: str,
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
     ) -> QueryResult:
         """Condense a region with one of the RasQL condensers.
 
+        Without a predicate the condense routes through
+        :meth:`StoredMDD.aggregate`, which answers fully-covered tiles
+        from their zone-map synopses with zero decode whenever that is
+        provably bitwise-exact.  With a ``predicate`` the region is read
+        masked (pruning still skips irrelevant tiles) and reduced here.
         Aggregation time is part of post-processing, so it adds to
         ``t_cpu``.
         """
@@ -126,18 +162,23 @@ class QueryEngine:
             raise QueryError(
                 f"unknown aggregate {op!r}; known: {sorted(AGGREGATES)}"
             ) from None
+        if obj.mdd_type.base.dtype.fields is not None:
+            raise QueryError(
+                f"aggregate {op!r} needs a numeric base type, object "
+                f"{obj.name!r} has {obj.mdd_type.base.name!r}"
+            )
         with obs.span(
             "query.aggregate", object=obj.name, op=op, region=str(region)
         ):
-            data, timing = obj.read(region)
-            if data.dtype.fields is not None:
-                raise QueryError(
-                    f"aggregate {op!r} needs a numeric base type, object "
-                    f"{obj.name!r} has {obj.mdd_type.base.name!r}"
+            if predicate is None:
+                value, timing = obj.aggregate(region, op, prune=prune)
+            else:
+                data, timing = obj.read(
+                    region, predicate=predicate, prune=prune
                 )
-            started = time.perf_counter()
-            value = func(data)
-            timing.t_cpu += (time.perf_counter() - started) * 1000.0
+                started = time.perf_counter()
+                value = func(data)
+                timing.t_cpu += (time.perf_counter() - started) * 1000.0
             self._log(obj, region)
         _AGGREGATE_QUERIES.inc()
         return QueryResult(

@@ -169,6 +169,8 @@ class QueryProfile:
             f"tiles      : {timing.tiles_read} read "
             f"({timing.decoded_hits} decoded-cache hits, "
             f"{timing.decoded_misses} decoded), "
+            f"{timing.tiles_pruned} pruned, "
+            f"{timing.tiles_synopsis_answered} synopsis-answered, "
             f"{timing.index_nodes} index nodes visited",
             f"bytes      : {timing.bytes_read} moved, "
             f"{timing.pages_read} pages, "
@@ -224,22 +226,24 @@ def _query_tree(before_ids: set, tracer) -> Tuple[list, dict]:
 
 
 def profile_read(
-    database, collection: str, name: str, region
+    database, collection: str, name: str, region, predicate=None
 ) -> QueryProfile:
     """Run one read with per-stage profiling (see module docstring).
 
     ``region`` is an :class:`~repro.core.geometry.MInterval` (or
-    anything ``StoredMDD.read`` accepts).  Uses the live tracer when
-    enabled; with observability off the profile still carries the
-    timing breakdown and the modelled-disk reconciliation, just no
-    per-stage walls.
+    anything ``StoredMDD.read`` accepts).  ``predicate`` (a
+    :class:`~repro.index.zonemap.CellPredicate`) profiles a masked read:
+    a ``prune`` stage reports the tiles the zone maps dropped before
+    fetch.  Uses the live tracer when enabled; with observability off
+    the profile still carries the timing breakdown and the
+    modelled-disk reconciliation, just no per-stage walls.
     """
     obj = database.collection(collection)[name]
     tracer = obs.tracer
     before_ids = {s.span_id for s in tracer.finished()}
     disk_before = database.disk.counters.time_ms
     started = time.perf_counter()
-    _out, timing = obj.read(region)
+    _out, timing = obj.read(region, predicate=predicate)
     wall_ms = (time.perf_counter() - started) * 1000.0
     disk_delta = database.disk.counters.time_ms - disk_before
 
@@ -263,6 +267,22 @@ def profile_read(
                 "measured_cpu_ms": round(timing.t_ix - timing.t_ix_pages, 6),
             },
         ),
+    ]
+    if predicate is not None:
+        # The pruning decision is pure synopsis arithmetic folded into
+        # the read span — no wall or model component of its own.
+        stages.append(
+            StageProfile(
+                "prune",
+                None,
+                None,
+                {
+                    "predicate": str(predicate),
+                    "tiles_pruned": timing.tiles_pruned,
+                },
+            )
+        )
+    stages += [
         StageProfile(
             "fetch",
             wall("tilestore.fetch"),

@@ -10,6 +10,8 @@ Supported statements::
     SELECT add_cells(c) / count_cells(c) FROM cubes AS c
     SELECT c FROM cubes AS c                          -- whole objects
     SELECT avg_cells(c) FROM cubes AS c WHERE max_cells(c) > 0
+    SELECT c FROM imgs AS c WHERE c > 128             -- cell-level mask
+    SELECT count_cells(c) FROM cubes AS c WHERE c >= 900
 
 Grammar (case-insensitive keywords)::
 
@@ -28,6 +30,15 @@ Induced operations apply cell-wise with numpy broadcasting; aggregates
 A query runs once per object in the FROM collection, yielding one
 :class:`~repro.query.result.QueryResult` each — mirroring RasQL's
 set-oriented semantics.
+
+A WHERE clause comparing the bare alias against a constant (``WHERE c >
+128``, ``WHERE 5 <= c``) is a **cell-level predicate**, not an object
+filter: cells failing it read as the base type's default value, and the
+zone-map pruner skips tiles that provably hold no matching cell.  Any
+other WHERE expression keeps the collection-filtering semantics — it
+must reduce to a scalar per object (``WHERE max_cells(c) > 0``).
+Condensers over a plain trim (``add_cells(c[...])``) route through the
+engine's synopsis short-circuit and may decode zero tiles.
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ import numpy as np
 
 from repro.core.errors import QueryError, RasQLSyntaxError
 from repro.core.geometry import MInterval
+from repro.index.zonemap import CellPredicate
 from repro.query.engine import AGGREGATES, QueryEngine
 from repro.query.result import QueryResult
 from repro.query.timing import QueryTiming
@@ -326,15 +338,62 @@ def _trim_region_and_slices(
     return MInterval(lo, hi), tuple(sliced)
 
 
+#: Mirror image of each relop, for normalising ``128 < c`` to ``c > 128``.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _cell_predicate(
+    where: Optional[Expr], select: Select
+) -> Optional[CellPredicate]:
+    """Recognise a WHERE clause that is a cell-level predicate.
+
+    The shape is ``alias RELOP constant`` (either operand order); the
+    variable must be the bare query alias — anything else (condensers,
+    arithmetic, trims) keeps the scalar object-filter semantics.
+    """
+    if not isinstance(where, BinOp) or where.op not in _RELOPS:
+        return None
+
+    def constant(node: Expr) -> Optional[Union[int, float]]:
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, Neg) and isinstance(node.operand, Num):
+            return -node.operand.value
+        return None
+
+    left_const = constant(where.left)
+    right_const = constant(where.right)
+    if isinstance(where.left, Var) and right_const is not None:
+        name, op, value = where.left.name, where.op, right_const
+    elif isinstance(where.right, Var) and left_const is not None:
+        name, op, value = where.right.name, _FLIP[where.op], left_const
+    else:
+        return None
+    expected = select.alias if select.alias is not None else select.collection
+    if name != expected:
+        return None
+    return CellPredicate(op, value)
+
+
 class _Evaluator:
-    """Evaluates one Select AST against one stored MDD object."""
+    """Evaluates one Select AST against one stored MDD object.
+
+    ``predicate`` (a recognised cell-level WHERE) masks every leaf read
+    and rides into condenser queries, so pruning and short-circuiting
+    happen inside the storage layer.
+    """
 
     def __init__(
-        self, engine: QueryEngine, select: Select, obj: "StoredMDD"
+        self,
+        engine: QueryEngine,
+        select: Select,
+        obj: "StoredMDD",
+        predicate: Optional[CellPredicate] = None,
     ) -> None:
         self.engine = engine
         self.select = select
         self.obj = obj
+        self.predicate = predicate
 
     def _check_alias(self, var: Var) -> None:
         select = self.select
@@ -373,7 +432,16 @@ class _Evaluator:
             return node.value, QueryTiming()
         if isinstance(node, Var):
             self._check_alias(node)
-            result = self.engine.whole_object(self.obj)
+            if self.predicate is not None:
+                if self.obj.current_domain is None:
+                    raise QueryError(
+                        f"object {self.obj.name!r} holds no tiles yet"
+                    )
+                result = self.engine.filtered_range_query(
+                    self.obj, self.obj.current_domain, self.predicate
+                )
+            else:
+                result = self.engine.whole_object(self.obj)
             return result.value, result.timing
         if isinstance(node, Trim):
             return self._eval_trim(node)
@@ -397,13 +465,49 @@ class _Evaluator:
     def _eval_trim(self, trim: Trim) -> tuple[object, QueryTiming]:
         self._check_alias(trim.var)
         region, sliced = _trim_region_and_slices(trim, self.obj)
-        result = self.engine.range_query(self.obj, region)
+        if self.predicate is not None:
+            result = self.engine.filtered_range_query(
+                self.obj, region, self.predicate
+            )
+        else:
+            result = self.engine.range_query(self.obj, region)
         data = result.array
         for axis in sorted(sliced, reverse=True):
             data = np.squeeze(data, axis=axis)
         return data, result.timing
 
     def _eval_agg(self, agg: Agg) -> tuple[object, QueryTiming]:
+        # A condenser over a plain variable or trim goes straight to the
+        # engine: zone-map synopses can then answer fully-covered tiles
+        # with zero decode (squeezed axes cannot change a reduction over
+        # all cells, so the trim's region stands in for the operand).
+        if isinstance(agg.operand, (Var, Trim)):
+            var = (
+                agg.operand
+                if isinstance(agg.operand, Var)
+                else agg.operand.var
+            )
+            self._check_alias(var)
+            if self.obj.mdd_type.base.dtype.fields is not None:
+                raise QueryError(
+                    f"condenser {agg.op!r} needs a numeric base type, "
+                    f"object {self.obj.name!r} has "
+                    f"{self.obj.mdd_type.base.name!r}"
+                )
+            if isinstance(agg.operand, Var):
+                if self.obj.current_domain is None:
+                    raise QueryError(
+                        f"object {self.obj.name!r} holds no tiles yet"
+                    )
+                region = self.obj.current_domain
+            else:
+                region, _sliced = _trim_region_and_slices(
+                    agg.operand, self.obj
+                )
+            result = self.engine.aggregate_query(
+                self.obj, region, agg.op, predicate=self.predicate
+            )
+            return result.value, result.timing
         value, timing = self.eval(agg.operand)
         if not isinstance(value, np.ndarray):
             raise QueryError(
@@ -451,17 +555,21 @@ class _Evaluator:
 def execute(engine: QueryEngine, statement: str) -> list[QueryResult]:
     """Run a RasQL statement: one result per qualifying object.
 
-    With a WHERE clause, the condition is evaluated per object and must
-    come out as a scalar; only objects with a truthy condition produce a
-    result (RasQL's collection-filtering semantics).  The condition's
-    cost is charged to the surviving results' timings.
+    A WHERE clause of the shape ``alias RELOP constant`` is a cell-level
+    predicate: every object still yields a result, with non-matching
+    cells defaulted and provably-irrelevant tiles pruned.  Any other
+    WHERE clause is evaluated per object and must come out as a scalar;
+    only objects with a truthy condition produce a result (RasQL's
+    collection-filtering semantics).  The condition's cost is charged to
+    the surviving results' timings.
     """
     select = parse(statement)
+    cell_pred = _cell_predicate(select.where, select)
     results: list[QueryResult] = []
     for obj in engine.database.objects(select.collection):
-        evaluator = _Evaluator(engine, select, obj)
+        evaluator = _Evaluator(engine, select, obj, predicate=cell_pred)
         where_timing: Optional[QueryTiming] = None
-        if select.where is not None:
+        if select.where is not None and cell_pred is None:
             condition, where_timing = evaluator.eval(select.where)
             if isinstance(condition, np.ndarray):
                 raise QueryError(

@@ -48,6 +48,12 @@ class QueryTiming:
     pool_evictions: int = 0
     decoded_hits: int = 0
     decoded_misses: int = 0
+    #: Tiles the zone-map pruner skipped (no cell could satisfy the
+    #: value predicate — no fetch, no decode, no charges).
+    tiles_pruned: int = 0
+    #: Fully-covered tiles an aggregate answered from the synopsis
+    #: without decoding.
+    tiles_synopsis_answered: int = 0
 
     @property
     def t_totalaccess(self) -> float:
@@ -89,6 +95,8 @@ class QueryTiming:
         self.pool_evictions += other.pool_evictions
         self.decoded_hits += other.decoded_hits
         self.decoded_misses += other.decoded_misses
+        self.tiles_pruned += other.tiles_pruned
+        self.tiles_synopsis_answered += other.tiles_synopsis_answered
         return self
 
     def scaled(self, factor: float) -> "QueryTiming":
@@ -117,6 +125,10 @@ class QueryTiming:
             pool_evictions=round(self.pool_evictions * factor),
             decoded_hits=round(self.decoded_hits * factor),
             decoded_misses=round(self.decoded_misses * factor),
+            tiles_pruned=round(self.tiles_pruned * factor),
+            tiles_synopsis_answered=round(
+                self.tiles_synopsis_answered * factor
+            ),
         )
 
     def as_dict(self) -> dict:
@@ -140,6 +152,8 @@ class QueryTiming:
             "pool_hit_rate": self.pool_hit_rate,
             "decoded_hits": self.decoded_hits,
             "decoded_misses": self.decoded_misses,
+            "tiles_pruned": self.tiles_pruned,
+            "tiles_synopsis_answered": self.tiles_synopsis_answered,
         }
 
     def __str__(self) -> str:

@@ -36,6 +36,7 @@ from repro.core.cells import base_type
 from repro.core.errors import RecoveryError, StorageError
 from repro.core.geometry import MInterval
 from repro.core.mddtype import MDDType
+from repro.index.zonemap import TileSynopsis
 from repro.storage.backends import FileBlobStore, MemoryBlobStore
 from repro.storage.disk import CpuParameters, DiskParameters
 from repro.storage.faults import FaultInjector
@@ -45,6 +46,7 @@ from repro.storage.wal import scan_wal
 CATALOG_NAME = "catalog.json"
 PAGES_NAME = "blobs.pages"
 WAL_NAME = "wal.log"
+ZONES_NAME = "zones.json"
 CATALOG_VERSION = 1
 
 _RECOVERIES = obs.counter("recovery.runs", "Recovery passes executed on open")
@@ -169,6 +171,26 @@ def save_database(database: Database, directory: Union[str, Path]) -> Path:
     tmp = directory / (CATALOG_NAME + ".tmp")
     tmp.write_text(json.dumps(catalog, indent=1))
     tmp.replace(directory / CATALOG_NAME)
+    # Zone-map sidecar, next to the catalog it describes.  Written before
+    # the WAL truncates: between checkpoints the synopses live in the
+    # tile_register/tile_rebind redo records, so a crash at any point
+    # rebuilds them along with the tiles they describe.
+    zones = {
+        "version": 1,
+        "collections": {
+            coll_name: {
+                obj.name: {
+                    str(tile_id): synopsis.to_dict()
+                    for tile_id, synopsis in obj._zones.items()
+                }
+                for obj in objects.values()
+            }
+            for coll_name, objects in database.collections.items()
+        },
+    }
+    tmp = directory / (ZONES_NAME + ".tmp")
+    tmp.write_text(json.dumps(zones, indent=1))
+    tmp.replace(directory / ZONES_NAME)
     if (
         database.wal is not None
         and isinstance(store, FileBlobStore)
@@ -245,17 +267,34 @@ def open_database(
         buffer_bytes=buffer_bytes,
         **database_kwargs,
     )
+    zones_path = directory / ZONES_NAME
+    zone_payload: dict = {}
+    if zones_path.exists():
+        # Absent for pre-zone-map checkpoints: the objects reopen with no
+        # synopses (reads fall back to full decode) and fsck warns.
+        zone_payload = json.loads(zones_path.read_text()).get(
+            "collections", {}
+        )
     for coll_name, objects in catalog["collections"].items():
         database.create_collection(coll_name)
         for payload in objects:
             mdd_type = _deserialise_type(payload["type"])
             obj = database.create_object(coll_name, mdd_type, payload["name"])
+            obj_zones = zone_payload.get(coll_name, {}).get(
+                payload["name"], {}
+            )
             for tile in payload["tiles"]:
+                synopsis = obj_zones.get(str(tile.get("id")))
                 obj.attach_tile(
                     MInterval.parse(tile["domain"]),
                     tile["blob"],
                     tile["codec"],
                     tile_id=tile.get("id"),
+                    synopsis=(
+                        TileSynopsis.from_dict(synopsis)
+                        if synopsis is not None
+                        else None
+                    ),
                 )
             if "next_tile_id" in payload:
                 obj._next_tile_id = max(
@@ -368,17 +407,26 @@ def _apply_record(database: Database, record: tuple) -> str:
             f"collection {operation.get('coll')!r} (op {op!r})"
         )
     if op == "tile_register":
+        zone = operation.get("zone")
         if operation["tile_id"] not in obj._tiles:
             obj.attach_tile(
                 MInterval.parse(operation["domain"]),
                 operation["blob"],
                 operation["codec"],
                 tile_id=operation["tile_id"],
+                synopsis=(
+                    TileSynopsis.from_dict(zone) if zone is not None else None
+                ),
             )
+        elif zone is not None:
+            # Tile already in the checkpoint: re-apply the synopsis too,
+            # so tile and zone entry stay paired under double replay.
+            obj._zones[operation["tile_id"]] = TileSynopsis.from_dict(zone)
     elif op == "tile_remove":
         if operation["tile_id"] in obj._tiles:
             obj.index.remove(operation["tile_id"])
             del obj._tiles[operation["tile_id"]]
+        obj._zones.pop(operation["tile_id"], None)
     elif op == "tile_rebind":
         entry = obj._tiles.get(operation["tile_id"])
         if entry is None:
@@ -388,6 +436,12 @@ def _apply_record(database: Database, record: tuple) -> str:
             )
         entry.blob_id = operation["blob"]
         entry.codec = operation["codec"]
+        if "zone" in operation:
+            zone = operation["zone"]
+            if zone is not None:
+                obj._zones[entry.tile_id] = TileSynopsis.from_dict(zone)
+            else:
+                obj._zones.pop(entry.tile_id, None)
     elif op == "object_domain":
         domain = operation["domain"]
         obj._current_domain = (
@@ -395,6 +449,7 @@ def _apply_record(database: Database, record: tuple) -> str:
         )
     elif op == "object_clear":
         obj._tiles.clear()
+        obj._zones.clear()
         obj.index = database.make_index(obj.dim)
         obj._current_domain = None
     else:

@@ -12,6 +12,11 @@ the write-ahead log, without mutating any of them:
 * every tile references an existing BLOB whose size matches the tile's
   domain (uncompressed tiles), tiles of one object never overlap, and
   the object's current domain contains all of them;
+* the zone-map sidecar stays consistent with the catalog: every entry
+  names a live tile, every audited tile of a zone-mapped object carries
+  an entry, cell counts match the tile domain, and ranges are ordered;
+  under ``deep=True`` every synopsis is recomputed from the decoded
+  payload and compared field by field;
 * a leftover write-ahead log is reported: committed-but-unreplayed
   transactions mean recovery has not run, a torn tail is informational.
 
@@ -27,16 +32,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Union
 
+import numpy as np
+
 from repro.core.errors import ChecksumError, ReproError
 from repro.core.geometry import MInterval
+from repro.index.zonemap import (
+    TileSynopsis,
+    compute_synopsis,
+    constant_synopsis,
+)
 from repro.storage.backends import FileBlobStore
 from repro.storage.catalog import (
     CATALOG_NAME,
     CATALOG_VERSION,
     PAGES_NAME,
     WAL_NAME,
+    ZONES_NAME,
     _deserialise_type,
 )
+from repro.storage.compression import decompress
 from repro.storage.wal import scan_wal
 
 
@@ -62,6 +76,7 @@ class FsckReport:
     payloads_verified: int = 0
     tiles_checked: int = 0
     objects_checked: int = 0
+    zones_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -79,7 +94,7 @@ class FsckReport:
             f"{self.directory}: {status} — {self.blobs_checked} blobs "
             f"({self.payloads_verified} payloads verified), "
             f"{self.objects_checked} objects, {self.tiles_checked} tiles, "
-            f"{len(self.issues)} issue(s)"
+            f"{self.zones_checked} zone entries, {len(self.issues)} issue(s)"
         )
 
 
@@ -202,6 +217,134 @@ def _check_objects(
                     )
 
 
+def _check_zones(
+    report: FsckReport,
+    catalog: dict,
+    store: FileBlobStore,
+    zones_path: Path,
+    deep: bool,
+) -> None:
+    """Audit the zone-map sidecar against the catalog (DESIGN §13).
+
+    A checkpoint that predates zone maps (no ``zones.json``) is only a
+    warning; with the sidecar present, every audited tile of an object
+    that carries *any* synopses must have one (an object with none is a
+    zone-maps-disabled load, not an inconsistency), and every entry must
+    name a live tile with a matching cell count and an ordered range.
+    ``deep`` decodes each payload and recomputes the synopsis.
+    """
+    has_tiles = any(
+        payload.get("tiles")
+        for objects in catalog.get("collections", {}).values()
+        for payload in objects
+    )
+    if not zones_path.exists():
+        if has_tiles:
+            report.warning(
+                "zone-sidecar-absent",
+                f"no {ZONES_NAME} beside the catalog; zone-map pruning "
+                f"starts cold until the next checkpoint",
+            )
+        return
+    try:
+        sidecar = json.loads(zones_path.read_text())
+    except json.JSONDecodeError as exc:
+        report.error("zone-sidecar-corrupt", f"{zones_path}: {exc}")
+        return
+    zone_colls = sidecar.get("collections", {})
+    for coll_name, objects in catalog.get("collections", {}).items():
+        for payload in objects:
+            name = f"{coll_name}/{payload.get('name')}"
+            try:
+                mdd_type = _deserialise_type(payload["type"])
+            except ReproError:
+                continue  # already reported by _check_objects
+            base = mdd_type.base
+            if base.dtype.fields is not None or base.dtype.kind not in "biuf":
+                continue  # struct/non-numeric cells carry no synopses
+            entries = dict(
+                zone_colls.get(coll_name, {}).get(payload.get("name"), {})
+            )
+            tiles = payload.get("tiles", [])
+            if not entries:
+                continue  # zone maps disabled for this object
+            for tile in tiles:
+                tile_id = tile.get("id")
+                raw_entry = entries.pop(str(tile_id), None)
+                if raw_entry is None:
+                    report.error(
+                        "zone-missing",
+                        f"{name} tile {tile_id} has no zone-map entry",
+                    )
+                    continue
+                report.zones_checked += 1
+                syn = TileSynopsis.from_dict(raw_entry)
+                domain = MInterval.parse(tile["domain"])
+                if syn.cell_count != domain.cell_count:
+                    report.error(
+                        "zone-count-mismatch",
+                        f"{name} tile {tile_id} synopsis counts "
+                        f"{syn.cell_count} cells, domain {domain} holds "
+                        f"{domain.cell_count}",
+                    )
+                    continue
+                if (
+                    syn.vmin is not None
+                    and syn.vmax is not None
+                    and syn.vmin > syn.vmax
+                ):
+                    report.error(
+                        "zone-range-invalid",
+                        f"{name} tile {tile_id} synopsis range "
+                        f"[{syn.vmin}, {syn.vmax}] is inverted",
+                    )
+                    continue
+                if not deep:
+                    continue
+                blob_id = tile["blob"]
+                if blob_id not in store:
+                    continue  # already reported by _check_objects
+                record = store.record(blob_id)
+                if record.virtual:
+                    expected = constant_synopsis(
+                        domain.cell_count, base.default
+                    )
+                else:
+                    try:
+                        raw = decompress(store.get(blob_id), tile["codec"])
+                    except ReproError:
+                        continue  # payload issues reported elsewhere
+                    cells = np.frombuffer(raw, dtype=base.dtype)
+                    expected = compute_synopsis(
+                        cells, syn.nbins if syn.nbins >= 2 else 0
+                    )
+                if expected is not None and not syn.same_as(expected):
+                    report.error(
+                        "zone-stale",
+                        f"{name} tile {tile_id} synopsis "
+                        f"{raw_entry} does not match the decoded payload "
+                        f"{expected.to_dict()}",
+                    )
+            for orphan_id in entries:
+                report.error(
+                    "zone-orphan",
+                    f"{name} zone-map entry for tile {orphan_id} names no "
+                    f"live tile",
+                )
+    for coll_name, objects in zone_colls.items():
+        known = {
+            payload.get("name")
+            for payload in catalog.get("collections", {}).get(coll_name, [])
+        }
+        for obj_name in objects:
+            if obj_name not in known:
+                report.error(
+                    "zone-orphan",
+                    f"zone-map sidecar names unknown object "
+                    f"{coll_name}/{obj_name}",
+                )
+
+
 def _check_wal(report: FsckReport, wal_path: Path) -> None:
     if not wal_path.exists():
         return
@@ -225,8 +368,15 @@ def _check_wal(report: FsckReport, wal_path: Path) -> None:
         )
 
 
-def fsck_database(directory: Union[str, Path]) -> FsckReport:
-    """Check a database directory; never mutates it."""
+def fsck_database(
+    directory: Union[str, Path], deep: bool = False
+) -> FsckReport:
+    """Check a database directory; never mutates it.
+
+    ``deep`` additionally recomputes every zone-map synopsis from its
+    decoded payload (reads every blob twice — use on small databases or
+    when staleness is suspected).
+    """
     directory = Path(directory)
     report = FsckReport(directory=directory)
     catalog_path = directory / CATALOG_NAME
@@ -254,6 +404,7 @@ def fsck_database(directory: Union[str, Path]) -> FsckReport:
         _check_placement(report, store)
         _check_payloads(report, store)
         _check_objects(report, catalog, store)
+        _check_zones(report, catalog, store, directory / ZONES_NAME, deep)
     finally:
         # close() would sync (a write); release the handle only.
         store._file.close()

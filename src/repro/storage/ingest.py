@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro import obs
 from repro.core.mdd import Tile
+from repro.index.zonemap import TileSynopsis, compute_synopsis
 from repro.storage.checksum import page_checksums, page_checksums_many
 from repro.storage.compression import select_codec
 
@@ -67,6 +68,10 @@ class EncodedTile:
     payload: bytes
     raw: bytes
     page_crcs: Optional[list[int]]
+    #: Zone-map synopsis, computed in the encode workers alongside
+    #: serialisation (``None`` for struct cells or when zone maps are
+    #: disabled).
+    synopsis: Optional[TileSynopsis] = None
 
 
 def _wants_crcs(database: "Database") -> bool:
@@ -117,16 +122,26 @@ def encode_tiles(
     started = time.perf_counter()
     compression = database.compression
     codecs = database.codecs
+    zone_bins = database.zone_bins if database.zone_maps else None
 
-    def task(tile: Tile) -> tuple[bytes, str, bytes]:
+    def task(
+        tile: Tile,
+    ) -> tuple[bytes, str, bytes, Optional[TileSynopsis]]:
         raw = tile.to_bytes()
         codec, payload = _encode(raw, compression, codecs)
-        return raw, codec, payload
+        # The synopsis piggybacks on the worker that already holds the
+        # cells: one extra vectorized pass, amortized with the codec cost.
+        synopsis = (
+            compute_synopsis(tile.data, zone_bins)
+            if zone_bins is not None
+            else None
+        )
+        return raw, codec, payload, synopsis
 
     def chunk_task(
         chunk: Sequence[Tile],
         parent: Optional[obs.SpanContext] = None,
-    ) -> list[tuple[bytes, str, bytes]]:
+    ) -> list[tuple[bytes, str, bytes, Optional[TileSynopsis]]]:
         # The coordinator's span context rides along so worker encode
         # spans join the load's tree instead of rooting on pool threads.
         with obs.span("ingest.encode_chunk", parent=parent, tiles=len(chunk)):
@@ -150,14 +165,16 @@ def encode_tiles(
         results = [item for future in futures for item in future.result()]
     if _wants_crcs(database):
         crc_lists: Sequence[Optional[list[int]]] = page_checksums_many(
-            [payload for _, _, payload in results],
+            [payload for _, _, payload, _ in results],
             database.store.page_size,
         )
     else:
         crc_lists = [None] * len(results)
     encoded = [
-        EncodedTile(tile, codec, payload, raw, crcs)
-        for tile, (raw, codec, payload), crcs in zip(tiles, results, crc_lists)
+        EncodedTile(tile, codec, payload, raw, crcs, synopsis)
+        for tile, (raw, codec, payload, synopsis), crcs in zip(
+            tiles, results, crc_lists
+        )
     ]
     _BATCHES.inc()
     _TILES.inc(len(encoded))

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     import numpy as np
 
     from repro.index.base import SpatialIndex
+    from repro.index.zonemap import TileSynopsis
     from repro.query.timing import QueryTiming
     from repro.storage.tilestore import Database, StoredMDD, TileEntry
 
@@ -89,6 +90,13 @@ class ObjectVersion:
     index: "SpatialIndex"
     domain: Optional[MInterval]
     epoch: int
+    #: Per-tile value synopses, published atomically with ``tiles`` — a
+    #: reader can never pair a tile with a synopsis from another epoch.
+    zones: Mapping[int, "TileSynopsis"] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.zones is None:
+            object.__setattr__(self, "zones", {})
 
 
 class EpochManager:

@@ -41,6 +41,18 @@ from repro.core.mddtype import MDDType
 from repro.core.order import row_major_key
 from repro.index.base import IndexEntry, SpatialIndex
 from repro.index.rplustree import RPlusTreeIndex
+from repro.index.zonemap import (
+    AGG_FUNCS,
+    CellPredicate,
+    TilePruner,
+    TileSynopsis,
+    aggregate_eligible,
+    combine_aggregate,
+    compute_synopsis,
+    constant_synopsis,
+    note_synopsis_answered,
+    note_tiles_pruned,
+)
 from repro.query.timing import LoadStats, QueryTiming
 from repro.storage.backends import MemoryBlobStore
 from repro.storage.blob import BlobStore
@@ -113,6 +125,7 @@ class StoredMDD:
             mdd_type.dim
         )
         self._tiles: dict[int, TileEntry] = {}
+        self._zones: dict[int, TileSynopsis] = {}
         self._next_tile_id = 1
         self._current_domain: Optional[MInterval] = None
         # Readers outside a transaction go through this immutable version
@@ -125,6 +138,7 @@ class StoredMDD:
             index=self.index,
             domain=None,
             epoch=0,
+            zones=self._zones,
         )
 
     # -- MVCC plumbing (DESIGN §11) ------------------------------------
@@ -145,6 +159,8 @@ class StoredMDD:
         self._tiles = {
             tile_id: replace(entry) for tile_id, entry in self._tiles.items()
         }
+        # Synopses are immutable; a shallow copy of the mapping suffices.
+        self._zones = dict(self._zones)
         self.index = copy.deepcopy(self.index)
 
     def _publish(self, epoch: int) -> None:
@@ -154,6 +170,7 @@ class StoredMDD:
             index=self.index,
             domain=self._current_domain,
             epoch=epoch,
+            zones=self._zones,
         )
 
     def _restore_version(
@@ -161,6 +178,7 @@ class StoredMDD:
     ) -> None:
         """Roll the working state back to a saved version (abort path)."""
         self._tiles = dict(version.tiles)
+        self._zones = dict(version.zones)
         self.index = version.index
         self._current_domain = version.domain
         self._next_tile_id = next_tile_id
@@ -169,23 +187,43 @@ class StoredMDD:
     def _reader_view(
         self, version: Optional[ObjectVersion]
     ) -> tuple:
-        """``(tiles, index, domain, pinned_epoch)`` for one read.
+        """``(tiles, index, domain, zones, pinned_epoch)`` for one read.
 
         An explicit ``version`` (snapshot read) is used as-is — the
         snapshot holds the pin.  A thread inside its own transaction
         reads the working state (read-your-own-writes).  Anyone else
         pins the current epoch and reads the published version; the
-        caller must unpin the returned epoch when done.
+        caller must unpin the returned epoch when done.  ``zones`` comes
+        from the same version as ``tiles``, so a synopsis can never be
+        stale relative to the tile it describes.
         """
         if version is not None:
-            return version.tiles, version.index, version.domain, None
+            return (
+                version.tiles,
+                version.index,
+                version.domain,
+                version.zones,
+                None,
+            )
         if self.database._current_txn() is not None:
-            return self._tiles, self.index, self._current_domain, None
+            return (
+                self._tiles,
+                self.index,
+                self._current_domain,
+                self._zones,
+                None,
+            )
         epoch = self.database.epoch
         with epoch.latch:
             pin = epoch.pin_locked()
             published = self._published
-        return published.tiles, published.index, published.domain, pin
+        return (
+            published.tiles,
+            published.index,
+            published.domain,
+            published.zones,
+            pin,
+        )
 
     def _log_meta(self, operation: dict) -> None:
         """Buffer a redo record naming this object (no-op without a WAL)."""
@@ -279,7 +317,13 @@ class StoredMDD:
             )
             _TILES_STORED.inc()
             tile_ids.append(
-                self._register(item.tile.domain, blob_id, item.codec, virtual=False)
+                self._register(
+                    item.tile.domain,
+                    blob_id,
+                    item.codec,
+                    virtual=False,
+                    synopsis=item.synopsis,
+                )
             )
             admissions.append((blob_id, item.raw, item.tile.domain.shape))
         if self.database.decoded_cache is not None:
@@ -321,6 +365,7 @@ class StoredMDD:
         blob_id: int,
         codec: str = "none",
         tile_id: Optional[int] = None,
+        synopsis: Optional[TileSynopsis] = None,
     ) -> int:
         """Re-register an existing BLOB as a tile (catalog reload path).
 
@@ -340,7 +385,12 @@ class StoredMDD:
                 f"{domain} needs {expected}"
             )
         registered = self._register(
-            domain, blob_id, codec, virtual=record.virtual, tile_id=tile_id
+            domain,
+            blob_id,
+            codec,
+            virtual=record.virtual,
+            tile_id=tile_id,
+            synopsis=synopsis,
         )
         if self.database._current_txn() is None:
             # Reload path runs outside any transaction: make the attached
@@ -364,7 +414,17 @@ class StoredMDD:
             )
             self.database._note_created_blob(blob_id)
             self.database._log_blob_put(blob_id, b"")
-            return self._register(domain, blob_id, "none", virtual=True)
+            synopsis = (
+                constant_synopsis(
+                    domain.cell_count, self.mdd_type.base.default
+                )
+                if self.database.zone_maps
+                and self.mdd_type.base.dtype.fields is None
+                else None
+            )
+            return self._register(
+                domain, blob_id, "none", virtual=True, synopsis=synopsis
+            )
 
     def _admit_domain(self, domain: MInterval) -> None:
         self.mdd_type.validate_domain(domain, what="tile domain")
@@ -382,6 +442,7 @@ class StoredMDD:
         codec: str,
         virtual: bool,
         tile_id: Optional[int] = None,
+        synopsis: Optional[TileSynopsis] = None,
     ) -> int:
         if tile_id is None:
             tile_id = self._next_tile_id
@@ -391,21 +452,27 @@ class StoredMDD:
             )
         self._next_tile_id = max(self._next_tile_id, tile_id + 1)
         self._tiles[tile_id] = TileEntry(tile_id, domain, blob_id, codec, virtual)
+        if synopsis is not None:
+            self._zones[tile_id] = synopsis
         self.index.insert(IndexEntry(domain, tile_id))
         if self._current_domain is None:
             self._current_domain = domain
         else:
             self._current_domain = self._current_domain.hull(domain)
-        self._log_meta(
-            {
-                "op": "tile_register",
-                "tile_id": tile_id,
-                "domain": str(domain),
-                "blob": blob_id,
-                "codec": codec,
-                "virtual": virtual,
-            }
-        )
+        record = {
+            "op": "tile_register",
+            "tile_id": tile_id,
+            "domain": str(domain),
+            "blob": blob_id,
+            "codec": codec,
+            "virtual": virtual,
+        }
+        if synopsis is not None:
+            # The synopsis rides in the same redo record as the tile it
+            # describes, so replay can never resurrect one without the
+            # other (crash-safe sidecar, WAL-logged).
+            record["zone"] = synopsis.to_dict()
+        self._log_meta(record)
         return tile_id
 
     def load_array(
@@ -527,6 +594,9 @@ class StoredMDD:
         self,
         region: MInterval,
         version: Optional[ObjectVersion] = None,
+        *,
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
     ) -> tuple[np.ndarray, QueryTiming]:
         """Range query: dense result array plus timing breakdown.
 
@@ -548,10 +618,26 @@ class StoredMDD:
         state and every other thread reads the published version under an
         epoch pin — a concurrently committing writer can never make this
         read observe half a transaction.
+
+        With a ``predicate``, the result is the masked read
+        ``np.where(predicate.mask(full), full, default)`` — cells failing
+        the predicate (and uncovered space) carry the default value.  A
+        :class:`~repro.index.zonemap.TilePruner` then drops intersected
+        tiles whose synopsis proves no cell can match *before* they are
+        fetched (``prune=False`` disables pruning for byte-identity
+        verification); the result is byte-identical either way.
         """
-        tiles_map, index, view_domain, pin = self._reader_view(version)
+        tiles_map, index, view_domain, zones, pin = self._reader_view(version)
         try:
-            out, timing = self._read_view(region, tiles_map, index, view_domain)
+            out, timing = self._read_view(
+                region,
+                tiles_map,
+                index,
+                view_domain,
+                predicate=predicate,
+                prune=prune,
+                zones=zones,
+            )
         finally:
             if pin is not None:
                 self.database.epoch.unpin(pin)
@@ -580,12 +666,16 @@ class StoredMDD:
         tiles_map,
         index: SpatialIndex,
         view_domain: Optional[MInterval],
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
+        zones=None,
     ) -> tuple[np.ndarray, QueryTiming]:
         region = self._resolve_in(region, view_domain)
         timing = QueryTiming(cells_result=region.cell_count)
         disk = self.database.disk
         pool = self.database.pool
         decoded = self.database.decoded_cache
+        dtype = self.mdd_type.base.dtype
 
         with obs.span(
             "tilestore.read", object=self.name, region=str(region)
@@ -607,18 +697,27 @@ class StoredMDD:
             timing.t_ix_pages = page_ix
             timing.index_nodes = result.nodes_visited
 
+            # (1b) value pruning: between the index lookup and the fetch,
+            # drop intersected tiles whose synopsis proves no cell can
+            # satisfy the predicate — they pay neither disk nor decode.
+            entries = [tiles_map[e.tile_id] for e in result.entries]
+            if predicate is not None and prune and zones:
+                pruner = TilePruner(predicate, zones, dtype)
+                entries = [
+                    entry for entry in entries if pruner.can_match(entry.tile_id)
+                ]
+                timing.tiles_pruned = pruner.pruned
+                note_tiles_pruned(pruner.pruned)
+                read_span.set_attr("tiles_pruned", pruner.pruned)
+
             # (2) tile retrieval, in page order for sequential runs
-            entries = sorted(
-                (tiles_map[e.tile_id] for e in result.entries),
-                key=lambda t: disk.blob_pages(t.blob_id).start,
-            )
+            entries.sort(key=lambda t: disk.blob_pages(t.blob_id).start)
             pool_before = (
                 (pool.hits, pool.misses, pool.evictions) if pool else None
             )
             decoded_before = (
                 (decoded.hits, decoded.misses) if decoded is not None else None
             )
-            dtype = self.mdd_type.base.dtype
             with obs.span("tilestore.fetch", tiles=len(entries)):
                 fetched = fetch_tiles(self.database, entries, dtype)
                 for tile in fetched:
@@ -646,7 +745,8 @@ class StoredMDD:
                 border_bytes = 0
                 single = fetched[0] if len(fetched) == 1 else None
                 if (
-                    single is not None
+                    predicate is None
+                    and single is not None
                     and single.array is not None
                     and single.entry.domain.contains(region)
                 ):
@@ -667,6 +767,7 @@ class StoredMDD:
                     default = self.mdd_type.base.default
                     if default != 0:
                         out[...] = default
+                    default_cell = np.asarray(default, dtype=dtype)
                     for tile in fetched:
                         entry = tile.entry
                         part = entry.domain.intersection(region)
@@ -676,10 +777,20 @@ class StoredMDD:
                         else:
                             border_bytes += entry.domain.cell_count * cell_size
                         if tile.array is None:
-                            continue  # synthesized tiles carry default cells
-                        out[part.to_slices(region.lowest)] = tile.array[
+                            # Synthesized tiles carry default cells; under
+                            # a predicate the masked value of a default
+                            # cell is the default either way.
+                            continue
+                        part_vals = tile.array[
                             part.to_slices(entry.domain.lowest)
                         ]
+                        if predicate is not None:
+                            part_vals = np.where(
+                                predicate.mask(part_vals),
+                                part_vals,
+                                default_cell,
+                            )
+                        out[part.to_slices(region.lowest)] = part_vals
                 measured_ms = (time.perf_counter() - started) * 1000.0
             timing.t_cpu = measured_ms + self.database.cpu_parameters.compose_ms(
                 aligned_bytes, border_bytes
@@ -712,7 +823,7 @@ class StoredMDD:
         outside a transaction) is held until the generator is exhausted
         or closed, so the streamed version stays fetchable throughout.
         """
-        tiles_map, index, view_domain, pin = self._reader_view(version)
+        tiles_map, index, view_domain, _zones, pin = self._reader_view(version)
         try:
             yield from self._read_blocks_view(
                 region, tiles_map, index, view_domain
@@ -809,6 +920,218 @@ class StoredMDD:
         data, timing = self.read(slab)
         return data.squeeze(axis=axis), timing
 
+    def aggregate(
+        self,
+        region: MInterval,
+        op: str,
+        version: Optional[ObjectVersion] = None,
+        prune: bool = True,
+    ) -> tuple[Union[int, float, bool], QueryTiming]:
+        """Condense ``op`` over ``region``, short-circuiting from synopses.
+
+        Fully-covered tiles whose synopsis is present are answered with
+        **zero decode** — no fetch, no disk charge — and counted in
+        ``timing.tiles_synopsis_answered``; partially-covered (or
+        synopsis-less) tiles are decoded and clipped.  The combination
+        is only taken when :func:`~repro.index.zonemap.aggregate_eligible`
+        proves it bitwise-equal to decoding the whole region and applying
+        the condenser (integer sums under overflow guards, min/max/count
+        with NaN bookkeeping); otherwise — float sums, oversized integer
+        ranges, ``prune=False`` — the region is decoded and reduced
+        conventionally.  Results are identical either way.
+        """
+        if op not in AGG_FUNCS:
+            raise QueryError(f"unknown aggregate {op!r}")
+        if self.mdd_type.base.dtype.fields is not None:
+            raise QueryError(
+                f"aggregate {op!r} needs a numeric base type, object "
+                f"{self.name!r} has {self.mdd_type.base.name!r}"
+            )
+        tiles_map, index, view_domain, zones, pin = self._reader_view(version)
+        try:
+            value, timing = self._aggregate_view(
+                region, tiles_map, index, view_domain, zones, op, prune
+            )
+        finally:
+            if pin is not None:
+                self.database.epoch.unpin(pin)
+        ring = self.database.access_ring
+        if ring.capacity and obs.registry.enabled:
+            if version is not None:
+                epoch = version.epoch
+            elif pin is not None:
+                epoch = pin
+            else:
+                epoch = self.database.epoch._current
+            ring.record(
+                "read",
+                self.collection,
+                self.name,
+                str(self._resolve_in(region, view_domain)),
+                epoch,
+                cost_ms=timing.t_totalcpu,
+                cells=timing.cells_result,
+            )
+        return value, timing
+
+    def _aggregate_view(
+        self,
+        region: MInterval,
+        tiles_map,
+        index: SpatialIndex,
+        view_domain: Optional[MInterval],
+        zones,
+        op: str,
+        prune: bool,
+    ) -> tuple[Union[int, float, bool], QueryTiming]:
+        region = self._resolve_in(region, view_domain)
+        timing = QueryTiming(cells_result=region.cell_count)
+        disk = self.database.disk
+        pool = self.database.pool
+        decoded = self.database.decoded_cache
+        dtype = self.mdd_type.base.dtype
+        default = self.mdd_type.base.default
+        zones = zones or {}
+
+        with obs.span(
+            "tilestore.aggregate", object=self.name, region=str(region), op=op
+        ) as agg_span:
+            # (1) index lookup — charged exactly like a range read
+            with obs.span(
+                "index.search", index=type(index).__name__
+            ) as ix_span:
+                started = time.perf_counter()
+                result = index.search(region)
+                cpu_ix = (time.perf_counter() - started) * 1000.0
+                page_ix = sum(
+                    disk.charge_index_node()
+                    for _ in range(result.nodes_visited)
+                )
+                ix_span.set_attr("nodes_visited", result.nodes_visited)
+                ix_span.set_attr("entries", len(result.entries))
+            timing.t_ix = cpu_ix + page_ix
+            timing.t_ix_pages = page_ix
+            timing.index_nodes = result.nodes_visited
+
+            # (1b) partition: fully-covered tiles with a synopsis can be
+            # answered without decode; everything else must be fetched.
+            entries = [tiles_map[e.tile_id] for e in result.entries]
+            full: list[TileEntry] = []
+            partial: list[TileEntry] = []
+            syn_parts: list[TileSynopsis] = []
+            all_syns: list[Optional[TileSynopsis]] = []
+            covered = 0
+            for entry in entries:
+                part = entry.domain.intersection(region)
+                assert part is not None
+                covered += part.cell_count
+                syn = zones.get(entry.tile_id)
+                all_syns.append(syn)
+                if syn is not None and region.contains(entry.domain):
+                    full.append(entry)
+                    syn_parts.append(syn)
+                else:
+                    partial.append(entry)
+            uncovered = region.cell_count - covered
+            eligible = prune and aggregate_eligible(
+                op, dtype, all_syns, uncovered, default, region.cell_count
+            )
+            fetch_list = partial if eligible else entries
+
+            # (2) tile retrieval of whatever could not be short-circuited
+            fetch_list = sorted(
+                fetch_list, key=lambda t: disk.blob_pages(t.blob_id).start
+            )
+            pool_before = (
+                (pool.hits, pool.misses, pool.evictions) if pool else None
+            )
+            decoded_before = (
+                (decoded.hits, decoded.misses) if decoded is not None else None
+            )
+            with obs.span("tilestore.fetch", tiles=len(fetch_list)):
+                fetched = fetch_tiles(self.database, fetch_list, dtype)
+                for tile in fetched:
+                    timing.t_o += tile.cost
+                    timing.tiles_read += 1
+                    timing.bytes_read += tile.payload_bytes
+                    timing.pages_read += disk.blob_pages(
+                        tile.entry.blob_id
+                    ).count
+                    timing.cells_fetched += tile.entry.domain.cell_count
+            if pool_before is not None:
+                timing.pool_hits = pool.hits - pool_before[0]
+                timing.pool_misses = pool.misses - pool_before[1]
+                timing.pool_evictions = pool.evictions - pool_before[2]
+            if decoded_before is not None:
+                timing.decoded_hits = decoded.hits - decoded_before[0]
+                timing.decoded_misses = decoded.misses - decoded_before[1]
+
+            # (3) reduction
+            with obs.span("tilestore.compose"):
+                started = time.perf_counter()
+                cell_size = self.mdd_type.cell_size
+                aligned_bytes = 0
+                border_bytes = 0
+                if eligible:
+                    array_parts: list[np.ndarray] = []
+                    default_cells = uncovered
+                    for tile in fetched:
+                        entry = tile.entry
+                        part = entry.domain.intersection(region)
+                        assert part is not None
+                        if part == entry.domain:
+                            aligned_bytes += entry.domain.cell_count * cell_size
+                        else:
+                            border_bytes += entry.domain.cell_count * cell_size
+                        if tile.array is None:
+                            default_cells += part.cell_count
+                            continue
+                        array_parts.append(
+                            tile.array[part.to_slices(entry.domain.lowest)]
+                        )
+                    value = combine_aggregate(
+                        op,
+                        dtype,
+                        syn_parts,
+                        array_parts,
+                        default_cells,
+                        default,
+                        region.cell_count,
+                    )
+                    timing.tiles_synopsis_answered = len(full)
+                    note_synopsis_answered(len(full))
+                else:
+                    out = np.zeros(region.shape, dtype=dtype)
+                    if default != 0:
+                        out[...] = default
+                    for tile in fetched:
+                        entry = tile.entry
+                        part = entry.domain.intersection(region)
+                        assert part is not None
+                        if part == entry.domain:
+                            aligned_bytes += entry.domain.cell_count * cell_size
+                        else:
+                            border_bytes += entry.domain.cell_count * cell_size
+                        if tile.array is None:
+                            continue
+                        out[part.to_slices(region.lowest)] = tile.array[
+                            part.to_slices(entry.domain.lowest)
+                        ]
+                    value = AGG_FUNCS[op](out)
+                measured_ms = (time.perf_counter() - started) * 1000.0
+            timing.t_cpu = measured_ms + self.database.cpu_parameters.compose_ms(
+                aligned_bytes, border_bytes
+            )
+            agg_span.set_attr("tiles_read", timing.tiles_read)
+            agg_span.set_attr(
+                "tiles_synopsis_answered", timing.tiles_synopsis_answered
+            )
+        _READS.inc()
+        _TILES_LOADED.inc(timing.tiles_read)
+        _CELLS_FETCHED.inc(timing.cells_fetched)
+        _READ_MS.observe(timing.t_totalcpu)
+        return value, timing
+
     # ------------------------------------------------------------------
     # Updates / deletion
     # ------------------------------------------------------------------
@@ -877,14 +1200,30 @@ class StoredMDD:
         self.database._log_blob_put(
             tile_entry.blob_id, payload, page_crcs=page_crcs
         )
-        self._log_meta(
-            {
-                "op": "tile_rebind",
-                "tile_id": tile_entry.tile_id,
-                "blob": tile_entry.blob_id,
-                "codec": codec,
-            }
+        record: dict = {
+            "op": "tile_rebind",
+            "tile_id": tile_entry.tile_id,
+            "blob": tile_entry.blob_id,
+            "codec": codec,
+        }
+        # Recompute the synopsis from the new cells in the same
+        # transaction (and the same redo record) as the rebind — an
+        # updated tile and a stale synopsis can never publish together.
+        synopsis = (
+            compute_synopsis(
+                np.frombuffer(raw, dtype=self.mdd_type.base.dtype),
+                self.database.zone_bins,
+            )
+            if self.database.zone_maps
+            else None
         )
+        if synopsis is not None:
+            self._zones[tile_entry.tile_id] = synopsis
+            record["zone"] = synopsis.to_dict()
+        else:
+            self._zones.pop(tile_entry.tile_id, None)
+            record["zone"] = None
+        self._log_meta(record)
         self._admit_write_through(
             tile_entry.blob_id, raw, tile_entry.domain.shape
         )
@@ -914,6 +1253,7 @@ class StoredMDD:
                 self.database.retire_blob(entry.blob_id)
                 self.index.remove(entry.tile_id)
                 del self._tiles[entry.tile_id]
+                self._zones.pop(entry.tile_id, None)
                 self._log_meta({"op": "blob_delete", "blob": entry.blob_id})
                 self._log_meta(
                     {"op": "tile_remove", "tile_id": entry.tile_id}
@@ -987,6 +1327,7 @@ class StoredMDD:
                     {"op": "blob_delete", "blob": tile_entry.blob_id}
                 )
             self._tiles.clear()
+            self._zones.clear()
             self.index = self.database.make_index(self.dim)
             self._current_domain = None
             self._log_meta({"op": "object_clear"})
@@ -1046,6 +1387,8 @@ class Database:
         wal_path: Optional[Union[str, Path]] = None,
         injector: Optional[FaultInjector] = None,
         access_log_capacity: int = 1024,
+        zone_maps: bool = True,
+        zone_bins: int = 8,
     ) -> None:
         self.store = store if store is not None else MemoryBlobStore()
         if disk_parameters is None:
@@ -1070,6 +1413,10 @@ class Database:
         self.tile_key = tile_key
         self.compression = compression
         self.codecs = codecs
+        # Zone maps: per-tile value synopses for predicate pruning and
+        # aggregate short-circuiting (DESIGN §13).
+        self.zone_maps = zone_maps
+        self.zone_bins = zone_bins
         self.collections: dict[str, dict[str, StoredMDD]] = {}
         self.wal: Optional[WriteAheadLog] = None
         self.durability = "none"
@@ -1450,13 +1797,21 @@ class Database:
             self.wal.stats.reset()
         self.access_ring.clear()
 
-    def profile(self, collection: str, name: str, region) -> "QueryProfile":
+    def profile(
+        self,
+        collection: str,
+        name: str,
+        region,
+        predicate: Optional[CellPredicate] = None,
+    ) -> "QueryProfile":
         """Run one read with EXPLAIN ANALYZE-style per-stage accounting.
 
         Returns a :class:`repro.query.profile.QueryProfile` whose stages
         reconcile against the read's :class:`QueryTiming` (modelled time
-        exactly, wall time within tolerance).
+        exactly, wall time within tolerance).  With a ``predicate`` the
+        read is masked and zone-map pruned, and the profile gains a
+        ``prune`` stage reporting ``tiles_pruned``.
         """
         from repro.query.profile import profile_read
 
-        return profile_read(self, collection, name, region)
+        return profile_read(self, collection, name, region, predicate=predicate)

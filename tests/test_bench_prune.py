@@ -1,0 +1,31 @@
+"""Smoke test for the zone-map pruning benchmark (tests/bench parity:
+the CI gate replays this against the committed baseline)."""
+
+import json
+
+from repro.bench.prune import comparison_table, run_prune_bench
+
+
+class TestPruneBench:
+    def test_sweep_verdicts_and_artifact(self, tmp_path):
+        report = run_prune_bench(runs=1, artifact_dir=tmp_path)
+        # the acceptance verdicts the CI job hard-gates on
+        identity = report["identity"]
+        assert identity["byte_identical_all"]
+        assert identity["tiles_pruned_at_low_selectivity"]
+        assert identity["full_scan_never_prunes"]
+        assert identity["condensers_zero_decode"]
+        assert identity["condensers_exact"]
+        # modelled speedups are deterministic on any machine
+        perf = report["performance"]
+        assert perf["modelled_speedup_5x_at_1pct"]
+        assert perf["modelled_speedup_1"] == 1.0
+        # artifact round-trips through JSON
+        payload = json.loads(
+            (tmp_path / "BENCH_prune.json").read_text()
+        )
+        assert payload["label"] == "prune"
+        assert payload["config"]["tile_count"] == 3000
+        table = comparison_table(report)
+        assert "zone-map pruning" in table
+        assert "condensers" in table

@@ -36,3 +36,17 @@ class TestCli:
         )
         assert result.returncode == 0
         assert "reproduction" in result.stdout
+
+
+class TestExplainWhere:
+    def test_explain_with_predicate(self, capsys):
+        assert main(["explain", "a", "--where", "> 900"]) == 0
+        out = capsys.readouterr().out
+        assert "prune" in out
+        assert "pruned" in out
+        assert "synopsis-answered" in out
+
+    def test_explain_rejects_bad_predicate(self, capsys):
+        assert main(["explain", "a", "--where", "between 1 and 2"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot parse cell predicate" in err

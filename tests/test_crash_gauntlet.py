@@ -300,7 +300,7 @@ class TestCrashAnywhere:
         db2 = open_database(directory)
         final = _state(db2)
         db2.close()
-        assert fsck_database(directory).ok
+        assert fsck_database(directory, deep=True).ok
         # the recovered state is either the pre-second-crash state or the
         # completed follow-up — never anything in between
         assert final is not None
@@ -319,7 +319,7 @@ class TestCrashAnywhere:
         assert db.last_recovery.clean
         assert _state(db) == first
         db.close()
-        assert fsck_database(directory).ok
+        assert fsck_database(directory, deep=True).ok
 
 
 class TestTornPageRepair:

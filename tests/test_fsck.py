@@ -132,3 +132,81 @@ class TestFsckDetects:
             p.name: p.read_bytes() for p in sorted(directory.iterdir())
         }
         assert before == after
+
+
+class TestZoneAudit:
+    """The zone-map sidecar audit (shallow and ``--deep``)."""
+
+    def _entries(self, directory):
+        sidecar = json.loads((directory / "zones.json").read_text())
+        return sidecar, sidecar["collections"]["c"]["o"]
+
+    def test_clean_deep_audit(self, tmp_path):
+        report = fsck_database(_build(tmp_path / "db"), deep=True)
+        assert report.ok, report.issues
+        assert report.zones_checked > 0
+        assert "zone entries" in report.summary()
+
+    def test_absent_sidecar_is_only_a_warning(self, tmp_path):
+        directory = _build(tmp_path / "db")
+        (directory / "zones.json").unlink()
+        report = fsck_database(directory)
+        assert report.ok  # warnings never fail the check
+        assert "zone-sidecar-absent" in _codes(report)
+
+    def test_corrupt_sidecar(self, tmp_path):
+        directory = _build(tmp_path / "db")
+        (directory / "zones.json").write_text("{not json")
+        report = fsck_database(directory)
+        assert not report.ok
+        assert "zone-sidecar-corrupt" in _codes(report)
+
+    def test_missing_entry(self, tmp_path):
+        directory = _build(tmp_path / "db")
+        sidecar, entries = self._entries(directory)
+        entries.pop(sorted(entries)[0])
+        assert entries, "need a second entry to keep zone maps enabled"
+        (directory / "zones.json").write_text(json.dumps(sidecar))
+        report = fsck_database(directory)
+        assert not report.ok
+        assert "zone-missing" in _codes(report)
+
+    def test_orphan_entry(self, tmp_path):
+        directory = _build(tmp_path / "db")
+        sidecar, entries = self._entries(directory)
+        entries["9999"] = next(iter(entries.values()))
+        (directory / "zones.json").write_text(json.dumps(sidecar))
+        report = fsck_database(directory)
+        assert not report.ok
+        assert "zone-orphan" in _codes(report)
+
+    def test_count_mismatch(self, tmp_path):
+        directory = _build(tmp_path / "db")
+        sidecar, entries = self._entries(directory)
+        next(iter(entries.values()))["count"] += 1
+        (directory / "zones.json").write_text(json.dumps(sidecar))
+        report = fsck_database(directory)
+        assert not report.ok
+        assert "zone-count-mismatch" in _codes(report)
+
+    def test_inverted_range(self, tmp_path):
+        directory = _build(tmp_path / "db")
+        sidecar, entries = self._entries(directory)
+        entry = next(iter(entries.values()))
+        entry["min"], entry["max"] = entry["max"] + 1, entry["min"]
+        (directory / "zones.json").write_text(json.dumps(sidecar))
+        report = fsck_database(directory)
+        assert not report.ok
+        assert "zone-range-invalid" in _codes(report)
+
+    def test_stale_synopsis_needs_deep(self, tmp_path):
+        directory = _build(tmp_path / "db")
+        sidecar, entries = self._entries(directory)
+        entry = next(iter(entries.values()))
+        entry["min"] = entry["min"] + 1  # plausible but wrong
+        entry["sum"] = entry["sum"] + 1
+        (directory / "zones.json").write_text(json.dumps(sidecar))
+        assert fsck_database(directory).ok  # shallow cannot see it
+        report = fsck_database(directory, deep=True)
+        assert not report.ok
+        assert "zone-stale" in _codes(report)

@@ -187,3 +187,29 @@ class TestExplainOnSalesCube:
         assert profile.wall_reconciles() is not False
         assert profile.timing.tiles_read > 0
         database.close()
+
+
+class TestPredicateProfile:
+    def test_prune_stage_reported(self):
+        from repro.index.zonemap import CellPredicate
+
+        database = _load()
+        database.reset_clock()
+        predicate = CellPredicate(">", 10_000)  # nothing matches uint8
+        profile = database.profile(
+            "prof", "img", DOMAIN, predicate=predicate
+        )
+        names = [stage.name for stage in profile.stages]
+        assert names[:2] == ["index", "prune"]
+        prune = profile.stages[1]
+        assert prune.detail["predicate"] == "cell > 10000"
+        assert prune.detail["tiles_pruned"] == profile.timing.tiles_pruned
+        assert profile.timing.tiles_pruned > 0
+        assert profile.timing.tiles_read == 0
+        assert profile.modelled_reconciles
+        assert "pruned" in profile.format()
+
+    def test_unpredicated_profile_has_no_prune_stage(self):
+        database = _load()
+        profile = database.profile("prof", "img", DOMAIN)
+        assert "prune" not in [stage.name for stage in profile.stages]

@@ -333,9 +333,18 @@ class TestWhereClause:
     def test_missing_where_defaults_none(self):
         assert parse("SELECT c FROM cubes AS c").where is None
 
+    def test_bare_alias_condition_is_cell_predicate(self, multi):
+        # ``WHERE v > 4`` masks cells, it does not filter objects: every
+        # object answers, non-matching cells carry the default value.
+        results = execute(multi, "SELECT v FROM vs AS v WHERE v > 4")
+        by_total = sorted(int(r.array.sum()) for r in results)
+        assert by_total == [0, 50, 90]  # low masked out entirely
+
     def test_array_condition_rejected(self, multi):
+        # Conditions that are arrays but not bare-alias comparisons keep
+        # the scalar requirement.
         with pytest.raises(QueryError):
-            execute(multi, "SELECT v FROM vs AS v WHERE v > 4")
+            execute(multi, "SELECT v FROM vs AS v WHERE v + 1 > 4")
 
     def test_where_cost_charged(self, multi):
         plain = execute(multi, "SELECT add_cells(v) FROM vs AS v")
@@ -384,3 +393,69 @@ class TestEngineDirect:
         eng, data = engine
         result = eng.section_query(eng.object("cubes"), axis=1, coordinate=5)
         assert (result.array == data[:, 4]).all()
+
+
+class TestCellPredicates:
+    """``WHERE <alias> <relop> <number>`` masks cells via zone maps."""
+
+    def test_masked_select_matches_numpy(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c FROM cubes AS c WHERE c > 400")
+        assert len(results) == 1
+        expected = np.where(data > 400, data, 0)
+        np.testing.assert_array_equal(results[0].array, expected)
+        assert results[0].timing.tiles_pruned > 0
+
+    def test_reversed_operands_flip(self, engine):
+        eng, data = engine
+        left = execute(eng, "SELECT c FROM cubes AS c WHERE c > 400")
+        right = execute(eng, "SELECT c FROM cubes AS c WHERE 400 < c")
+        np.testing.assert_array_equal(left[0].array, right[0].array)
+
+    def test_float_threshold(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT c FROM cubes AS c WHERE c <= 99.5")
+        expected = np.where(data <= 99.5, data, 0)
+        np.testing.assert_array_equal(results[0].array, expected)
+
+    def test_condenser_with_predicate(self, engine):
+        eng, data = engine
+        results = execute(
+            eng, "SELECT count_cells(c) FROM cubes AS c WHERE c >= 590"
+        )
+        assert results[0].scalar == int(np.count_nonzero(data[data >= 590]))
+
+    def test_condenser_without_predicate_zero_decode(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT add_cells(c) FROM cubes AS c")
+        assert results[0].scalar == int(data.sum())
+        assert results[0].timing.tiles_read == 0
+        assert results[0].timing.tiles_synopsis_answered > 0
+
+    def test_trim_with_predicate(self, engine):
+        eng, data = engine
+        results = execute(
+            eng, "SELECT c[1:10,1:20] FROM cubes AS c WHERE c > 100"
+        )
+        clip = data[0:10, :]
+        np.testing.assert_array_equal(
+            results[0].array, np.where(clip > 100, clip, 0)
+        )
+
+    def test_predicate_uses_collection_name_without_alias(self, engine):
+        eng, data = engine
+        results = execute(eng, "SELECT cubes FROM cubes WHERE cubes > 400")
+        np.testing.assert_array_equal(
+            results[0].array, np.where(data > 400, data, 0)
+        )
+
+    def test_foreign_name_is_not_a_cell_predicate(self):
+        # a comparison on a name that is NOT the alias stays a scalar
+        # condition and is rejected as non-scalar
+        db = Database()
+        t = mdd_type("V", "long", "[0:9]")
+        obj = db.create_object("vs", t, "a")
+        obj.load_array(np.arange(10, dtype=np.int32), RegularTiling(64))
+        eng = QueryEngine(db)
+        with pytest.raises(QueryError):
+            execute(eng, "SELECT v FROM vs AS v WHERE w > 4")

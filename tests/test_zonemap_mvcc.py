@@ -1,0 +1,120 @@
+"""Regression tests: a stale synopsis is never observable.
+
+Zone maps are copy-on-write state of :class:`ObjectVersion`: every
+published version pairs its tile table with the synopses computed from
+exactly those payloads, so a snapshot reader can never prune (or
+short-circuit an aggregate) against a synopsis from a different epoch
+than the tiles it reads."""
+
+import numpy as np
+
+from repro.core.geometry import MInterval
+from repro.core.mdd import Tile
+from repro.core.mddtype import mdd_type
+from repro.index.zonemap import AGG_FUNCS, CellPredicate
+from repro.storage.tilestore import Database
+from repro.tiling.base import grid_partition
+
+IMG = mdd_type("Img", "long", "[0:15,0:15]")
+DOMAIN = MInterval.parse("[0:15,0:15]")
+
+
+def _load(db):
+    obj = db.create_object("imgs", IMG, "img")
+    data = (np.arange(256).reshape(16, 16)).astype(np.int32)
+    tiles = [
+        Tile(box, data[box.to_slices(DOMAIN.lowest)])
+        for box in grid_partition(DOMAIN, (4, 16))
+    ]
+    obj.write_tiles(tiles)
+    return obj, data
+
+
+class TestUpdateInvalidation:
+    def test_update_recomputes_synopsis(self):
+        db = Database()
+        obj, data = _load(db)
+        # push one band's values far above the old maximum
+        region = MInterval.parse("[4:7,0:15]")
+        obj.update(region, np.full((4, 16), 9000, np.int32))
+        new = data.copy()
+        new[4:8, :] = 9000
+        # a predicate only the updated band satisfies: stale zone maps
+        # (max 127 for that band) would prune it and drop the cells
+        pred = CellPredicate(">", 5000)
+        pruned, timing = obj.read(DOMAIN, predicate=pred)
+        full, _ = obj.read(DOMAIN, predicate=pred, prune=False)
+        assert pruned.tobytes() == full.tobytes()
+        np.testing.assert_array_equal(pruned, np.where(new > 5000, new, 0))
+        assert timing.tiles_pruned == 3  # the three untouched bands
+        for op in AGG_FUNCS:
+            value, agg_timing = obj.aggregate(DOMAIN, op)
+            assert value == AGG_FUNCS[op](new), op
+            assert agg_timing.tiles_read == 0, op
+
+    def test_snapshot_reader_sees_matching_pair(self):
+        """A snapshot pinned before an update reads the OLD tiles with
+        the OLD synopses — pruning decisions and cells stay consistent."""
+        db = Database()
+        obj, data = _load(db)
+        with db.snapshot() as snap:
+            version = snap.version("imgs", "img")
+            obj.update(
+                MInterval.parse("[0:3,0:15]"),
+                np.full((4, 16), 9000, np.int32),
+            )
+            # predicate matching only the NEW values: under the snapshot
+            # every tile must prune (old max is 255) and the result is
+            # byte-identical to the unpruned snapshot read — all zeros
+            pred = CellPredicate(">", 5000)
+            pruned, timing = obj.read(
+                DOMAIN, version=version, predicate=pred
+            )
+            full, _ = obj.read(
+                DOMAIN, version=version, predicate=pred, prune=False
+            )
+            assert pruned.tobytes() == full.tobytes()
+            assert not pruned.any()
+            assert timing.tiles_pruned == 4
+            # synopsis-answered aggregates reflect the snapshot's data
+            value, agg_timing = obj.aggregate(
+                DOMAIN, "max_cells", version=version
+            )
+            assert value == int(data.max())
+            assert agg_timing.tiles_read == 0
+        # the published version sees the update
+        live_max, _ = obj.aggregate(DOMAIN, "max_cells")
+        assert live_max == 9000
+
+    def test_snapshot_survives_delete_region(self):
+        db = Database()
+        obj, data = _load(db)
+        with db.snapshot() as snap:
+            version = snap.version("imgs", "img")
+            dropped = obj.delete_region(MInterval.parse("[12:15,0:15]"))
+            assert dropped == 1
+            # live object: the dropped band's values are gone from both
+            # the tiles and the zone maps (no orphaned synopsis remains)
+            live, live_timing = obj.read(
+                obj.current_domain, predicate=CellPredicate(">", 190)
+            )
+            assert live.max() <= data[:12].max()
+            value, _ = obj.aggregate(obj.current_domain, "max_cells")
+            assert value == int(data[:12].max())
+            assert live_timing.tiles_pruned > 0
+            # snapshot: old tiles and old synopses, still paired
+            old_value, old_timing = obj.aggregate(
+                DOMAIN, "max_cells", version=version
+            )
+            assert old_value == int(data.max())
+            assert old_timing.tiles_read == 0
+
+    def test_no_op_update_keeps_synopses_valid(self):
+        db = Database()
+        obj, data = _load(db)
+        region = MInterval.parse("[4:7,0:15]")
+        obj.update(region, data[4:8, :].copy())  # byte-identical rewrite
+        for op in AGG_FUNCS:
+            value, timing = obj.aggregate(DOMAIN, op)
+            assert value == AGG_FUNCS[op](data), op
+            assert timing.tiles_read == 0, op

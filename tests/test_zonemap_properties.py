@@ -1,0 +1,180 @@
+"""Property-based tests: a tile synopsis always agrees with brute-force
+numpy over the same cells, pruning never changes a query result, and the
+aggregate short-circuit reproduces the decoded reduction bitwise."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import MInterval
+from repro.core.mdd import Tile
+from repro.core.mddtype import mdd_type
+from repro.index.zonemap import (
+    AGG_FUNCS,
+    CellPredicate,
+    compute_synopsis,
+    synopsis_can_match,
+)
+from repro.storage.tilestore import Database
+from repro.tiling.base import grid_partition
+
+DTYPES = {
+    "char": np.uint8,
+    "short": np.int16,
+    "long": np.int32,
+    "float": np.float32,
+    "double": np.float64,
+    "bool": np.bool_,
+}
+
+
+@st.composite
+def tile_arrays(draw):
+    """A random small array of a random numeric dtype, NaNs included."""
+    base = draw(st.sampled_from(sorted(DTYPES)))
+    dtype = np.dtype(DTYPES[base])
+    size = draw(st.integers(min_value=0, max_value=60))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 16)))
+    if dtype.kind == "f":
+        a = rng.uniform(-1000, 1000, size).astype(dtype)
+        if size and draw(st.booleans()):
+            a[rng.integers(0, size, size=max(1, size // 4))] = np.nan
+    elif dtype.kind == "b":
+        a = rng.integers(0, 2, size).astype(dtype)
+    else:
+        info = np.iinfo(dtype)
+        a = rng.integers(info.min, info.max, size, endpoint=True).astype(
+            dtype
+        )
+    return a
+
+
+@st.composite
+def predicates(draw):
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    if draw(st.booleans()):
+        value = draw(st.integers(min_value=-300, max_value=300))
+    else:
+        value = draw(
+            st.floats(
+                min_value=-300, max_value=300, allow_nan=False
+            )
+        )
+    return CellPredicate(op, value)
+
+
+class TestSynopsisAgainstBruteForce:
+    @given(tile_arrays())
+    @settings(max_examples=120, deadline=None)
+    def test_synopsis_fields(self, a):
+        syn = compute_synopsis(a)
+        assert syn.cell_count == a.size
+        assert syn.nonzero == int(np.count_nonzero(a))
+        finite = a[~np.isnan(a)] if a.dtype.kind == "f" else a
+        if finite.size == 0:
+            assert syn.vmin is None and syn.vmax is None
+        else:
+            assert syn.vmin == finite.min().item()
+            assert syn.vmax == finite.max().item()
+        if a.dtype.kind == "f":
+            assert syn.nan_count == int(np.isnan(a).sum())
+            assert syn.vsum == (float(finite.sum()) if finite.size else 0.0)
+        else:
+            assert syn.nan_count == 0
+            assert syn.vsum == int(a.sum())
+
+    @given(tile_arrays(), predicates())
+    @settings(max_examples=200, deadline=None)
+    def test_pruning_is_conservative(self, a, predicate):
+        """A pruned tile provably holds no matching cell — never the
+        other way round (False positives are allowed, misses are not)."""
+        syn = compute_synopsis(a)
+        if not synopsis_can_match(syn, predicate, a.dtype):
+            assert not predicate.mask(a).any()
+
+
+IMG = mdd_type("Img", "long", "[0:15,0:15]")
+DOMAIN = MInterval.parse("[0:15,0:15]")
+
+
+@st.composite
+def stored_cases(draw):
+    """A random int32 cube, a random band tiling, and a predicate."""
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 16)))
+    # clustered values so some tiles genuinely prune
+    bands = rng.integers(0, 500, size=4)
+    data = np.repeat(bands, 4)[:, None] + rng.integers(
+        0, 50, size=(16, 16)
+    )
+    data = data.astype(np.int32)
+    shape = draw(st.sampled_from([(4, 16), (8, 8), (16, 4), (16, 16)]))
+    predicate = draw(predicates())
+    lo = sorted(draw(st.lists(st.integers(0, 15), min_size=2, max_size=2)))
+    hi = sorted(draw(st.lists(st.integers(0, 15), min_size=2, max_size=2)))
+    region = MInterval(
+        [min(lo[0], hi[0]), min(lo[1], hi[1])],
+        [max(lo[0], hi[0]), max(lo[1], hi[1])],
+    )
+    return data, shape, predicate, region
+
+
+def _load(data, shape):
+    db = Database()
+    obj = db.create_object("imgs", IMG, "img")
+    tiles = [
+        Tile(box, data[box.to_slices(DOMAIN.lowest)])
+        for box in grid_partition(DOMAIN, shape)
+    ]
+    obj.write_tiles(tiles)
+    return obj
+
+
+class TestStoredIdentity:
+    @given(stored_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_read_byte_identical(self, case):
+        data, shape, predicate, region = case
+        obj = _load(data, shape)
+        pruned, t_pruned = obj.read(region, predicate=predicate)
+        full, t_full = obj.read(region, predicate=predicate, prune=False)
+        assert pruned.dtype == full.dtype
+        assert pruned.tobytes(order="C") == full.tobytes(order="C")
+        assert t_full.tiles_pruned == 0
+        # pruning only ever removes fetch work
+        assert t_pruned.tiles_read <= t_full.tiles_read
+
+    @given(stored_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_matches_decoded(self, case):
+        data, shape, _predicate, region = case
+        obj = _load(data, shape)
+        clip = data[region.to_slices(DOMAIN.lowest)]
+        for op in sorted(AGG_FUNCS):
+            value, _ = obj.aggregate(region, op)
+            decoded, _ = obj.aggregate(region, op, prune=False)
+            expected = AGG_FUNCS[op](clip)
+            assert value == decoded == expected, op
+
+
+class TestMaskedSemantics:
+    @given(tile_arrays(), predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_mask_equals_numpy(self, a, predicate):
+        """CellPredicate.mask is exactly the numpy comparison."""
+        import warnings
+
+        ops = {
+            "<": np.less, "<=": np.less_equal, ">": np.greater,
+            ">=": np.greater_equal, "=": np.equal, "!=": np.not_equal,
+        }
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            expected = ops[predicate.op](a, np.asarray(predicate.value))
+            got = predicate.mask(a)
+        np.testing.assert_array_equal(got, expected)
+        if a.dtype.kind == "f" and np.isnan(a).any():
+            nan_mask = got[np.isnan(a)]
+            if predicate.op == "!=":
+                assert nan_mask.all()
+            else:
+                assert not nan_mask.any()
