@@ -28,6 +28,11 @@ fails the build.  The artifact's ``label`` picks the comparison:
   and the zero-decode condenser verdicts are hard-gated via identity;
   the modelled speedups live in ``performance`` and are soft (reported,
   never compared).
+* ``serve`` — per-mode client counts and read quotas.  Byte-identity of
+  HTTP reads vs direct reads, exact 304 revalidation, and write-driven
+  ETag invalidation are the boolean identity verdicts (hard-gated);
+  requests/s and p50/p99 latency live in ``performance`` and are never
+  compared (they measure the runner's network stack, not the code).
 
 Identity verdicts are held to in both cases: a verdict that was True in
 the baseline must stay True.
@@ -75,6 +80,16 @@ CONCURRENT_FIELDS = (
     "reads",
     "torn_reads",
     "inconsistent_snapshots",
+)
+
+# deterministic per-mode serve-bench fields (workload shape and exact
+# correctness counters; latency and rps vary run to run and stay soft)
+SERVE_FIELDS = (
+    "clients",
+    "requests",
+    "mismatches",
+    "errors",
+    "expected_304",
 )
 
 
@@ -179,12 +194,34 @@ def _compare_concurrent_modes(candidate: dict, baseline: dict) -> list[str]:
     return problems
 
 
+def _compare_serve_modes(candidate: dict, baseline: dict) -> list[str]:
+    problems: list[str] = []
+    base_modes = baseline.get("modes", {})
+    cand_modes = candidate.get("modes", {})
+    for mode, base_run in sorted(base_modes.items()):
+        cand_run = cand_modes.get(mode)
+        if cand_run is None:
+            problems.append(f"modes.{mode}: missing from candidate")
+            continue
+        for field in SERVE_FIELDS:
+            if field not in base_run:
+                continue
+            if cand_run.get(field) != base_run[field]:
+                problems.append(
+                    f"modes.{mode}.{field}: baseline {base_run[field]!r}, "
+                    f"candidate {cand_run.get(field)!r}"
+                )
+    return problems
+
+
 def compare(candidate: dict, baseline: dict) -> list[str]:
     problems = _compare_identity(candidate, baseline)
     if baseline.get("label") == "ingest":
         problems += _compare_ingest_modes(candidate, baseline)
     elif baseline.get("label") == "concurrent":
         problems += _compare_concurrent_modes(candidate, baseline)
+    elif baseline.get("label") == "serve":
+        problems += _compare_serve_modes(candidate, baseline)
     elif baseline.get("label") == "prune":
         # same per-mode/point digest+charges shape as pipeline
         problems += _compare_pipeline_modes(candidate, baseline)
@@ -212,7 +249,7 @@ def main(argv: list[str]) -> int:
         for problem in problems:
             print(f"  - {problem}")
         return 1
-    if baseline.get("label") in ("ingest", "concurrent"):
+    if baseline.get("label") in ("ingest", "concurrent", "serve"):
         checked = len(baseline.get("modes", {}))
     else:
         checked = sum(

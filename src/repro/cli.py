@@ -13,6 +13,7 @@ Usage::
     python -m repro trace QUERY   # span trace of one sales-cube query
     python -m repro explain QUERY # EXPLAIN ANALYZE one sales-cube query
     python -m repro serve-metrics # live /metrics, /healthz, /debug/spans
+    python -m repro serve         # REST tile server (slices, query, write)
     python -m repro bench pipeline  # serial vs parallel vs decoded cache
     python -m repro bench ingest    # serial vs batched vs parallel writes
     python -m repro bench concurrent  # snapshot readers scaling under a writer
@@ -429,6 +430,59 @@ def cmd_serve_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_database() -> "Database":
+    """A small deterministic database for ``repro serve --demo``."""
+    database = Database(buffer_bytes=256 * 1024, compression=True)
+    img = mdd_type("ServeDemo", "char", "[0:63,0:63]")
+    mdd = database.create_object("demo", img, "demo")
+    data = (np.indices((64, 64)).sum(axis=0) % 7).astype(np.uint8)
+    mdd.load_array(data, RegularTiling(1024))
+    # Its own collection: RaSQL ranges over every object in a
+    # collection, so 2-d and 3-d objects must not share one.
+    cube = mdd_type("ServeCube", "ulong", "[0:31,0:31,0:7]")
+    obj = database.create_object("volumes", cube, "cube")
+    volume = (
+        np.indices((32, 32, 8)).sum(axis=0).astype(np.uint32) * 3 % 1000
+    )
+    obj.load_array(volume, RegularTiling(8192))
+    return database
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a database over REST: slices, tile frames, query, write."""
+    from repro.serve import TileServer
+
+    obs.enable()
+    if args.db is not None:
+        from repro.storage.catalog import open_database
+
+        database = open_database(args.db)
+    else:
+        database = _demo_database()
+    server = TileServer(database, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"serving tiles on http://{args.host}:{server.port} "
+        f"(/v1/collections, /v1/<coll>/<obj>/slice?box=..., /v1/query, "
+        f"/metrics)",
+        file=sys.stderr,
+    )
+    try:
+        if args.duration is not None:
+            import time as _time
+
+            _time.sleep(args.duration)
+        else:
+            server.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if args.db is not None:
+            database.close()
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.mode == "pipeline":
         from repro.bench.pipeline import comparison_table, run_pipeline_bench
@@ -552,6 +606,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if value is False
         ]
         return 1 if failed else 0
+    if args.mode == "serve":
+        from repro.bench.serve import comparison_table, run_serve_bench
+
+        report = run_serve_bench(
+            runs=args.runs,
+            artifact_dir=_artifact_dir(args),
+        )
+        print(comparison_table(report))
+        print()
+        print("identity verdicts:")
+        for name, value in report["identity"].items():
+            print(f"  {name}: {value}")
+        print("performance (not gated):")
+        for name, value in report["performance"].items():
+            formatted = f"{value:.2f}" if isinstance(value, float) else value
+            print(f"  {name}: {formatted}")
+        if "artifact_path" in report:
+            print(f"\nwrote {report['artifact_path']}")
+        failed = [
+            name
+            for name, value in report["identity"].items()
+            if value is False
+        ]
+        return 1 if failed else 0
     raise SystemExit(f"unknown bench mode {args.mode!r}")
 
 
@@ -602,6 +680,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "explain": cmd_explain,
     "serve-metrics": cmd_serve_metrics,
+    "serve": cmd_serve,
     "bench": cmd_bench,
     "recover": cmd_recover,
     "fsck": cmd_fsck,
@@ -668,7 +747,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="implementation benchmarks (not paper tables)"
     )
     bench.add_argument(
-        "mode", choices=("pipeline", "ingest", "concurrent", "obs", "prune"),
+        "mode",
+        choices=("pipeline", "ingest", "concurrent", "obs", "prune", "serve"),
         help="pipeline: serial vs parallel vs decoded-cache reads; "
              "ingest: serial vs batched vs parallel writes; "
              "concurrent: snapshot-reader scaling under a writer; "
@@ -771,6 +851,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--demo", action="store_true",
         help="run a small query workload first so /metrics has data",
+    )
+    tiles = subparsers.add_parser(
+        "serve",
+        help="REST tile server: slices, tile frames, RaSQL, ingest",
+    )
+    tiles.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    tiles.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 picks a free one (default: 8765)",
+    )
+    tiles.add_argument(
+        "--db", default=None, metavar="DIR",
+        help="database directory to serve (default: in-memory demo data)",
+    )
+    tiles.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for a fixed time then exit (default: until Ctrl-C)",
     )
     return parser
 

@@ -1,7 +1,8 @@
 """Zero-dependency HTTP endpoint for live metrics and spans.
 
-A tiny :class:`ThreadingHTTPServer` (standard library only) exposing the
-process-wide observability state:
+A tiny threaded HTTP server (standard library only, lifecycle via
+:class:`repro.httpd.HttpServerHandle`) exposing the process-wide
+observability state:
 
 * ``GET /metrics``      — Prometheus exposition text (version 0.0.4);
 * ``GET /healthz``      — liveness JSON (instrument and span counts);
@@ -26,15 +27,20 @@ or via the CLI: ``python -m repro serve-metrics --port 9464``.
 from __future__ import annotations
 
 import json
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler
 from typing import Optional
 
+from repro.httpd import HttpServerHandle
 from repro.obs import export, metrics, trace
 
 
 class MetricsServer:
-    """Threaded HTTP server over a registry/tracer pair (defaults: global)."""
+    """Threaded HTTP server over a registry/tracer pair (defaults: global).
+
+    Socket lifecycle (ephemeral ports, ``SO_REUSEADDR``, graceful
+    shutdown) is delegated to :class:`repro.httpd.HttpServerHandle`,
+    the helper shared with the tile server.
+    """
 
     def __init__(
         self,
@@ -50,53 +56,34 @@ class MetricsServer:
         self.host = host
         self.registry = registry if registry is not None else obs.registry
         self.tracer = tracer if tracer is not None else obs.tracer
-        self._requested_port = port
-        self._httpd: Optional[ThreadingHTTPServer] = None
-        self._thread: Optional[threading.Thread] = None
+        self._handle = HttpServerHandle(
+            _make_handler(self.registry, self.tracer),
+            host=host,
+            port=port,
+            thread_name="repro-metrics-server",
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def port(self) -> int:
         """The bound TCP port (meaningful after :meth:`start`)."""
-        if self._httpd is not None:
-            return self._httpd.server_address[1]
-        return self._requested_port
+        return self._handle.port
 
     @property
     def running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        return self._handle.running
 
     def start(self) -> "MetricsServer":
-        if self._httpd is not None:
-            raise RuntimeError("server already started")
-        handler = _make_handler(self.registry, self.tracer)
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self._requested_port), handler
-        )
-        self._httpd.daemon_threads = True
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="repro-metrics-server",
-            daemon=True,
-        )
-        self._thread.start()
+        self._handle.start()
         return self
 
     def stop(self) -> None:
-        if self._httpd is None:
-            return
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-        self._httpd = None
-        self._thread = None
+        self._handle.stop()
 
     def join(self) -> None:
         """Block until the server thread exits (Ctrl-C to stop)."""
-        if self._thread is not None:
-            self._thread.join()
+        self._handle.join()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -1,0 +1,35 @@
+"""Network service layer: the database behind a REST tile server.
+
+``repro.serve`` turns the library into a service (DESIGN §14): a
+zero-dependency threaded HTTP server exposing collections, range reads
+with content negotiation (raw numpy bytes, compressed tile frames, JSON
+slices), RaSQL queries, and ingest writes — every read pinned to one
+MVCC snapshot and revalidated through epoch-keyed ETags.  The matching
+parallel client lives in :mod:`repro.client`.
+"""
+
+from repro.serve.server import TileServer
+from repro.serve.wire import (
+    FORMAT_JSON,
+    FORMAT_RAW,
+    FORMAT_TILES,
+    TileFrame,
+    assemble,
+    decode_frames,
+    encode_frames,
+    epoch_from_etag,
+    etag_for,
+)
+
+__all__ = [
+    "FORMAT_JSON",
+    "FORMAT_RAW",
+    "FORMAT_TILES",
+    "TileFrame",
+    "TileServer",
+    "assemble",
+    "decode_frames",
+    "encode_frames",
+    "epoch_from_etag",
+    "etag_for",
+]

@@ -1,0 +1,651 @@
+"""The tile server: a database behind REST (DESIGN §14).
+
+A zero-dependency threaded HTTP server (lifecycle shared with the
+metrics endpoint via :class:`repro.httpd.HttpServerHandle`) exposing one
+:class:`~repro.storage.tilestore.Database`:
+
+* ``GET  /healthz``                     — liveness JSON (epoch, objects);
+* ``GET  /metrics``                     — Prometheus exposition, including
+  the ``serve.*`` instruments below;
+* ``GET  /v1/collections``              — catalog listing with ETags;
+* ``GET  /v1/{coll}/{obj}``             — object metadata;
+* ``GET  /v1/{coll}/{obj}/tiles?box=``  — tile plan (domains, codecs) of a
+  box at one pinned epoch, for parallel clients;
+* ``GET  /v1/{coll}/{obj}/slice?box=``  — range read; content negotiation
+  picks raw numpy bytes, compressed tile frames, or JSON
+  (:mod:`repro.serve.wire`);
+* ``POST /v1/query``                    — RaSQL (predicates route through
+  zone-map pruning, condensers through the synopsis short-circuit);
+* ``POST /v1/{coll}/{obj}/write?box=``  — ingest: update an object in
+  place, or auto-create it from the request's dtype and box.
+
+**Snapshot isolation.**  Every read request opens one
+:meth:`Database.snapshot` pin for its whole lifetime, so a response is
+always one committed state — never half a concurrent transaction — and
+raw reads run through the coalesced ``fetch_tiles`` read pipeline.
+
+**ETags.**  Responses carry a strong epoch-keyed ETag
+(:func:`repro.serve.wire.etag_for`); ``If-None-Match`` revalidation
+answers 304 with no body while the object's published epoch is
+unchanged, and ``X-Repro-Expect-Etag`` lets a parallel client demand one
+epoch across many tile fetches (mismatch answers 409, the client
+retries its whole read at the new epoch).
+
+Errors are JSON bodies ``{"error": ..., "status": ...}`` with the
+matching 4xx/5xx status.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Optional
+from urllib.parse import parse_qs, unquote, urlparse
+
+import numpy as np
+
+from repro import obs
+from repro.core.cells import base_type, known_base_types
+from repro.core.errors import (
+    DomainError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+from repro.core.geometry import MInterval
+from repro.core.mddtype import MDDType
+from repro.httpd import HttpServerHandle
+from repro.obs import export
+from repro.query.engine import QueryEngine
+from repro.query.rasql import execute as rasql_execute
+from repro.query.timing import QueryTiming
+from repro.serve import wire
+from repro.storage.mvcc import ObjectVersion
+from repro.storage.tilestore import Database, StoredMDD
+from repro.tiling.aligned import RegularTiling
+
+_REQUESTS = obs.counter("serve.requests", "HTTP requests received")
+_STATUS_2XX = obs.counter("serve.status_2xx", "Successful responses")
+_STATUS_304 = obs.counter(
+    "serve.status_304", "Conditional reads answered not-modified"
+)
+_STATUS_4XX = obs.counter("serve.status_4xx", "Client-error responses")
+_STATUS_5XX = obs.counter("serve.status_5xx", "Server-error responses")
+_BYTES_OUT = obs.counter("serve.bytes_out", "Response body bytes sent")
+_BYTES_IN = obs.counter("serve.bytes_in", "Request body bytes received")
+_ENDPOINT_MS = {
+    "meta": obs.histogram(
+        "serve.meta_ms", "Wall ms per catalog/metadata request"
+    ),
+    "slice": obs.histogram("serve.slice_ms", "Wall ms per slice read"),
+    "tiles": obs.histogram("serve.tiles_ms", "Wall ms per tile-plan request"),
+    "query": obs.histogram("serve.query_ms", "Wall ms per RaSQL query"),
+    "write": obs.histogram("serve.write_ms", "Wall ms per ingest write"),
+    "metrics": obs.histogram(
+        "serve.metrics_ms", "Wall ms per metrics/health scrape"
+    ),
+}
+
+#: Default tile budget for auto-created objects (bytes).
+DEFAULT_TILE_BYTES = 64 * 1024
+
+
+class _HttpError(Exception):
+    """An error with a wire status; the handler turns it into JSON."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _timing_dict(timing: QueryTiming) -> dict:
+    return {
+        "t_ix": timing.t_ix,
+        "t_o": timing.t_o,
+        "t_cpu": timing.t_cpu,
+        "tiles_read": timing.tiles_read,
+        "tiles_pruned": timing.tiles_pruned,
+        "tiles_synopsis_answered": timing.tiles_synopsis_answered,
+        "bytes_read": timing.bytes_read,
+        "pages_read": timing.pages_read,
+        "cells_result": timing.cells_result,
+    }
+
+
+class TileServer:
+    """The database behind REST; start/stop or use as a context manager."""
+
+    def __init__(
+        self,
+        database: Database,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        self.database = database
+        self._handle = HttpServerHandle(
+            _make_handler(database),
+            host=host,
+            port=port,
+            thread_name="repro-tile-server",
+        )
+
+    @property
+    def port(self) -> int:
+        return self._handle.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._handle.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._handle.running
+
+    def start(self) -> "TileServer":
+        self._handle.start()
+        return self
+
+    def stop(self) -> None:
+        self._handle.stop()
+
+    def join(self) -> None:
+        self._handle.join()
+
+    def __enter__(self) -> "TileServer":
+        return self.start()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.stop()
+
+
+def _make_handler(database: Database) -> type[BaseHTTPRequestHandler]:
+    """Handler class closed over the database it serves."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Keep-alive matters for the parallel client's connection pool.
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+            pass
+
+        # -- dispatch ------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+            self._dispatch("POST")
+
+        def _dispatch(self, method: str) -> None:
+            _REQUESTS.inc()
+            parsed = urlparse(self.path)
+            segments = [
+                unquote(part) for part in parsed.path.split("/") if part
+            ]
+            params = {
+                key: values[-1]
+                for key, values in parse_qs(parsed.query).items()
+            }
+            endpoint = "meta"
+            started = time.perf_counter()
+            try:
+                if method == "GET" and segments == ["healthz"]:
+                    endpoint = "metrics"
+                    self._healthz()
+                elif method == "GET" and segments == ["metrics"]:
+                    endpoint = "metrics"
+                    self._metrics()
+                elif method == "GET" and segments == ["v1", "collections"]:
+                    self._collections()
+                elif method == "POST" and segments == ["v1", "query"]:
+                    endpoint = "query"
+                    self._query()
+                elif len(segments) == 3 and segments[0] == "v1":
+                    if method != "GET":
+                        raise _HttpError(405, "object metadata is GET-only")
+                    self._object_meta(segments[1], segments[2])
+                elif len(segments) == 4 and segments[0] == "v1":
+                    coll, obj, action = segments[1], segments[2], segments[3]
+                    if action == "slice" and method == "GET":
+                        endpoint = "slice"
+                        self._slice(coll, obj, params)
+                    elif action == "tiles" and method == "GET":
+                        endpoint = "tiles"
+                        self._tiles(coll, obj, params)
+                    elif action == "write" and method == "POST":
+                        endpoint = "write"
+                        self._write(coll, obj, params)
+                    else:
+                        raise _HttpError(
+                            404, f"no route {method} {parsed.path}"
+                        )
+                else:
+                    raise _HttpError(404, f"no route {method} {parsed.path}")
+            except _HttpError as exc:
+                self._error(exc.status, exc.message)
+            except (wire.WireError, QueryError, DomainError) as exc:
+                # Malformed boxes, bad predicates, RaSQL syntax errors,
+                # out-of-domain regions: the client's fault.
+                self._error(400, str(exc))
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-response
+            except ReproError as exc:
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            except Exception as exc:  # noqa: BLE001 - last-resort boundary
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            finally:
+                _ENDPOINT_MS[endpoint].observe(
+                    (time.perf_counter() - started) * 1000.0
+                )
+
+        # -- endpoint implementations --------------------------------------
+
+        def _healthz(self) -> None:
+            payload = {
+                "status": "ok",
+                "epoch": database.epoch.current,
+                "collections": len(database.collections),
+                "objects": sum(
+                    len(objects) for objects in database.collections.values()
+                ),
+            }
+            self._reply_json(200, payload)
+
+        def _metrics(self) -> None:
+            body = export.prometheus_text(obs.registry).encode("utf-8")
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+
+        def _collections(self) -> None:
+            with database.snapshot() as snap:
+                listing: dict = {}
+                for coll_name in sorted(database.collections):
+                    entries = []
+                    for obj_name in snap.objects(coll_name):
+                        version = snap.version(coll_name, obj_name)
+                        obj = database.collection(coll_name)[obj_name]
+                        entries.append(
+                            self._describe(coll_name, obj_name, obj, version)
+                        )
+                    listing[coll_name] = entries
+                self._reply_json(
+                    200, {"collections": listing, "epoch": snap.epoch}
+                )
+
+        def _object_meta(self, coll: str, name: str) -> None:
+            with database.snapshot() as snap:
+                obj, version = self._lookup(snap, coll, name)
+                payload = self._describe(coll, name, obj, version)
+                payload["tiles"] = [
+                    {
+                        "id": entry.tile_id,
+                        "domain": str(entry.domain),
+                        "codec": entry.codec,
+                        "virtual": entry.virtual,
+                    }
+                    for entry in version.tiles.values()
+                ]
+                self._reply_json(
+                    200,
+                    payload,
+                    headers={
+                        "ETag": wire.etag_for(coll, name, version.epoch)
+                    },
+                )
+
+        def _tiles(self, coll: str, name: str, params: dict) -> None:
+            """The tile plan of a box at one pinned epoch."""
+            with database.snapshot() as snap:
+                obj, version = self._lookup(snap, coll, name)
+                etag = wire.etag_for(coll, name, version.epoch)
+                if self._not_modified(etag):
+                    return
+                region = self._resolve_box(obj, version, params)
+                result = version.index.search(region)
+                entries = sorted(
+                    (version.tiles[e.tile_id] for e in result.entries),
+                    key=lambda t: database.disk.blob_pages(t.blob_id).start,
+                )
+                payload = {
+                    "etag": etag,
+                    "epoch": version.epoch,
+                    "box": str(region),
+                    "dtype": wire.dtype_token(obj.mdd_type.base.dtype),
+                    "default": wire.default_token(obj.mdd_type.base.default),
+                    "tiles": [
+                        {
+                            "id": entry.tile_id,
+                            "domain": str(entry.domain),
+                            "codec": entry.codec,
+                            "virtual": entry.virtual,
+                        }
+                        for entry in entries
+                    ],
+                }
+                self._reply_json(200, payload, headers={"ETag": etag})
+
+        def _slice(self, coll: str, name: str, params: dict) -> None:
+            fmt = wire.negotiate(self.headers.get("Accept"))
+            if fmt is None:
+                raise _HttpError(
+                    406,
+                    "unsupported Accept; offer application/octet-stream, "
+                    "application/x-repro-tiles, or application/json",
+                )
+            with database.snapshot() as snap:
+                obj, version = self._lookup(snap, coll, name)
+                etag = wire.etag_for(coll, name, version.epoch)
+                if self._not_modified(etag):
+                    return
+                expect = self.headers.get("X-Repro-Expect-Etag")
+                if expect is not None and expect.strip() != etag:
+                    self._reply_json(
+                        409,
+                        {
+                            "error": "object changed since the plan was made",
+                            "status": 409,
+                            "etag": etag,
+                        },
+                        headers={"ETag": etag},
+                    )
+                    return
+                region = self._resolve_box(obj, version, params)
+                dtype = obj.mdd_type.base.dtype
+                headers = {
+                    "ETag": etag,
+                    "Cache-Control": "no-cache",
+                    "X-Repro-Epoch": str(version.epoch),
+                    "X-Repro-Box": str(region),
+                    "X-Repro-Dtype": wire.dtype_token(dtype),
+                    "X-Repro-Default": json.dumps(
+                        wire.default_token(obj.mdd_type.base.default)
+                    ),
+                }
+                if fmt == wire.FORMAT_TILES:
+                    body = self._tile_frames(obj, version, region)
+                    self._reply(200, body, fmt, headers=headers)
+                    return
+                # raw / json route through the pinned version and the
+                # coalesced fetch_tiles read pipeline.
+                array, timing = obj.read(region, version=version)
+                headers["X-Repro-T-O"] = f"{timing.t_o:.6f}"
+                headers["X-Repro-Tiles-Read"] = str(timing.tiles_read)
+                if fmt == wire.FORMAT_RAW:
+                    headers["X-Repro-Shape"] = ",".join(
+                        str(side) for side in array.shape
+                    )
+                    body = np.ascontiguousarray(array).tobytes(order="C")
+                    self._reply(200, body, fmt, headers=headers)
+                else:
+                    payload = {
+                        "box": str(region),
+                        "shape": list(array.shape),
+                        "dtype": wire.dtype_token(dtype),
+                        "data": array.tolist(),
+                        "timing": _timing_dict(timing),
+                    }
+                    self._reply_json(200, payload, headers=headers)
+
+        def _tile_frames(
+            self, obj: StoredMDD, version: ObjectVersion, region: MInterval
+        ) -> bytes:
+            """Stored tiles intersecting the region, compressed as stored."""
+            result = version.index.search(region)
+            entries = sorted(
+                (version.tiles[e.tile_id] for e in result.entries),
+                key=lambda t: database.disk.blob_pages(t.blob_id).start,
+            )
+            frames = []
+            for entry in entries:
+                if entry.virtual:
+                    frames.append(
+                        wire.TileFrame(entry.domain, "none", b"", virtual=True)
+                    )
+                    continue
+                payload, _cost = database.read_blob(entry.blob_id)
+                frames.append(
+                    wire.TileFrame(entry.domain, entry.codec, payload)
+                )
+            return wire.encode_frames(
+                region,
+                obj.mdd_type.base.dtype,
+                obj.mdd_type.base.default,
+                frames,
+            )
+
+        def _query(self) -> None:
+            payload = self._json_body()
+            statement = payload.get("query")
+            if not isinstance(statement, str) or not statement.strip():
+                raise _HttpError(400, "body must be JSON {\"query\": \"...\"}")
+            engine = QueryEngine(database)
+            results = rasql_execute(engine, statement)
+            out = []
+            for result in results:
+                if result.is_scalar:
+                    value = result.value
+                    entry = {
+                        "object": result.object_name,
+                        "kind": "scalar",
+                        "value": (
+                            value.item()
+                            if isinstance(value, np.generic)
+                            else value
+                        ),
+                    }
+                else:
+                    array = result.array
+                    entry = {
+                        "object": result.object_name,
+                        "kind": "array",
+                        "shape": list(array.shape),
+                        "dtype": wire.dtype_token(array.dtype),
+                        "value": array.tolist(),
+                    }
+                if result.region is not None:
+                    entry["region"] = str(result.region)
+                entry["timing"] = _timing_dict(result.timing)
+                out.append(entry)
+            self._reply_json(
+                200,
+                {
+                    "query": statement,
+                    "epoch": database.epoch.current,
+                    "results": out,
+                },
+            )
+
+        def _write(self, coll: str, name: str, params: dict) -> None:
+            box_text = params.get("box") or self.headers.get("X-Repro-Box")
+            if box_text is None:
+                raise _HttpError(400, "write needs a box parameter")
+            region = wire.parse_box(box_text)
+            dtype_text = self.headers.get("X-Repro-Dtype")
+            if dtype_text is None:
+                raise _HttpError(400, "write needs an X-Repro-Dtype header")
+            dtype = wire.parse_dtype(dtype_text)
+            body = self._raw_body()
+            expected = region.cell_count * dtype.itemsize
+            if len(body) != expected:
+                raise _HttpError(
+                    400,
+                    f"body holds {len(body)} bytes, box {region} with dtype "
+                    f"{dtype_text} needs {expected}",
+                )
+            values = np.frombuffer(body, dtype=dtype).reshape(region.shape)
+            obj = self._find_or_create(coll, name, region, dtype, params)
+            if obj.tile_count == 0:
+                tile_bytes = int(
+                    params.get("tile_kb", DEFAULT_TILE_BYTES // 1024)
+                ) * 1024
+                stats = obj.load_array(
+                    values.copy(), RegularTiling(tile_bytes)
+                )
+                written = region.cell_count
+                tiles = stats.tile_count
+            else:
+                written = obj.update(region, values)
+                tiles = obj.tile_count
+            epoch = database.last_commit_epoch()
+            version = obj._published
+            self._reply_json(
+                200,
+                {
+                    "written_cells": written,
+                    "tiles": tiles,
+                    "epoch": epoch,
+                    "etag": wire.etag_for(coll, name, version.epoch),
+                },
+            )
+
+        # -- plumbing ------------------------------------------------------
+
+        def _find_or_create(
+            self,
+            coll: str,
+            name: str,
+            region: MInterval,
+            dtype: np.dtype,
+            params: dict,
+        ):
+            objects = database.collections.get(coll, {})
+            obj = objects.get(name)
+            if obj is not None:
+                return obj
+            base_name = params.get("base") or _base_for_dtype(dtype)
+            domain_text = params.get("domain")
+            domain = (
+                wire.parse_box(domain_text)
+                if domain_text is not None
+                else region
+            )
+            mdd_type = MDDType(f"{name}_t", base_type(base_name), domain)
+            return database.create_object(coll, mdd_type, name)
+
+        def _lookup(self, snap, coll: str, name: str):
+            try:
+                version = snap.version(coll, name)
+            except StorageError as exc:
+                raise _HttpError(404, str(exc)) from None
+            obj = database.collection(coll)[name]
+            return obj, version
+
+        def _resolve_box(
+            self, obj: StoredMDD, version: ObjectVersion, params: dict
+        ) -> MInterval:
+            if version.domain is None:
+                raise _HttpError(
+                    404, f"object {obj.name!r} holds no tiles yet"
+                )
+            box_text = params.get("box")
+            if box_text is None:
+                return version.domain
+            return obj._resolve_in(wire.parse_box(box_text), version.domain)
+
+        def _describe(
+            self,
+            coll: str,
+            name: str,
+            obj: StoredMDD,
+            version: ObjectVersion,
+        ) -> dict:
+            return {
+                "name": name,
+                "collection": coll,
+                "type": {
+                    "name": obj.mdd_type.name,
+                    "base": obj.mdd_type.base.name,
+                    "definition_domain": str(obj.mdd_type.definition_domain),
+                },
+                "domain": (
+                    str(version.domain) if version.domain is not None else None
+                ),
+                "tile_count": len(version.tiles),
+                "epoch": version.epoch,
+                "etag": wire.etag_for(coll, name, version.epoch),
+            }
+
+        def _not_modified(self, etag: str) -> bool:
+            if wire.etag_matches(etag, self.headers.get("If-None-Match")):
+                _STATUS_304.inc()
+                self.send_response(304)
+                self.send_header("ETag", etag)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                return True
+            return False
+
+        def _json_body(self) -> dict:
+            body = self._raw_body()
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise _HttpError(
+                    400, f"request body is not JSON: {exc}"
+                ) from None
+            if not isinstance(payload, dict):
+                raise _HttpError(400, "request body must be a JSON object")
+            return payload
+
+        def _raw_body(self) -> bytes:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+            body = self.rfile.read(length) if length > 0 else b""
+            _BYTES_IN.inc(len(body))
+            return body
+
+        def _error(self, status: int, message: str) -> None:
+            self._reply_json(status, {"error": message, "status": status})
+
+        def _reply_json(
+            self,
+            status: int,
+            payload: dict,
+            headers: Optional[dict] = None,
+        ) -> None:
+            self._reply(
+                status,
+                json.dumps(payload).encode("utf-8"),
+                "application/json",
+                headers=headers,
+            )
+
+        def _reply(
+            self,
+            status: int,
+            body: bytes,
+            content_type: str,
+            headers: Optional[dict] = None,
+        ) -> None:
+            if 200 <= status < 300:
+                _STATUS_2XX.inc()
+            elif 400 <= status < 500:
+                _STATUS_4XX.inc()
+            elif status >= 500:
+                _STATUS_5XX.inc()
+            _BYTES_OUT.inc(len(body))
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler
+
+
+def _base_for_dtype(dtype: np.dtype) -> str:
+    """The registered base type matching a numpy dtype (for auto-create)."""
+    for name in known_base_types():
+        candidate = base_type(name)
+        if candidate.dtype.fields is None and candidate.dtype == dtype:
+            return name
+    raise _HttpError(
+        400,
+        f"no base type matches dtype {dtype.str!r}; pass an explicit "
+        f"base parameter (known: {', '.join(known_base_types())})",
+    )

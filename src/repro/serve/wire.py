@@ -1,0 +1,262 @@
+"""Wire formats of the tile service (DESIGN §14).
+
+Three interchangeable representations of one range read, negotiated via
+the ``Accept`` header of ``GET .../slice``:
+
+* ``application/octet-stream`` (**raw**) — the dense result array as
+  C-order bytes; shape, dtype, and resolved box ride in ``X-Repro-*``
+  headers.  What :meth:`Database.read` returns, byte for byte.
+* ``application/x-repro-tiles`` (**tiles**) — the stored tiles
+  intersecting the box, shipped *compressed exactly as stored* (the
+  server never decodes); the client decodes and composes.  This is the
+  RasDaMan/tiled-style transfer format: bytes moved are proportional to
+  stored (compressed) tile bytes, not to the dense result.
+* ``application/json`` (**json**) — nested lists, for humans and curl.
+
+All three reassemble byte-identically because composition follows the
+same rule as :meth:`StoredMDD.read`: a default-filled dense array, each
+intersecting tile's overlap copied in, virtual tiles contributing
+defaults.  :func:`assemble` is that rule, shared by the client.
+
+**Tile-frame framing** (format ``tiles``)::
+
+    magic  b"RTF1"
+    u32 BE header length, then a JSON header
+        {"box","shape","dtype","default","count"}
+    count frames, each:
+        u32 BE meta length, then JSON meta
+            {"domain","codec","virtual","nbytes"}
+        nbytes of stored payload (absent for virtual tiles)
+
+**ETags** are strong and epoch-keyed: ``"<collection>/<object>@<epoch>"``
+where ``<epoch>`` is the MVCC epoch at which the object's current
+version was published (:attr:`ObjectVersion.epoch`).  A commit that
+touches the object publishes a new version at a higher epoch, changing
+the ETag; commits to *other* objects do not, so unchanged objects keep
+revalidating with 304 indefinitely.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.geometry import MInterval
+from repro.storage.compression import decompress
+
+MAGIC = b"RTF1"
+
+FORMAT_RAW = "application/octet-stream"
+FORMAT_TILES = "application/x-repro-tiles"
+FORMAT_JSON = "application/json"
+
+#: Accept values (lowercased substrings) resolving to each format.
+_ACCEPT_ALIASES = {
+    FORMAT_RAW: ("application/octet-stream",),
+    FORMAT_TILES: ("application/x-repro-tiles",),
+    FORMAT_JSON: ("application/json", "text/json"),
+}
+
+
+class WireError(ReproError):
+    """Malformed wire-format input (maps to HTTP 400)."""
+
+
+def parse_box(text: str) -> MInterval:
+    """Parse a ``box`` query parameter; :class:`WireError` on bad input."""
+    try:
+        return MInterval.parse(text)
+    except (ValueError, ReproError) as exc:
+        raise WireError(f"malformed box {text!r}: {exc}") from None
+
+
+def negotiate(accept: Optional[str]) -> Optional[str]:
+    """Pick a response format from an ``Accept`` header.
+
+    Missing headers and wildcard accepts resolve to the raw format;
+    an Accept that names none of the supported types returns ``None``
+    (the server answers 406).
+    """
+    if accept is None or not accept.strip():
+        return FORMAT_RAW
+    lowered = accept.lower()
+    for fmt, aliases in _ACCEPT_ALIASES.items():
+        if any(alias in lowered for alias in aliases):
+            return fmt
+    if "*/*" in lowered or "application/*" in lowered:
+        return FORMAT_RAW
+    return None
+
+
+def dtype_token(dtype: np.dtype) -> str:
+    """A dtype as its portable array-interface string (``|u1``, ``<i4``)."""
+    if dtype.fields is not None:
+        raise WireError(
+            f"structured base types are not wire-transferable ({dtype})"
+        )
+    return dtype.str
+
+
+def parse_dtype(token: str) -> np.dtype:
+    try:
+        return np.dtype(token)
+    except TypeError as exc:
+        raise WireError(f"bad dtype token {token!r}: {exc}") from None
+
+
+def default_token(value: object) -> Union[int, float]:
+    """The base type's default cell as a JSON-safe number."""
+    if isinstance(value, (int, float)):
+        return value
+    return float(np.asarray(value).item())
+
+
+def etag_for(collection: str, name: str, epoch: int) -> str:
+    """Strong ETag of one published object version."""
+    return f'"{collection}/{name}@{epoch}"'
+
+
+def epoch_from_etag(etag: str) -> int:
+    """The publication epoch an ETag encodes; :class:`WireError` if not ours."""
+    try:
+        return int(etag.strip().strip('"').rsplit("@", 1)[1])
+    except (IndexError, ValueError):
+        raise WireError(f"not a repro ETag: {etag!r}") from None
+
+
+def etag_matches(etag: str, if_none_match: Optional[str]) -> bool:
+    """RFC 7232 ``If-None-Match`` comparison (list form and ``*``)."""
+    if if_none_match is None:
+        return False
+    candidates = {token.strip() for token in if_none_match.split(",")}
+    return "*" in candidates or etag in candidates
+
+
+# ---------------------------------------------------------------------------
+# Tile frames
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TileFrame:
+    """One stored tile on the wire: its domain and stored payload."""
+
+    domain: MInterval
+    codec: str
+    payload: bytes
+    virtual: bool = False
+
+
+def encode_frames(
+    box: MInterval,
+    dtype: np.dtype,
+    default: object,
+    frames: list[TileFrame],
+) -> bytes:
+    """Serialise a tile-frame response body."""
+    header = json.dumps(
+        {
+            "box": str(box),
+            "shape": list(box.shape),
+            "dtype": dtype_token(dtype),
+            "default": default_token(default),
+            "count": len(frames),
+        }
+    ).encode("utf-8")
+    parts = [MAGIC, struct.pack(">I", len(header)), header]
+    for frame in frames:
+        meta = json.dumps(
+            {
+                "domain": str(frame.domain),
+                "codec": frame.codec,
+                "virtual": frame.virtual,
+                "nbytes": 0 if frame.virtual else len(frame.payload),
+            }
+        ).encode("utf-8")
+        parts.append(struct.pack(">I", len(meta)))
+        parts.append(meta)
+        if not frame.virtual:
+            parts.append(frame.payload)
+    return b"".join(parts)
+
+
+def decode_frames(body: bytes) -> tuple[dict, list[TileFrame]]:
+    """Parse a tile-frame body into its header dict and frames."""
+    if body[: len(MAGIC)] != MAGIC:
+        raise WireError("tile-frame body lacks the RTF1 magic")
+    offset = len(MAGIC)
+
+    def take(n: int) -> bytes:
+        nonlocal offset
+        if offset + n > len(body):
+            raise WireError("truncated tile-frame body")
+        chunk = body[offset : offset + n]
+        offset += n
+        return chunk
+
+    def take_json() -> dict:
+        (length,) = struct.unpack(">I", take(4))
+        try:
+            return json.loads(take(length).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError(f"bad tile-frame header: {exc}") from None
+
+    header = take_json()
+    frames: list[TileFrame] = []
+    for _ in range(int(header.get("count", 0))):
+        meta = take_json()
+        virtual = bool(meta.get("virtual"))
+        payload = b"" if virtual else take(int(meta["nbytes"]))
+        frames.append(
+            TileFrame(
+                domain=MInterval.parse(meta["domain"]),
+                codec=str(meta["codec"]),
+                payload=payload,
+                virtual=virtual,
+            )
+        )
+    if offset != len(body):
+        raise WireError(
+            f"tile-frame body has {len(body) - offset} trailing byte(s)"
+        )
+    return header, frames
+
+
+def assemble(
+    box: MInterval,
+    dtype: np.dtype,
+    default: object,
+    frames: list[TileFrame],
+) -> np.ndarray:
+    """Compose decoded frames into the dense result array.
+
+    The exact composition rule of :meth:`StoredMDD.read`: default-filled
+    output, each real tile's overlap copied in, virtual tiles (and
+    uncovered space) left at the default — so a client assembling frames
+    is byte-identical to the server reading directly.
+    """
+    out = np.zeros(box.shape, dtype=dtype)
+    default_value = np.asarray(default, dtype=dtype)
+    if default_value != 0:
+        out[...] = default_value
+    for frame in frames:
+        part = frame.domain.intersection(box)
+        if part is None or frame.virtual:
+            continue
+        raw = decompress(frame.payload, frame.codec)
+        expected = frame.domain.cell_count * dtype.itemsize
+        if len(raw) != expected:
+            raise WireError(
+                f"tile {frame.domain} decoded to {len(raw)} bytes, "
+                f"expected {expected}"
+            )
+        tile = np.frombuffer(raw, dtype=dtype).reshape(frame.domain.shape)
+        out[part.to_slices(box.lowest)] = tile[
+            part.to_slices(frame.domain.lowest)
+        ]
+    return out
