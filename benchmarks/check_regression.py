@@ -33,6 +33,13 @@ fails the build.  The artifact's ``label`` picks the comparison:
   ETag invalidation are the boolean identity verdicts (hard-gated);
   requests/s and p50/p99 latency live in ``performance`` and are never
   compared (they measure the runner's network stack, not the code).
+* ``query`` — per-strategy/config result digests and modelled charges
+  (including ``tiles_partial_agg``), same shape as ``pipeline``.
+  Bitwise identity of the pushdown vs materialize strategies and the
+  worker-bounded peak-memory verdict are hard-gated via identity;
+  ``peak_partial_bytes`` itself depends on thread scheduling and is
+  never compared field-for-field, and the modelled speedups live in
+  ``performance`` and stay soft.
 
 Identity verdicts are held to in both cases: a verdict that was True in
 the baseline must stay True.
@@ -62,6 +69,7 @@ CHARGE_FIELDS = (
     "cells_fetched",
     "tiles_pruned",
     "tiles_synopsis_answered",
+    "tiles_partial_agg",
 )
 
 # deterministic per-mode ingest fields (WAL tallies and logical outcome)
@@ -224,6 +232,9 @@ def compare(candidate: dict, baseline: dict) -> list[str]:
         problems += _compare_serve_modes(candidate, baseline)
     elif baseline.get("label") == "prune":
         # same per-mode/point digest+charges shape as pipeline
+        problems += _compare_pipeline_modes(candidate, baseline)
+    elif baseline.get("label") == "query":
+        # same per-strategy/config digest+charges shape as pipeline
         problems += _compare_pipeline_modes(candidate, baseline)
     else:
         # "pipeline" and "obs" share the per-mode/query digest+charges shape

@@ -50,6 +50,7 @@ from repro.bench.report import (
 from repro.core.cells import known_base_types
 from repro.core.geometry import MInterval
 from repro.core.mddtype import mdd_type
+from repro.index.zonemap import AGG_FUNCS
 from repro.query.engine import QueryEngine
 from repro.storage.compression import known_codecs
 from repro.storage.disk import CpuParameters, DiskParameters
@@ -395,7 +396,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
     profile = database.profile(
-        "explain", args.scheme, region, predicate=predicate
+        "explain", args.scheme, region, predicate=predicate,
+        op=args.agg, pushdown=not args.no_pushdown,
     )
     if args.json:
         print(json.dumps(profile.as_dict(), indent=2))
@@ -606,6 +608,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if value is False
         ]
         return 1 if failed else 0
+    if args.mode == "query":
+        from repro.bench.query import comparison_table, run_query_bench
+
+        report = run_query_bench(
+            runs=args.runs,
+            artifact_dir=_artifact_dir(args),
+        )
+        print(comparison_table(report))
+        print()
+        print("identity verdicts:")
+        for name, value in report["identity"].items():
+            print(f"  {name}: {value}")
+        print("performance (not gated):")
+        for name, value in report["performance"].items():
+            formatted = f"{value:.2f}" if isinstance(value, float) else value
+            print(f"  {name}: {formatted}")
+        if "artifact_path" in report:
+            print(f"\nwrote {report['artifact_path']}")
+        failed = [
+            name
+            for name, value in report["identity"].items()
+            if value is False
+        ]
+        return 1 if failed else 0
     if args.mode == "serve":
         from repro.bench.serve import comparison_table, run_serve_bench
 
@@ -748,12 +774,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "mode",
-        choices=("pipeline", "ingest", "concurrent", "obs", "prune", "serve"),
+        choices=(
+            "pipeline", "ingest", "concurrent", "obs", "prune", "serve",
+            "query",
+        ),
         help="pipeline: serial vs parallel vs decoded-cache reads; "
              "ingest: serial vs batched vs parallel writes; "
              "concurrent: snapshot-reader scaling under a writer; "
              "obs: observability overhead, enabled vs disabled vs no-obs; "
-             "prune: zone-map pruning selectivity sweep vs full scan",
+             "prune: zone-map pruning selectivity sweep vs full scan; "
+             "query: planned aggregate/GROUP BY pushdown vs materialize",
     )
     bench.add_argument(
         "--runs", type=int, default=3, metavar="N",
@@ -831,6 +861,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--where", metavar="PRED", default=None,
         help="cell-level predicate, e.g. '> 128' or 'c != 0'; adds a "
              "prune stage reporting tiles_pruned",
+    )
+    explain.add_argument(
+        "--agg", metavar="OP", default=None,
+        choices=sorted(AGG_FUNCS),
+        help="profile an aggregate instead of a read: plan shows the "
+             "partial-aggregate pushdown stages "
+             f"(one of: {', '.join(sorted(AGG_FUNCS))})",
+    )
+    explain.add_argument(
+        "--no-pushdown", action="store_true",
+        help="with --agg, force the v1 materialize-then-reduce path",
     )
     serve = subparsers.add_parser(
         "serve-metrics",

@@ -62,6 +62,13 @@ class ClientStats:
     not_modified: int = 0
     retries: int = 0
     bytes_received: int = 0
+    #: Pushdown effectiveness of ``query()`` statements, accumulated
+    #: from the ``X-Repro-Tiles-*`` response headers: tiles the server
+    #: pruned by zone map, answered from stored synopses with zero
+    #: decode, and actually fetched/decoded.
+    tiles_pruned: int = 0
+    tiles_synopsis_answered: int = 0
+    tiles_decoded: int = 0
     _latch: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -72,6 +79,14 @@ class ClientStats:
             self.bytes_received += bytes_received
             if not_modified:
                 self.not_modified += 1
+
+    def _count_pushdown(
+        self, pruned: int, synopsis: int, decoded: int
+    ) -> None:
+        with self._latch:
+            self.tiles_pruned += pruned
+            self.tiles_synopsis_answered += synopsis
+            self.tiles_decoded += decoded
 
 
 @dataclass(frozen=True)
@@ -168,7 +183,13 @@ class Client:
             body=json.dumps({"query": statement}).encode("utf-8"),
             headers={"Content-Type": "application/json"},
         )
-        return self._json(response)["results"]
+        results = self._json(response)["results"]
+        self.stats._count_pushdown(
+            int(response.headers.get("x-repro-tiles-pruned", 0)),
+            int(response.headers.get("x-repro-tiles-synopsis", 0)),
+            int(response.headers.get("x-repro-tiles-decoded", 0)),
+        )
+        return results
 
     def write(
         self,

@@ -47,6 +47,8 @@ __all__ = [
     "note_synopsis_answered",
     "note_tiles_pruned",
     "parse_predicate",
+    "partial_aggregate_eligible",
+    "partial_synopsis",
     "synopsis_can_match",
 ]
 
@@ -249,7 +251,14 @@ def compute_synopsis(
     is the numpy-accumulator sum (ints/bools) or the NaN-ignoring sum
     (floats).
     """
-    a = np.asarray(array)
+    syn = _summarize(np.asarray(array), nbins)
+    if syn is not None:
+        _SYNOPSES_BUILT.inc()
+    return syn
+
+
+def _summarize(a: np.ndarray, nbins: int) -> Optional[TileSynopsis]:
+    """The reduction core shared by ingest synopses and query partials."""
     if a.dtype.fields is not None or a.dtype.kind not in "biuf":
         return None
     count = int(a.size)
@@ -261,34 +270,50 @@ def compute_synopsis(
         nan_count = int(nan_mask.sum())
         values = a[~nan_mask].ravel() if nan_count else a.ravel()
         if values.size == 0:
-            syn = TileSynopsis(count, nonzero, None, None, 0.0, nan_count)
-        else:
-            vmin = values.min().item()
-            vmax = values.max().item()
-            syn = TileSynopsis(
-                count,
-                nonzero,
-                vmin,
-                vmax,
-                float(values.sum()),
-                nan_count,
-                nbins if nbins >= 2 else 0,
-                _build_bitmap(values, vmin, vmax, nbins),
-            )
-    else:
-        vmin = a.min().item()
-        vmax = a.max().item()
-        syn = TileSynopsis(
+            return TileSynopsis(count, nonzero, None, None, 0.0, nan_count)
+        vmin = values.min().item()
+        vmax = values.max().item()
+        return TileSynopsis(
             count,
             nonzero,
             vmin,
             vmax,
-            int(a.sum()),
-            0,
+            float(values.sum()),
+            nan_count,
             nbins if nbins >= 2 else 0,
-            _build_bitmap(a.ravel(), vmin, vmax, nbins),
+            _build_bitmap(values, vmin, vmax, nbins),
         )
-    _SYNOPSES_BUILT.inc()
+    vmin = a.min().item()
+    vmax = a.max().item()
+    return TileSynopsis(
+        count,
+        nonzero,
+        vmin,
+        vmax,
+        int(a.sum()),
+        0,
+        nbins if nbins >= 2 else 0,
+        _build_bitmap(a.ravel(), vmin, vmax, nbins),
+    )
+
+
+def partial_synopsis(array: np.ndarray) -> TileSynopsis:
+    """Exact value summary of one tile *fragment* (the pushdown partial).
+
+    Computed on the pipeline workers from the decoded, region-clipped
+    (and predicate-masked) cells of a tile: the same reductions as
+    :func:`compute_synopsis` but with no histogram bitmap and no
+    ingest-side counter — this is a query-time partial aggregate, not a
+    stored synopsis.  Feeding these into :func:`combine_aggregate` as
+    ``syn_parts`` reproduces every condenser bitwise under the
+    :func:`partial_aggregate_eligible` guards, because ``nonzero`` /
+    ``vmin`` / ``vmax`` / ``vsum`` / ``nan_count`` are exact properties
+    of the actual cells.
+    """
+    a = np.asarray(array)
+    syn = _summarize(a, 0)
+    if syn is None:  # callers pre-check the dtype; keep the guard anyway
+        raise ValueError(f"cannot summarise dtype {a.dtype}")
     return syn
 
 
@@ -496,6 +521,55 @@ def aggregate_eligible(
     return region_cells * max_abs < bound
 
 
+def partial_aggregate_eligible(
+    op: str,
+    dtype: np.dtype,
+    synopses: Iterable[Optional[TileSynopsis]],
+    uncovered: int,
+    default: object,
+    region_cells: int,
+    masked: bool = False,
+) -> bool:
+    """May ``op`` be computed as per-tile partials combined at the top?
+
+    The pushdown variant of :func:`aggregate_eligible`: each intersecting
+    tile contributes a :func:`partial_synopsis` of its decoded (clipped,
+    optionally masked) cells, and the coordinator combines them in tile-id
+    order.  ``count``/``min``/``max`` partials are exact selections and
+    counts for every numeric dtype, so they are always eligible — the
+    per-tile combination never re-associates a float sum.  Integer
+    ``add``/``avg`` are eligible under the same synopsis-backed magnitude
+    bound as the zero-decode short-circuit (the *materialized* reduction
+    this path must reproduce uses the wrapping int64/uint64 accumulator
+    and the float64 mean, which the exact Python-int partial combination
+    only matches below those bounds); float ``add``/``avg`` are never
+    eligible and must fall back to materialize-then-reduce.
+
+    ``masked`` marks a cell-predicate query: failing cells then carry
+    the default value *inside* tiles, so ``|default|`` always enters the
+    magnitude bound, not only when the region has uncovered space.
+    """
+    if dtype.fields is not None or dtype.kind not in "biuf":
+        return False
+    if op in ("count_cells", "min_cells", "max_cells"):
+        return True
+    if op not in ("add_cells", "avg_cells"):
+        return False
+    if dtype.kind == "f":
+        return False
+    max_abs = abs(default) if (uncovered or masked) else 0  # type: ignore[arg-type]
+    for syn in synopses:
+        if syn is None:
+            return False
+        if syn.cell_count == 0:
+            continue
+        if syn.vmin is None:
+            return False
+        max_abs = max(max_abs, abs(syn.vmin), abs(syn.vmax))
+    bound = _SUM_BOUND if op == "add_cells" else _AVG_BOUND
+    return region_cells * max_abs < bound
+
+
 def combine_aggregate(
     op: str,
     dtype: np.dtype,
@@ -539,7 +613,10 @@ def combine_aggregate(
             if isinstance(default, float) and math.isnan(default):
                 saw_nan = True
             else:
-                values.append(default)
+                # the dtype's scalar, exactly as np.min/np.max over a
+                # default-filled fragment would yield it (0.0 for float
+                # arrays, False for bool — not the raw Python int 0)
+                values.append(dtype.type(default).item())
         if saw_nan and dtype.kind == "f":
             return float("nan")  # np.min/np.max propagate NaN
         return pick(values)

@@ -10,7 +10,7 @@ session's history.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -19,12 +19,17 @@ from repro.core.errors import QueryError
 from repro.core.geometry import MInterval
 from repro.index.zonemap import AGG_FUNCS, CellPredicate
 from repro.query.access import Access, classify
+from repro.query.plan import aggregate_plan, group_by_plan
 from repro.query.result import QueryResult
+from repro.query.timing import QueryTiming
 
 _RANGE_QUERIES = obs.counter("query.range_queries", "Range queries executed")
 _SECTION_QUERIES = obs.counter("query.section_queries", "Section queries executed")
 _AGGREGATE_QUERIES = obs.counter(
     "query.aggregate_queries", "Aggregate (condenser) queries executed"
+)
+_GROUP_BY_QUERIES = obs.counter(
+    "query.group_by_queries", "GROUP BY (roll-up) queries executed"
 )
 
 
@@ -145,16 +150,26 @@ class QueryEngine:
         op: str,
         predicate: Optional[CellPredicate] = None,
         prune: bool = True,
+        pushdown: bool = True,
     ) -> QueryResult:
         """Condense a region with one of the RasQL condensers.
 
-        Without a predicate the condense routes through
-        :meth:`StoredMDD.aggregate`, which answers fully-covered tiles
-        from their zone-map synopses with zero decode whenever that is
-        provably bitwise-exact.  With a ``predicate`` the region is read
-        masked (pruning still skips irrelevant tiles) and reduced here.
-        Aggregation time is part of post-processing, so it adds to
-        ``t_cpu``.
+        The planned path (``pushdown=True``, the default) routes through
+        :meth:`StoredMDD.aggregate_push`: zone maps prune, stored
+        synopses answer fully-covered tiles with zero decode, and the
+        remaining tiles are reduced to partials **on the pipeline
+        workers** — the query box is never materialized, and the
+        coordinator combines partials in tile-id order.  The storage
+        layer falls back to materialize-then-reduce whenever the
+        exactness guards reject pushdown, so the result is
+        bitwise-identical either way; the annotated
+        :class:`~repro.query.plan.QueryPlan` on the result records which
+        branch ran.
+
+        ``pushdown=False`` keeps the v1 path — the materialized
+        reduction the bench verifies identity against: without a
+        predicate through :meth:`StoredMDD.aggregate`, with one through
+        a masked read reduced here (charged to ``t_cpu``).
         """
         try:
             func = AGGREGATES[op]
@@ -167,11 +182,23 @@ class QueryEngine:
                 f"aggregate {op!r} needs a numeric base type, object "
                 f"{obj.name!r} has {obj.mdd_type.base.name!r}"
             )
+        plan = aggregate_plan(
+            obj.name,
+            obj.resolve_region(region),
+            op,
+            predicate=predicate,
+            pushdown=pushdown,
+        )
         with obs.span(
             "query.aggregate", object=obj.name, op=op, region=str(region)
         ):
-            if predicate is None:
+            if pushdown:
+                value, timing, pushed = obj.aggregate_push(
+                    region, op, predicate=predicate, prune=prune
+                )
+            elif predicate is None:
                 value, timing = obj.aggregate(region, op, prune=prune)
+                pushed = False
             else:
                 data, timing = obj.read(
                     region, predicate=predicate, prune=prune
@@ -179,6 +206,7 @@ class QueryEngine:
                 started = time.perf_counter()
                 value = func(data)
                 timing.t_cpu += (time.perf_counter() - started) * 1000.0
+                pushed = False
             self._log(obj, region)
         _AGGREGATE_QUERIES.inc()
         return QueryResult(
@@ -186,6 +214,117 @@ class QueryEngine:
             timing=timing,
             region=obj.resolve_region(region),
             object_name=obj.name,
+            plan=plan.annotate(timing, pushed),
+        )
+
+    def group_by_query(
+        self,
+        obj: StoredMDD,
+        region: MInterval,
+        op: str,
+        group_spec: Mapping[int, Sequence[tuple[int, int]]],
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
+        pushdown: bool = True,
+    ) -> QueryResult:
+        """One aggregate per cell of the GROUP BY interval cross product.
+
+        ``group_spec`` maps an axis to its closed coordinate spans (the
+        OLAP category intervals); axes absent from it form a single group
+        spanning the query region's full extent.  Each group is one
+        aggregate over the corresponding box, executed through the same
+        pushdown path as :meth:`aggregate_query` (or materialized with
+        ``pushdown=False`` — the v1 comparison path), in deterministic
+        row-major group order.  The result is a float64 cube shaped by
+        the span counts, exactly as :class:`~repro.query.olap.RollUp`
+        lays its values out.
+        """
+        if op not in AGGREGATES:
+            raise QueryError(
+                f"unknown aggregate {op!r}; known: {sorted(AGGREGATES)}"
+            )
+        if obj.mdd_type.base.dtype.fields is not None:
+            raise QueryError(
+                f"aggregate {op!r} needs a numeric base type, object "
+                f"{obj.name!r} has {obj.mdd_type.base.name!r}"
+            )
+        region = obj.resolve_region(region)
+        for axis in group_spec:
+            if not 0 <= axis < region.dim:
+                raise QueryError(
+                    f"GROUP BY axis dim{axis} out of range for "
+                    f"{region.dim}-d object {obj.name!r}"
+                )
+        spans_per_axis: list[list[tuple[int, int]]] = []
+        for axis in range(region.dim):
+            spans = group_spec.get(axis)
+            if spans is None:
+                spans_per_axis.append(
+                    [(region.lowest[axis], region.highest[axis])]
+                )
+                continue
+            if not spans:
+                raise QueryError(f"GROUP BY axis {axis} lists no intervals")
+            for low, high in spans:
+                if low > high:
+                    raise QueryError(
+                        f"GROUP BY interval {low}:{high} on axis {axis} "
+                        f"is empty"
+                    )
+            spans_per_axis.append([(int(lo), int(hi)) for lo, hi in spans])
+        shape = tuple(len(spans) for spans in spans_per_axis)
+        group_count = int(np.prod(shape))
+        plan = group_by_plan(
+            obj.name,
+            region,
+            op,
+            {axis: spans for axis, spans in group_spec.items()},
+            group_count,
+            predicate=predicate,
+            pushdown=pushdown,
+        )
+        values = np.zeros(shape, dtype=np.float64)
+        timing = QueryTiming()
+        all_pushed = pushdown
+        with obs.span(
+            "query.group_by",
+            object=obj.name,
+            op=op,
+            region=str(region),
+            groups=group_count,
+        ):
+            for index in np.ndindex(shape):
+                box = MInterval(
+                    [spans_per_axis[ax][i][0] for ax, i in enumerate(index)],
+                    [spans_per_axis[ax][i][1] for ax, i in enumerate(index)],
+                )
+                if pushdown:
+                    value, box_timing, pushed = obj.aggregate_push(
+                        box, op, predicate=predicate, prune=prune
+                    )
+                    all_pushed = all_pushed and pushed
+                elif predicate is None:
+                    value, box_timing = obj.aggregate(box, op, prune=prune)
+                else:
+                    data, box_timing = obj.read(
+                        box, predicate=predicate, prune=prune
+                    )
+                    started = time.perf_counter()
+                    value = AGGREGATES[op](data)
+                    box_timing.t_cpu += (
+                        time.perf_counter() - started
+                    ) * 1000.0
+                timing.add(box_timing)
+                values[index] = value
+            self._log(obj, region)
+        _GROUP_BY_QUERIES.inc()
+        return QueryResult(
+            value=values,
+            timing=timing,
+            region=region,
+            object_name=obj.name,
+            plan=plan.annotate(timing, all_pushed),
+            groups=tuple(tuple(spans) for spans in spans_per_axis),
         )
 
     # ------------------------------------------------------------------

@@ -66,12 +66,21 @@ def aggregate_by_category(
     obj: "StoredMDD",
     partitions: Mapping[int, Sequence[int]],
     op: str = "add_cells",
+    pushdown: bool = True,
 ) -> RollUp:
     """Compute one aggregate per category combination of the partitions.
 
     ``partitions`` uses the paper's boundary notation per axis (see
     :func:`~repro.tiling.directional.category_intervals`); axes without a
     partition form a single category spanning the full extent.
+
+    With ``pushdown`` (the default) each category block runs through the
+    planned engine's per-tile partial aggregation
+    (:meth:`StoredMDD.aggregate_push`): the block is never materialized,
+    synopses answer fully-covered tiles with zero decode, and the
+    exactness guards guarantee the values match the materialized
+    reduction bitwise.  ``pushdown=False`` keeps the v1
+    read-then-reduce (the identity baseline).
     """
     if obj.current_domain is None:
         raise QueryError(f"object {obj.name!r} holds no tiles yet")
@@ -109,6 +118,11 @@ def aggregate_by_category(
                 [spans_per_axis[ax][i][0] for ax, i in enumerate(prefix)],
                 [spans_per_axis[ax][i][1] for ax, i in enumerate(prefix)],
             )
+            if pushdown:
+                value, block_timing, _pushed = obj.aggregate_push(region, op)
+                timing.add(block_timing)
+                values[tuple(prefix)] = value
+                return
             data, block_timing = obj.read(region)
             timing.add(block_timing)
             started = time.perf_counter()

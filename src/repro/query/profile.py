@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.query.plan import QueryPlan, aggregate_plan
 from repro.query.timing import QueryTiming
 
 #: Modelled reconciliation slack: the disk accumulates charges into one
@@ -82,6 +83,8 @@ class QueryProfile:
     #: Span dicts of this query's tree (root first), empty if tracing
     #: was disabled.
     spans: Tuple[dict, ...] = ()
+    #: The annotated logical plan, for planned (aggregate) profiles.
+    plan: Optional[QueryPlan] = None
 
     # -- reconciliation ----------------------------------------------------
 
@@ -102,7 +105,7 @@ class QueryProfile:
 
     @property
     def root_wall_ms(self) -> Optional[float]:
-        """Duration of the ``tilestore.read`` span, if traced."""
+        """Duration of the query's root span, if traced."""
         if not self.spans:
             return None
         return self.spans[0]["duration_ms"]
@@ -112,7 +115,9 @@ class QueryProfile:
 
         The root span must sit within ``tolerance_ms`` of the wall time
         measured around the call, and the direct child stages must fit
-        inside the root (children are disjoint phases of the read).
+        inside the root (children are disjoint phases of the read;
+        worker-side decode / partial-aggregate spans overlap the fetch
+        stage, so they are excluded from the sum).
         Returns ``None`` when tracing was disabled (nothing to check).
         """
         root = self.root_wall_ms
@@ -122,14 +127,15 @@ class QueryProfile:
             return False
         child_sum = sum(
             s.wall_ms for s in self.stages
-            if s.wall_ms is not None and s.name != "decode"
+            if s.wall_ms is not None
+            and s.name not in ("decode", "partial-aggregate")
         )
         return child_sum <= root + tolerance_ms
 
     # -- presentation ------------------------------------------------------
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "collection": self.collection,
             "object": self.object_name,
             "region": self.region,
@@ -142,14 +148,22 @@ class QueryProfile:
             "stages": [stage.as_dict() for stage in self.stages],
             "spans": list(self.spans),
         }
+        if self.plan is not None:
+            payload["plan"] = self.plan.as_dict()
+        return payload
 
     def format(self) -> str:
         """EXPLAIN ANALYZE-style text report."""
         timing = self.timing
         lines = [
             f"EXPLAIN ANALYZE  {self.collection}.{self.object_name}{self.region}",
+        ]
+        if self.plan is not None:
+            lines += ["", self.plan.format()]
+        width = max(10, *(len(stage.name) for stage in self.stages))
+        lines += [
             "",
-            f"{'stage':<10} {'wall ms':>10} {'model ms':>10}  detail",
+            f"{'stage':<{width}} {'wall ms':>10} {'model ms':>10}  detail",
         ]
         for stage in self.stages:
             wall = f"{stage.wall_ms:.3f}" if stage.wall_ms is not None else "-"
@@ -159,10 +173,12 @@ class QueryProfile:
                 else "-"
             )
             detail = " ".join(f"{k}={v}" for k, v in stage.detail.items())
-            lines.append(f"{stage.name:<10} {wall:>10} {model:>10}  {detail}")
+            lines.append(
+                f"{stage.name:<{width}} {wall:>10} {model:>10}  {detail}"
+            )
         root = self.root_wall_ms
         lines += [
-            f"{'total':<10} "
+            f"{'total':<{width}} "
             f"{(f'{root:.3f}' if root is not None else '-'):>10} "
             f"{timing.t_totalcpu:>10.3f}",
             "",
@@ -171,6 +187,7 @@ class QueryProfile:
             f"{timing.decoded_misses} decoded), "
             f"{timing.tiles_pruned} pruned, "
             f"{timing.tiles_synopsis_answered} synopsis-answered, "
+            f"{timing.tiles_partial_agg} partial-aggregated, "
             f"{timing.index_nodes} index nodes visited",
             f"bytes      : {timing.bytes_read} moved, "
             f"{timing.pages_read} pages, "
@@ -196,15 +213,17 @@ class QueryProfile:
         return "\n".join(lines)
 
 
-def _query_tree(before_ids: set, tracer) -> Tuple[list, dict]:
-    """This query's finished spans: the tree under its ``tilestore.read``.
+def _query_tree(
+    before_ids: set, tracer, root_name: str = "tilestore.read"
+) -> Tuple[list, dict]:
+    """This query's finished spans: the tree under its ``root_name`` span.
 
     Diffs the tracer ring against the pre-read snapshot, finds the new
-    ``tilestore.read`` root, and keeps only spans reachable from it —
-    spans from concurrent queries on other threads are left out.
+    root, and keeps only spans reachable from it — spans from concurrent
+    queries on other threads are left out.
     """
     new = [s for s in tracer.finished() if s.span_id not in before_ids]
-    root = next((s for s in new if s.name == "tilestore.read"), None)
+    root = next((s for s in new if s.name == root_name), None)
     if root is None:
         return [], {}
     keep = {root.span_id}
@@ -322,4 +341,146 @@ def profile_read(
         wall_ms=wall_ms,
         disk_ms_delta=disk_delta,
         spans=tuple(s.as_dict() for s in tree),
+    )
+
+
+def profile_aggregate(
+    database,
+    collection: str,
+    name: str,
+    region,
+    op: str,
+    predicate=None,
+    pushdown: bool = True,
+) -> QueryProfile:
+    """Profile one planned aggregate query (EXPLAIN for the v2 engine).
+
+    Runs ``op`` over ``region`` through
+    :meth:`StoredMDD.aggregate_push` (or the v1 materialized reduction
+    with ``pushdown=False``), reconciling the same three sources as
+    :func:`profile_read` — the :class:`QueryTiming`, the span tree under
+    the ``tilestore.aggregate`` root, and the simulated disk clock.
+    The returned profile carries the annotated
+    :class:`~repro.query.plan.QueryPlan`, whose rendering leads the
+    ``format()`` output (scan → prune → partial-aggregate → combine →
+    project, with tiles pruned / synopsis-answered / decoded).
+    """
+    obj = database.collection(collection)[name]
+    plan = aggregate_plan(
+        name,
+        obj.resolve_region(region),
+        op,
+        predicate=predicate,
+        pushdown=pushdown,
+    )
+    tracer = obs.tracer
+    before_ids = {s.span_id for s in tracer.finished()}
+    disk_before = database.disk.counters.time_ms
+    started = time.perf_counter()
+    if pushdown:
+        _value, timing, pushed = obj.aggregate_push(
+            region, op, predicate=predicate
+        )
+    elif predicate is None:
+        _value, timing = obj.aggregate(region, op)
+        pushed = False
+    else:
+        from repro.index.zonemap import AGG_FUNCS
+
+        data, timing = obj.read(region, predicate=predicate)
+        reduce_started = time.perf_counter()
+        _value = AGG_FUNCS[op](data)
+        timing.t_cpu += (time.perf_counter() - reduce_started) * 1000.0
+        pushed = False
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    disk_delta = database.disk.counters.time_ms - disk_before
+    plan.annotate(timing, pushed)
+
+    root_name = (
+        "tilestore.aggregate" if pushdown or predicate is None
+        else "tilestore.read"
+    )
+    tree, by_name = _query_tree(before_ids, tracer, root_name=root_name)
+
+    def wall(span_name: str) -> Optional[float]:
+        spans = by_name.get(span_name)
+        if not spans:
+            return None
+        return spans[0].duration_ms
+
+    stages = [
+        StageProfile(
+            "index",
+            wall("index.search"),
+            timing.t_ix,
+            {
+                "nodes": timing.index_nodes,
+                "model_pages_ms": round(timing.t_ix_pages, 6),
+                "measured_cpu_ms": round(timing.t_ix - timing.t_ix_pages, 6),
+            },
+        ),
+    ]
+    if predicate is not None:
+        stages.append(
+            StageProfile(
+                "prune",
+                None,
+                None,
+                {
+                    "predicate": str(predicate),
+                    "tiles_pruned": timing.tiles_pruned,
+                },
+            )
+        )
+    stages.append(
+        StageProfile(
+            "fetch",
+            wall("tilestore.fetch"),
+            timing.t_o,
+            {
+                "tiles": timing.tiles_read,
+                "bytes": timing.bytes_read,
+                "pages": timing.pages_read,
+                "decoded_hits": timing.decoded_hits,
+                "pool_hits": timing.pool_hits,
+            },
+        )
+    )
+    partial_spans = by_name.get("pipeline.partial_agg", [])
+    if partial_spans or timing.tiles_partial_agg:
+        stages.append(
+            StageProfile(
+                "partial-aggregate",
+                sum(s.duration_ms for s in partial_spans) or None,
+                None,  # worker CPU overlaps the fetch model's t_o
+                {
+                    "tiles": timing.tiles_partial_agg,
+                    "peak_partial_bytes": timing.peak_partial_bytes,
+                },
+            )
+        )
+    combine_wall = wall("tilestore.combine")
+    stages.append(
+        StageProfile(
+            "combine" if combine_wall is not None else "compose",
+            combine_wall
+            if combine_wall is not None
+            else wall("tilestore.compose"),
+            timing.t_cpu,
+            {
+                "synopsis_answered": timing.tiles_synopsis_answered,
+                "order": "tile-id",
+            },
+        )
+    )
+    return QueryProfile(
+        collection=collection,
+        object_name=name,
+        region=str(region),
+        timing=timing,
+        stages=stages,
+        wall_ms=wall_ms,
+        disk_ms_delta=disk_delta,
+        spans=tuple(s.as_dict() for s in tree),
+        plan=plan,
     )

@@ -12,10 +12,16 @@ Supported statements::
     SELECT avg_cells(c) FROM cubes AS c WHERE max_cells(c) > 0
     SELECT c FROM imgs AS c WHERE c > 128             -- cell-level mask
     SELECT count_cells(c) FROM cubes AS c WHERE c >= 900
+    SELECT add_cells(c) FROM cubes AS c GROUP BY dim0(1:31, 32:59)
+    SELECT add_cells(c) FROM cubes AS c WHERE c > 900
+        GROUP BY dim0(1:365, 366:730), dim2(1:50, 51:100)
 
 Grammar (case-insensitive keywords)::
 
-    query      := SELECT expr FROM ident (AS ident)? (WHERE expr)?
+    query      := SELECT expr FROM ident (AS ident)?
+                  (WHERE expr)? (GROUP BY grouping (',' grouping)*)?
+    grouping   := DIMNAME '(' span (',' span)* ')'    DIMNAME: dim<k>
+    span       := ('-')? INT ':' ('-')? INT           -- closed interval
     expr       := additive (RELOP additive)?          RELOP: < <= > >= = !=
     additive   := term (('+'|'-') term)*
     term       := factor (('*'|'/') factor)*
@@ -38,7 +44,14 @@ zone-map pruner skips tiles that provably hold no matching cell.  Any
 other WHERE expression keeps the collection-filtering semantics — it
 must reduce to a scalar per object (``WHERE max_cells(c) > 0``).
 Condensers over a plain trim (``add_cells(c[...])``) route through the
-engine's synopsis short-circuit and may decode zero tiles.
+engine's planned aggregation-pushdown path and may decode zero tiles.
+
+``GROUP BY dim<k>(lo:hi, ...)`` turns a single condenser over the alias
+(or a trim of it) into an OLAP roll-up: one aggregate per cell of the
+interval cross product, each computed through the same pushdown path;
+axes not named form one group spanning the query region.  The result is
+a float64 array shaped by the interval counts, with the spans recorded
+on ``QueryResult.groups``.
 """
 
 from __future__ import annotations
@@ -66,7 +79,9 @@ _TOKEN_RE = re.compile(
     r"|(?P<sym><=|>=|!=|[\[\]():,*+\-/<>=]))"
 )
 
-_KEYWORDS = {"select", "from", "as", "where"}
+_KEYWORDS = {"select", "from", "as", "where", "group", "by"}
+
+_DIM_RE = re.compile(r"^dim(\d+)$", re.IGNORECASE)
 
 _RELOPS = {"<", "<=", ">", ">=", "=", "!="}
 
@@ -155,6 +170,10 @@ class Select:
     collection: str
     alias: Optional[str]
     where: Optional[Expr] = None
+    #: ``GROUP BY`` clause: axis index -> closed coordinate spans.
+    group_by: Optional[tuple[tuple[int, tuple[tuple[int, int], ...]], ...]] = (
+        None
+    )
 
 
 class _Parser:
@@ -201,8 +220,63 @@ class _Parser:
         if self.peek().kind == "kw" and self.peek().text.lower() == "where":
             self.advance()
             where = self.parse_expr()
+        group_by = None
+        if self.peek().kind == "kw" and self.peek().text.lower() == "group":
+            self.advance()
+            self.expect("kw", "by")
+            group_by = self.parse_group_by()
         self.expect("end")
-        return Select(expr, collection, alias, where)
+        return Select(expr, collection, alias, where, group_by)
+
+    def parse_group_by(
+        self,
+    ) -> tuple[tuple[int, tuple[tuple[int, int], ...]], ...]:
+        groupings: list[tuple[int, tuple[tuple[int, int], ...]]] = []
+        seen: set[int] = set()
+        while True:
+            token = self.expect("name")
+            match = _DIM_RE.match(token.text)
+            if match is None:
+                raise RasQLSyntaxError(
+                    f"GROUP BY expects an axis named dim<k>, got "
+                    f"{token.text!r} at position {token.position}"
+                )
+            axis = int(match.group(1))
+            if axis in seen:
+                raise RasQLSyntaxError(
+                    f"axis dim{axis} grouped twice "
+                    f"(position {token.position})"
+                )
+            seen.add(axis)
+            self.expect("sym", "(")
+            spans = [self.parse_span()]
+            while self.at_sym(","):
+                self.advance()
+                spans.append(self.parse_span())
+            self.expect("sym", ")")
+            groupings.append((axis, tuple(spans)))
+            if not self.at_sym(","):
+                break
+            self.advance()
+        return tuple(groupings)
+
+    def parse_span(self) -> tuple[int, int]:
+        token = self.peek()
+        low = self.parse_bound()
+        if low is None:
+            raise RasQLSyntaxError(
+                f"GROUP BY spans need explicit bounds, got '*' at "
+                f"position {token.position}"
+            )
+        self.expect("sym", ":")
+        token = self.peek()
+        high = self.parse_bound()
+        if high is None:
+            raise RasQLSyntaxError(
+                f"GROUP BY spans need explicit bounds, got '*' at "
+                f"position {token.position}"
+            )
+        return (low, high)
 
     def parse_expr(self) -> Expr:
         left = self.parse_additive()
@@ -394,6 +468,9 @@ class _Evaluator:
         self.select = select
         self.obj = obj
         self.predicate = predicate
+        #: Annotated plan of the top-level condenser, when the statement
+        #: is a planned aggregate (set during eval, surfaced by run()).
+        self.plan = None
 
     def _check_alias(self, var: Var) -> None:
         select = self.select
@@ -408,6 +485,8 @@ class _Evaluator:
             )
 
     def run(self) -> QueryResult:
+        if self.select.group_by is not None:
+            return self._run_grouped()
         value, timing = self.eval(self.select.expr)
         region = None
         if isinstance(self.select.expr, (Var, Trim)):
@@ -425,6 +504,43 @@ class _Evaluator:
             timing=timing,
             region=region,
             object_name=self.obj.name,
+            plan=self.plan,
+        )
+
+    def _run_grouped(self) -> QueryResult:
+        """A GROUP BY statement: a roll-up through the planned engine."""
+        select = self.select
+        expr = select.expr
+        if not isinstance(expr, Agg) or not isinstance(
+            expr.operand, (Var, Trim)
+        ):
+            raise RasQLSyntaxError(
+                "GROUP BY requires a single condenser over the array, "
+                "e.g. SELECT add_cells(c) FROM cubes AS c GROUP BY "
+                "dim0(1:31, 32:59)"
+            )
+        var = (
+            expr.operand
+            if isinstance(expr.operand, Var)
+            else expr.operand.var
+        )
+        self._check_alias(var)
+        if isinstance(expr.operand, Var):
+            if self.obj.current_domain is None:
+                raise QueryError(
+                    f"object {self.obj.name!r} holds no tiles yet"
+                )
+            region = self.obj.current_domain
+        else:
+            region, _sliced = _trim_region_and_slices(expr.operand, self.obj)
+        assert select.group_by is not None
+        group_spec = {axis: list(spans) for axis, spans in select.group_by}
+        return self.engine.group_by_query(
+            self.obj,
+            region,
+            expr.op,
+            group_spec,
+            predicate=self.predicate,
         )
 
     def eval(self, node: Expr) -> tuple[object, QueryTiming]:
@@ -507,6 +623,8 @@ class _Evaluator:
             result = self.engine.aggregate_query(
                 self.obj, region, agg.op, predicate=self.predicate
             )
+            if agg is self.select.expr:
+                self.plan = result.plan
             return result.value, result.timing
         value, timing = self.eval(agg.operand)
         if not isinstance(value, np.ndarray):

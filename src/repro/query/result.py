@@ -3,24 +3,36 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.core.geometry import MInterval
 from repro.query.timing import QueryTiming
 
+if TYPE_CHECKING:  # annotation-only (plan imports timing, not results)
+    from repro.query.plan import QueryPlan
+
 Scalar = Union[int, float]
 
 
 @dataclass
 class QueryResult:
-    """Outcome of one query: an array or scalar, its region, the timing."""
+    """Outcome of one query: an array or scalar, its region, the timing.
+
+    Planned queries (aggregates and GROUP BY through the v2 engine)
+    additionally carry the annotated :class:`~repro.query.plan.QueryPlan`
+    in ``plan``; GROUP BY results list the closed coordinate spans each
+    result index refers to in ``groups`` (one tuple of ``(low, high)``
+    spans per axis, mirroring :class:`~repro.query.olap.RollUp`).
+    """
 
     value: Union[np.ndarray, Scalar]
     timing: QueryTiming
     region: Optional[MInterval] = None
     object_name: str = ""
+    plan: Optional["QueryPlan"] = None
+    groups: Optional[tuple[tuple[tuple[int, int], ...], ...]] = None
 
     @property
     def is_scalar(self) -> bool:

@@ -54,6 +54,13 @@ class QueryTiming:
     #: Fully-covered tiles an aggregate answered from the synopsis
     #: without decoding.
     tiles_synopsis_answered: int = 0
+    #: Tiles whose partial aggregate was computed from decoded cells on
+    #: the pipeline workers (the pushdown path; zero on materialize).
+    tiles_partial_agg: int = 0
+    #: Peak bytes of decoded tile arrays concurrently alive during the
+    #: pushdown partial-aggregate phase — bounded by workers x one tile,
+    #: never by the query box (zero outside the pushdown path).
+    peak_partial_bytes: int = 0
 
     @property
     def t_totalaccess(self) -> float:
@@ -97,6 +104,12 @@ class QueryTiming:
         self.decoded_misses += other.decoded_misses
         self.tiles_pruned += other.tiles_pruned
         self.tiles_synopsis_answered += other.tiles_synopsis_answered
+        self.tiles_partial_agg += other.tiles_partial_agg
+        # Peaks don't sum: concurrent live bytes of two sequential
+        # queries never coexist, so the accumulated peak is the max.
+        self.peak_partial_bytes = max(
+            self.peak_partial_bytes, other.peak_partial_bytes
+        )
         return self
 
     def scaled(self, factor: float) -> "QueryTiming":
@@ -129,6 +142,10 @@ class QueryTiming:
             tiles_synopsis_answered=round(
                 self.tiles_synopsis_answered * factor
             ),
+            tiles_partial_agg=round(self.tiles_partial_agg * factor),
+            # A peak is identical across identical runs; scaling it would
+            # misreport the per-run bound, so it passes through unscaled.
+            peak_partial_bytes=self.peak_partial_bytes,
         )
 
     def as_dict(self) -> dict:
@@ -154,6 +171,8 @@ class QueryTiming:
             "decoded_misses": self.decoded_misses,
             "tiles_pruned": self.tiles_pruned,
             "tiles_synopsis_answered": self.tiles_synopsis_answered,
+            "tiles_partial_agg": self.tiles_partial_agg,
+            "peak_partial_bytes": self.peak_partial_bytes,
         }
 
     def __str__(self) -> str:

@@ -108,6 +108,9 @@ def _timing_dict(timing: QueryTiming) -> dict:
         "tiles_read": timing.tiles_read,
         "tiles_pruned": timing.tiles_pruned,
         "tiles_synopsis_answered": timing.tiles_synopsis_answered,
+        "tiles_decoded": timing.tiles_read,
+        "tiles_partial_agg": timing.tiles_partial_agg,
+        "peak_partial_bytes": timing.peak_partial_bytes,
         "bytes_read": timing.bytes_read,
         "pages_read": timing.pages_read,
         "cells_result": timing.cells_result,
@@ -445,8 +448,28 @@ def _make_handler(database: Database) -> type[BaseHTTPRequestHandler]:
                     }
                 if result.region is not None:
                     entry["region"] = str(result.region)
+                if result.groups is not None:
+                    entry["groups"] = [
+                        [list(span) for span in axis_spans]
+                        for axis_spans in result.groups
+                    ]
+                if result.plan is not None:
+                    entry["plan"] = result.plan.as_dict()
                 entry["timing"] = _timing_dict(result.timing)
                 out.append(entry)
+            # Pushdown effectiveness, observable without parsing the
+            # body: totals over every result of the statement.
+            pushdown_headers = {
+                "X-Repro-Tiles-Pruned": str(
+                    sum(r.timing.tiles_pruned for r in results)
+                ),
+                "X-Repro-Tiles-Synopsis": str(
+                    sum(r.timing.tiles_synopsis_answered for r in results)
+                ),
+                "X-Repro-Tiles-Decoded": str(
+                    sum(r.timing.tiles_read for r in results)
+                ),
+            }
             self._reply_json(
                 200,
                 {
@@ -454,6 +477,7 @@ def _make_handler(database: Database) -> type[BaseHTTPRequestHandler]:
                     "epoch": database.epoch.current,
                     "results": out,
                 },
+                headers=pushdown_headers,
             )
 
         def _write(self, coll: str, name: str, params: dict) -> None:

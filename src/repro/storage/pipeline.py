@@ -25,6 +25,7 @@ reproducible.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
@@ -32,9 +33,11 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from repro import obs
+from repro.index.zonemap import CellPredicate, TileSynopsis, partial_synopsis
 from repro.storage.compression import decompress
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only (avoids a cycle)
+    from repro.core.geometry import MInterval
     from repro.storage.tilestore import Database, TileEntry
 
 _WORKERS_BUSY = obs.gauge(
@@ -59,6 +62,14 @@ _READ_RUN_LEN = obs.histogram(
     "io.coalesced.read_run_length",
     "Blobs per backend read issued by the fetch path (1 = not coalesced)",
     buckets=obs.COUNT_BUCKETS,
+)
+_PARTIAL_AGGS = obs.counter(
+    "pipeline.partial_aggregates",
+    "Per-tile partial aggregates computed on the pushdown path",
+)
+_PARTIAL_LIVE_BYTES = obs.gauge(
+    "pipeline.partial_live_bytes",
+    "Decoded tile bytes currently alive in the partial-aggregate phase",
 )
 
 
@@ -240,6 +251,219 @@ def fetch_tiles(
             if tile.array is not None and not tile.decoded_hit:
                 tile.array = cache.put(tile.entry.blob_id, tile.array)
     return fetched  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation pushdown: decode -> clip -> mask -> reduce, on the workers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TilePartial:
+    """One tile's partial aggregate: charges plus an exact value summary.
+
+    ``partial`` summarises the decoded, region-clipped, predicate-masked
+    cells (:func:`~repro.index.zonemap.partial_synopsis`); ``None`` for
+    virtual tiles, whose clipped cells are all defaults — the caller
+    accounts them as default fill.  The decoded array itself is **not**
+    retained: the worker reduces it and drops it, which is what bounds
+    the pushdown path's peak memory at one tile per worker.
+    """
+
+    entry: "TileEntry"
+    part: "MInterval"
+    cost: float
+    payload_bytes: int
+    partial: Optional[TileSynopsis]
+    decoded_hit: bool
+
+
+class _PeakTracker:
+    """Concurrently-live decoded bytes, and the high-water mark."""
+
+    def __init__(self) -> None:
+        self._latch = threading.Lock()
+        self._live = 0
+        self.peak = 0
+
+    def acquire(self, nbytes: int) -> None:
+        with self._latch:
+            self._live += nbytes
+            if self._live > self.peak:
+                self.peak = self._live
+        _PARTIAL_LIVE_BYTES.inc(nbytes)
+
+    def release(self, nbytes: int) -> None:
+        with self._latch:
+            self._live -= nbytes
+        _PARTIAL_LIVE_BYTES.dec(nbytes)
+
+
+def _reduce_tile(
+    array: np.ndarray,
+    entry: "TileEntry",
+    part: "MInterval",
+    predicate: Optional[CellPredicate],
+    default_cell: np.ndarray,
+) -> TileSynopsis:
+    """Clip a decoded tile to its region part, mask it, summarise it."""
+    vals = array[part.to_slices(entry.domain.lowest)]
+    if predicate is not None:
+        vals = np.where(predicate.mask(vals), vals, default_cell)
+    summary = partial_synopsis(vals)
+    _PARTIAL_AGGS.inc()
+    return summary
+
+
+def _partial_task(
+    payload: bytes,
+    entry: "TileEntry",
+    part: "MInterval",
+    dtype,
+    predicate: Optional[CellPredicate],
+    default_cell: np.ndarray,
+    peak: _PeakTracker,
+    parent: Optional[obs.SpanContext] = None,
+) -> TileSynopsis:
+    """Worker half of the pushdown: decode, reduce, drop the array."""
+    _WORKERS_BUSY.inc()
+    try:
+        with obs.span(
+            "pipeline.partial_agg", parent=parent, bytes=len(payload)
+        ):
+            array = _decode(payload, entry.codec, dtype, entry.domain.shape)
+            peak.acquire(array.nbytes)
+            try:
+                return _reduce_tile(array, entry, part, predicate, default_cell)
+            finally:
+                peak.release(array.nbytes)
+    finally:
+        _WORKERS_BUSY.dec()
+
+
+def fetch_tile_partials(
+    database: "Database",
+    items: Sequence[tuple["TileEntry", "MInterval"]],
+    dtype,
+    predicate: Optional[CellPredicate] = None,
+    default: object = 0,
+) -> tuple[list[TilePartial], int]:
+    """Fetch tiles and reduce each to a partial aggregate on the workers.
+
+    The coordinator keeps the exact charging protocol of
+    :func:`fetch_tiles` — decoded-cache lookups first, then page-ordered
+    (coalesced) disk/pool interactions on the calling thread — but the
+    workers reduce each decoded tile to a
+    :class:`~repro.index.zonemap.TileSynopsis` partial instead of
+    returning its cells, so the query box is never materialized and peak
+    memory stays at one decoded tile per worker plus the partials table.
+    Decoded arrays are **not** admitted to the decoded cache (a
+    retain-all admission pass would defeat the memory bound; cache hits
+    are still consulted and answered).
+
+    Returns the partials in ``items`` order plus the observed peak of
+    concurrently-live decoded bytes.
+    """
+    executor = database.pipeline_executor() if len(items) > 1 else None
+    trace_ctx = obs.tracer.current_context() if executor is not None else None
+    cache = database.decoded_cache
+    default_cell = np.asarray(default, dtype=dtype)
+    peak = _PeakTracker()
+    fetched: list[Optional[TilePartial]] = [None] * len(items)
+    pending: list[tuple[int, float, int]] = []  # (index, cost, payload_bytes)
+    futures = []
+    to_fetch: list[tuple[int, "TileEntry"]] = []
+
+    for position, (entry, part) in enumerate(items):
+        if cache is not None and not entry.virtual:
+            array = cache.get(entry.blob_id)
+            if array is not None:
+                peak.acquire(array.nbytes)
+                try:
+                    summary = _reduce_tile(
+                        array, entry, part, predicate, default_cell
+                    )
+                finally:
+                    peak.release(array.nbytes)
+                fetched[position] = TilePartial(
+                    entry,
+                    part,
+                    cost=0.0,
+                    payload_bytes=database.store.record(
+                        entry.blob_id
+                    ).byte_size,
+                    partial=summary,
+                    decoded_hit=True,
+                )
+                continue
+        to_fetch.append((position, entry))
+
+    def dispatch(
+        position: int, entry: "TileEntry", payload: bytes, cost: float
+    ) -> None:
+        part = items[position][1]
+        if entry.virtual:
+            fetched[position] = TilePartial(
+                entry, part, cost, len(payload), partial=None,
+                decoded_hit=False,
+            )
+            return
+        if executor is None:
+            array = _decode(payload, entry.codec, dtype, entry.domain.shape)
+            peak.acquire(array.nbytes)
+            try:
+                summary = _reduce_tile(
+                    array, entry, part, predicate, default_cell
+                )
+            finally:
+                peak.release(array.nbytes)
+            fetched[position] = TilePartial(
+                entry, part, cost, len(payload), summary, decoded_hit=False
+            )
+        else:
+            pending.append((position, cost, len(payload)))
+            futures.append(
+                executor.submit(
+                    _partial_task,
+                    payload,
+                    entry,
+                    part,
+                    dtype,
+                    predicate,
+                    default_cell,
+                    peak,
+                    parent=trace_ctx,
+                )
+            )
+
+    for run in _coalesce_runs(database, to_fetch):
+        _READ_RUN_LEN.observe(len(run))
+        if len(run) == 1:
+            position, entry = run[0]
+            payload, cost = database.read_blob(entry.blob_id)
+            dispatch(position, entry, payload, cost)
+        else:
+            _READ_RUNS.inc()
+            _READ_BLOBS.inc(len(run))
+            results = database.disk.read_blob_run(
+                [entry.blob_id for _, entry in run]
+            )
+            for (position, entry), (payload, cost) in zip(run, results):
+                dispatch(position, entry, payload, cost)
+
+    if futures:
+        _PARALLEL_BATCHES.inc()
+        for (position, cost, payload_bytes), future in zip(pending, futures):
+            entry, part = items[position]
+            fetched[position] = TilePartial(
+                entry,
+                part,
+                cost,
+                payload_bytes,
+                future.result(),
+                decoded_hit=False,
+            )
+    return fetched, peak.peak  # type: ignore[return-value]
 
 
 def fetch_tile(database: "Database", entry: "TileEntry", dtype) -> FetchedTile:

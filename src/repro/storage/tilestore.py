@@ -52,6 +52,7 @@ from repro.index.zonemap import (
     constant_synopsis,
     note_synopsis_answered,
     note_tiles_pruned,
+    partial_aggregate_eligible,
 )
 from repro.query.timing import LoadStats, QueryTiming
 from repro.storage.backends import MemoryBlobStore
@@ -68,7 +69,7 @@ from repro.storage.mvcc import (
     Snapshot,
     note_live_versions,
 )
-from repro.storage.pipeline import fetch_tile, fetch_tiles
+from repro.storage.pipeline import fetch_tile, fetch_tile_partials, fetch_tiles
 from repro.storage.wal import WriteAheadLog
 
 IndexFactory = Callable[[int, int], SpatialIndex]
@@ -1132,6 +1133,312 @@ class StoredMDD:
         _READ_MS.observe(timing.t_totalcpu)
         return value, timing
 
+    def aggregate_push(
+        self,
+        region: MInterval,
+        op: str,
+        version: Optional[ObjectVersion] = None,
+        *,
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
+    ) -> tuple[Union[int, float, bool], QueryTiming, bool]:
+        """Condense ``op`` over ``region`` as combined per-tile partials.
+
+        The planned engine's aggregation pushdown: intersected tiles are
+        (1) pruned by zone map when a ``predicate`` proves no cell can
+        match (the pruned part contributes default cells, exactly as the
+        masked materialized box would), (2) answered straight from the
+        stored synopsis with zero decode when fully covered and
+        unpredicated, or (3) decoded on the pipeline workers, clipped,
+        masked, and reduced to a
+        :func:`~repro.index.zonemap.partial_synopsis` **on the worker** —
+        the decoded array is dropped immediately, so peak memory stays at
+        one tile per worker (reported in ``timing.peak_partial_bytes``)
+        and the query box is never materialized.  The coordinator then
+        combines all partials in deterministic tile-id order.
+
+        The combination is only taken when
+        :func:`~repro.index.zonemap.partial_aggregate_eligible` proves it
+        bitwise-equal to materialize-then-reduce; otherwise (float
+        sums/averages, unbounded integer ranges) this method falls back
+        to the materialized reduction *inline* — same charges as the v1
+        path — so results are identical either way.  Returns
+        ``(value, timing, pushed)`` with ``pushed`` telling which branch
+        ran (the planner surfaces it in ``EXPLAIN``).
+        """
+        if op not in AGG_FUNCS:
+            raise QueryError(f"unknown aggregate {op!r}")
+        if self.mdd_type.base.dtype.fields is not None:
+            raise QueryError(
+                f"aggregate {op!r} needs a numeric base type, object "
+                f"{self.name!r} has {self.mdd_type.base.name!r}"
+            )
+        tiles_map, index, view_domain, zones, pin = self._reader_view(version)
+        try:
+            value, timing, pushed = self._aggregate_push_view(
+                region,
+                tiles_map,
+                index,
+                view_domain,
+                zones,
+                op,
+                predicate=predicate,
+                prune=prune,
+            )
+        finally:
+            if pin is not None:
+                self.database.epoch.unpin(pin)
+        ring = self.database.access_ring
+        if ring.capacity and obs.registry.enabled:
+            if version is not None:
+                epoch = version.epoch
+            elif pin is not None:
+                epoch = pin
+            else:
+                epoch = self.database.epoch._current
+            ring.record(
+                "read",
+                self.collection,
+                self.name,
+                str(self._resolve_in(region, view_domain)),
+                epoch,
+                cost_ms=timing.t_totalcpu,
+                cells=timing.cells_result,
+            )
+        return value, timing, pushed
+
+    def _aggregate_push_view(
+        self,
+        region: MInterval,
+        tiles_map,
+        index: SpatialIndex,
+        view_domain: Optional[MInterval],
+        zones,
+        op: str,
+        *,
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
+    ) -> tuple[Union[int, float, bool], QueryTiming, bool]:
+        region = self._resolve_in(region, view_domain)
+        timing = QueryTiming(cells_result=region.cell_count)
+        disk = self.database.disk
+        pool = self.database.pool
+        decoded = self.database.decoded_cache
+        dtype = self.mdd_type.base.dtype
+        default = self.mdd_type.base.default
+        zones = zones or {}
+
+        with obs.span(
+            "tilestore.aggregate",
+            object=self.name,
+            region=str(region),
+            op=op,
+            mode="pushdown",
+        ) as agg_span:
+            # (1) index lookup — charged exactly like a range read
+            with obs.span(
+                "index.search", index=type(index).__name__
+            ) as ix_span:
+                started = time.perf_counter()
+                result = index.search(region)
+                cpu_ix = (time.perf_counter() - started) * 1000.0
+                page_ix = sum(
+                    disk.charge_index_node()
+                    for _ in range(result.nodes_visited)
+                )
+                ix_span.set_attr("nodes_visited", result.nodes_visited)
+                ix_span.set_attr("entries", len(result.entries))
+            timing.t_ix = cpu_ix + page_ix
+            timing.t_ix_pages = page_ix
+            timing.index_nodes = result.nodes_visited
+
+            # (1b) partition: pruned (contribute default fill), answered
+            # from the stored synopsis (zero decode), or decoded to a
+            # worker-side partial.  Pruned tiles mirror the masked box:
+            # their clipped part provably holds only failing cells, which
+            # the materialized path would overwrite with the default.
+            entries = [tiles_map[e.tile_id] for e in result.entries]
+            pruner = (
+                TilePruner(predicate, zones, dtype)
+                if predicate is not None and prune and zones
+                else None
+            )
+            syn_answered: list[tuple[int, TileSynopsis]] = []
+            non_pruned: list[tuple[TileEntry, MInterval]] = []
+            decode_items: list[tuple[TileEntry, MInterval]] = []
+            bound_syns: list[Optional[TileSynopsis]] = []
+            covered = 0
+            default_cells = 0
+            for entry in entries:
+                part = entry.domain.intersection(region)
+                assert part is not None
+                covered += part.cell_count
+                if pruner is not None and not pruner.can_match(entry.tile_id):
+                    default_cells += part.cell_count
+                    continue
+                non_pruned.append((entry, part))
+                syn = zones.get(entry.tile_id)
+                bound_syns.append(syn)
+                if (
+                    predicate is None
+                    and prune
+                    and syn is not None
+                    and region.contains(entry.domain)
+                ):
+                    syn_answered.append((entry.tile_id, syn))
+                    continue
+                decode_items.append((entry, part))
+            uncovered = region.cell_count - covered
+            default_cells += uncovered
+            if pruner is not None:
+                timing.tiles_pruned = pruner.pruned
+                note_tiles_pruned(pruner.pruned)
+                agg_span.set_attr("tiles_pruned", pruner.pruned)
+            pushed = partial_aggregate_eligible(
+                op,
+                dtype,
+                bound_syns,
+                uncovered,
+                default,
+                region.cell_count,
+                masked=predicate is not None,
+            )
+            if not pushed:
+                # Ineligible (float add/avg, unbounded integer range):
+                # the synopsis shortcut is off the table too — every
+                # non-pruned tile is fetched and the box materialized.
+                decode_items = non_pruned
+                syn_answered = []
+
+            # (2) tile retrieval, in page order for sequential runs
+            fetch_list = sorted(
+                decode_items,
+                key=lambda item: disk.blob_pages(item[0].blob_id).start,
+            )
+            pool_before = (
+                (pool.hits, pool.misses, pool.evictions) if pool else None
+            )
+            decoded_before = (
+                (decoded.hits, decoded.misses) if decoded is not None else None
+            )
+            cell_size = self.mdd_type.cell_size
+            aligned_bytes = 0
+            border_bytes = 0
+            if pushed:
+                with obs.span("tilestore.fetch", tiles=len(fetch_list)):
+                    partials, peak = fetch_tile_partials(
+                        self.database,
+                        fetch_list,
+                        dtype,
+                        predicate=predicate,
+                        default=default,
+                    )
+                    for item in partials:
+                        timing.t_o += item.cost
+                        timing.tiles_read += 1
+                        timing.bytes_read += item.payload_bytes
+                        timing.pages_read += disk.blob_pages(
+                            item.entry.blob_id
+                        ).count
+                        timing.cells_fetched += item.entry.domain.cell_count
+                timing.peak_partial_bytes = peak
+                # (3) combination, in deterministic tile-id order: the
+                # per-tile partials (worker-reduced and synopsis-answered
+                # alike) are merged by the coordinator; virtual tiles'
+                # parts carry only default cells.
+                with obs.span("tilestore.combine", parts=len(partials)):
+                    started = time.perf_counter()
+                    contributions = list(syn_answered)
+                    for item in partials:
+                        entry = item.entry
+                        if item.part == entry.domain:
+                            aligned_bytes += entry.domain.cell_count * cell_size
+                        else:
+                            border_bytes += entry.domain.cell_count * cell_size
+                        if item.partial is None:
+                            default_cells += item.part.cell_count
+                            continue
+                        contributions.append((entry.tile_id, item.partial))
+                        timing.tiles_partial_agg += 1
+                    contributions.sort(key=lambda pair: pair[0])
+                    value = combine_aggregate(
+                        op,
+                        dtype,
+                        [syn for _, syn in contributions],
+                        [],
+                        default_cells,
+                        default,
+                        region.cell_count,
+                    )
+                    timing.tiles_synopsis_answered = len(syn_answered)
+                    note_synopsis_answered(len(syn_answered))
+                    measured_ms = (time.perf_counter() - started) * 1000.0
+            else:
+                with obs.span("tilestore.fetch", tiles=len(fetch_list)):
+                    fetched = fetch_tiles(
+                        self.database,
+                        [entry for entry, _ in fetch_list],
+                        dtype,
+                    )
+                    for tile in fetched:
+                        timing.t_o += tile.cost
+                        timing.tiles_read += 1
+                        timing.bytes_read += tile.payload_bytes
+                        timing.pages_read += disk.blob_pages(
+                            tile.entry.blob_id
+                        ).count
+                        timing.cells_fetched += tile.entry.domain.cell_count
+                # (3) materialized fallback: compose the (masked) box and
+                # reduce it — bitwise the v1 path, charged identically.
+                with obs.span("tilestore.compose"):
+                    started = time.perf_counter()
+                    out = np.zeros(region.shape, dtype=dtype)
+                    if default != 0:
+                        out[...] = default
+                    default_cell = np.asarray(default, dtype=dtype)
+                    for tile in fetched:
+                        entry = tile.entry
+                        part = entry.domain.intersection(region)
+                        assert part is not None
+                        if part == entry.domain:
+                            aligned_bytes += entry.domain.cell_count * cell_size
+                        else:
+                            border_bytes += entry.domain.cell_count * cell_size
+                        if tile.array is None:
+                            continue
+                        part_vals = tile.array[
+                            part.to_slices(entry.domain.lowest)
+                        ]
+                        if predicate is not None:
+                            part_vals = np.where(
+                                predicate.mask(part_vals),
+                                part_vals,
+                                default_cell,
+                            )
+                        out[part.to_slices(region.lowest)] = part_vals
+                    value = AGG_FUNCS[op](out)
+                    measured_ms = (time.perf_counter() - started) * 1000.0
+            if pool_before is not None:
+                timing.pool_hits = pool.hits - pool_before[0]
+                timing.pool_misses = pool.misses - pool_before[1]
+                timing.pool_evictions = pool.evictions - pool_before[2]
+            if decoded_before is not None:
+                timing.decoded_hits = decoded.hits - decoded_before[0]
+                timing.decoded_misses = decoded.misses - decoded_before[1]
+            timing.t_cpu = measured_ms + self.database.cpu_parameters.compose_ms(
+                aligned_bytes, border_bytes
+            )
+            agg_span.set_attr("tiles_read", timing.tiles_read)
+            agg_span.set_attr("tiles_partial_agg", timing.tiles_partial_agg)
+            agg_span.set_attr(
+                "tiles_synopsis_answered", timing.tiles_synopsis_answered
+            )
+        _READS.inc()
+        _TILES_LOADED.inc(timing.tiles_read)
+        _CELLS_FETCHED.inc(timing.cells_fetched)
+        _READ_MS.observe(timing.t_totalcpu)
+        return value, timing, pushed
+
     # ------------------------------------------------------------------
     # Updates / deletion
     # ------------------------------------------------------------------
@@ -1803,6 +2110,8 @@ class Database:
         name: str,
         region,
         predicate: Optional[CellPredicate] = None,
+        op: Optional[str] = None,
+        pushdown: bool = True,
     ) -> "QueryProfile":
         """Run one read with EXPLAIN ANALYZE-style per-stage accounting.
 
@@ -1810,8 +2119,24 @@ class Database:
         reconcile against the read's :class:`QueryTiming` (modelled time
         exactly, wall time within tolerance).  With a ``predicate`` the
         read is masked and zone-map pruned, and the profile gains a
-        ``prune`` stage reporting ``tiles_pruned``.
+        ``prune`` stage reporting ``tiles_pruned``.  With ``op`` (a
+        condenser name) the query is a planned aggregate: the profile
+        carries the annotated plan (scan → prune → partial-aggregate →
+        combine → project) and its stages cover the pushdown path;
+        ``pushdown=False`` profiles the v1 materialized reduction.
         """
+        if op is not None:
+            from repro.query.profile import profile_aggregate
+
+            return profile_aggregate(
+                self,
+                collection,
+                name,
+                region,
+                op,
+                predicate=predicate,
+                pushdown=pushdown,
+            )
         from repro.query.profile import profile_read
 
         return profile_read(self, collection, name, region, predicate=predicate)

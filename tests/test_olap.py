@@ -60,15 +60,26 @@ class TestRollUp:
 
     def test_exact_reads_under_matching_tiling(self, cube):
         obj, _data = cube
-        rollup = aggregate_by_category(obj, PARTITIONS)
+        # v1 (materialized) path: every block read is tile-aligned.
+        rollup = aggregate_by_category(obj, PARTITIONS, pushdown=False)
         assert rollup.timing.cells_fetched == rollup.timing.cells_result
+
+    def test_pushdown_answers_aligned_rollup_from_synopses(self, cube):
+        obj, _data = cube
+        # Pushdown (the default): aligned blocks are answered entirely
+        # from stored synopses — zero decode, same values bitwise.
+        rollup = aggregate_by_category(obj, PARTITIONS)
+        baseline = aggregate_by_category(obj, PARTITIONS, pushdown=False)
+        assert rollup.timing.cells_fetched == 0
+        assert rollup.timing.tiles_synopsis_answered > 0
+        assert rollup.values.tobytes() == baseline.values.tobytes()
 
     def test_regular_tiling_pays_amplification(self):
         db = Database()
         obj = db.create_object("cubes", CUBE, "sales_reg")
         data = np.arange(6000, dtype=np.uint32).reshape(60, 100)
         obj.load_array(data, RegularTiling(4096), origin=(1, 1))
-        rollup = aggregate_by_category(obj, PARTITIONS)
+        rollup = aggregate_by_category(obj, PARTITIONS, pushdown=False)
         assert rollup.timing.cells_fetched > rollup.timing.cells_result
         assert rollup.values.sum() == data.sum()  # still correct
 

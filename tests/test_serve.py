@@ -338,6 +338,58 @@ class TestClient:
         # nothing can exceed 1000 (values < 60): zone maps prune all
         assert results[0]["timing"]["tiles_pruned"] > 0
 
+    def test_query_pushdown_counters_surface(self, served):
+        """Headers + ClientStats expose prune/synopsis/decode effectiveness."""
+        _db, data, server = served
+        with Client(server.url) as client:
+            # pruned: nothing exceeds 1000, zone maps drop every tile
+            client.query("select count_cells(a) from imgs as a where a > 1000")
+            assert client.stats.tiles_pruned > 0
+            assert client.stats.tiles_decoded == 0
+            pruned = client.stats.tiles_pruned
+            # aligned aggregate: answered from synopses with zero decode
+            client.query("select add_cells(a) from imgs as a")
+            assert client.stats.tiles_synopsis_answered > 0
+            assert client.stats.tiles_decoded == 0
+            assert client.stats.tiles_pruned == pruned  # unchanged
+            # predicate that matches some cells: tiles must decode
+            client.query(
+                "select count_cells(a) from imgs as a where a > 30"
+            )
+            assert client.stats.tiles_decoded > 0
+        # raw header check: the totals ride on the HTTP response itself
+        request = urllib.request.Request(
+            f"{server.url}/v1/query",
+            data=json.dumps(
+                {"query": "select add_cells(a) from imgs as a"}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            headers = dict(response.headers)
+            body = json.loads(response.read())
+        assert int(headers["X-Repro-Tiles-Synopsis"]) > 0
+        assert int(headers["X-Repro-Tiles-Decoded"]) == 0
+        entry = body["results"][0]
+        assert entry["timing"]["tiles_synopsis_answered"] > 0
+        assert entry["plan"]["pushed"] is True
+        assert entry["value"] == int(data.astype(np.int64).sum())
+
+    def test_group_by_over_http(self, served):
+        _db, data, server = served
+        with Client(server.url) as client:
+            results = client.query(
+                "select add_cells(a) from imgs as a "
+                "group by dim0(0:31, 32:63)"
+            )
+        entry = results[0]
+        assert entry["groups"] == [[[0, 31], [32, 63]], [[0, 63]]]
+        values = np.asarray(entry["value"])
+        assert values.shape == (2, 1)
+        assert values[0, 0] == data[:32].astype(np.int64).sum()
+        assert values[1, 0] == data[32:].astype(np.int64).sum()
+
     def test_error_surfaces_with_status(self, served):
         _db, _data, server = served
         with Client(server.url) as client:
