@@ -40,6 +40,12 @@ fails the build.  The artifact's ``label`` picks the comparison:
   ``peak_partial_bytes`` itself depends on thread scheduling and is
   never compared field-for-field, and the modelled speedups live in
   ``performance`` and stay soft.
+* ``shard`` — per-deployment/query result digests and modelled charges,
+  same shape as ``pipeline`` (deployments: single store and 1/2/4
+  shards).  Bitwise identity of scatter-gather reads and distributed
+  pushdown vs the single store, the failover-recovers-committed-prefix
+  drill, and the >= 2x modelled read-scaling verdict are hard-gated via
+  identity; wall times and scatter speedups stay soft.
 
 Identity verdicts are held to in both cases: a verdict that was True in
 the baseline must stay True.
@@ -49,7 +55,8 @@ Usage:
 
 BASELINE defaults to benchmarks/baselines/<candidate filename> relative
 to this script.  Exit status 0 = no regression, 1 = regression, 2 = bad
-invocation or unreadable artifact.
+invocation, unreadable artifact, missing baseline, or a baseline that
+gates nothing.
 """
 
 from __future__ import annotations
@@ -101,11 +108,29 @@ SERVE_FIELDS = (
 )
 
 
-def _load(path: Path) -> dict:
+def _load(path: Path, role: str) -> dict:
+    """Read one artifact; a missing baseline is its own loud failure.
+
+    Comparing against nothing is not a pass: a bench label whose
+    ``BENCH_<label>.json`` was never committed would otherwise sail
+    through CI gating zero fields forever.
+    """
+    if role == "baseline" and not path.exists():
+        print(
+            f"error: no committed baseline at {path}\n"
+            f"  every gated bench label needs its baseline checked in; "
+            f"generate one with\n"
+            f"    PYTHONPATH=src python -m repro bench <label> --runs 1 "
+            f"--artifacts bench_artifacts\n"
+            f"  then commit bench_artifacts/{path.name} to "
+            f"benchmarks/baselines/",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     try:
         return json.loads(path.read_text())
     except (OSError, ValueError) as exc:
-        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        print(f"error: cannot read {role} {path}: {exc}", file=sys.stderr)
         raise SystemExit(2)
 
 
@@ -236,6 +261,9 @@ def compare(candidate: dict, baseline: dict) -> list[str]:
     elif baseline.get("label") == "query":
         # same per-strategy/config digest+charges shape as pipeline
         problems += _compare_pipeline_modes(candidate, baseline)
+    elif baseline.get("label") == "shard":
+        # same per-deployment/query digest+charges shape as pipeline
+        problems += _compare_pipeline_modes(candidate, baseline)
     else:
         # "pipeline" and "obs" share the per-mode/query digest+charges shape
         problems += _compare_pipeline_modes(candidate, baseline)
@@ -252,8 +280,8 @@ def main(argv: list[str]) -> int:
         if len(argv) == 3
         else Path(__file__).parent / "baselines" / candidate_path.name
     )
-    candidate = _load(candidate_path)
-    baseline = _load(baseline_path)
+    candidate = _load(candidate_path, "candidate")
+    baseline = _load(baseline_path, "baseline")
     problems = compare(candidate, baseline)
     if problems:
         print(f"REGRESSION vs {baseline_path}:")
@@ -266,9 +294,19 @@ def main(argv: list[str]) -> int:
         checked = sum(
             len(queries) for queries in baseline.get("modes", {}).values()
         )
+    verdicts = len(baseline.get("identity", {}))
+    if checked == 0 and verdicts == 0:
+        # an empty or shapeless baseline gates nothing — that is the
+        # other silent-pass, and it fails just as loudly
+        print(
+            f"error: baseline {baseline_path} gates nothing "
+            f"(no modes, no identity verdicts); regenerate it",
+            file=sys.stderr,
+        )
+        return 2
     print(
         f"ok: {checked} mode/query results and "
-        f"{len(baseline.get('identity', {}))} identity verdicts match "
+        f"{verdicts} identity verdicts match "
         f"{baseline_path}"
     )
     return 0

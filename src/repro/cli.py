@@ -632,6 +632,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if value is False
         ]
         return 1 if failed else 0
+    if args.mode == "shard":
+        from repro.bench.shard import comparison_table, run_shard_bench
+
+        report = run_shard_bench(
+            runs=args.runs,
+            artifact_dir=_artifact_dir(args),
+        )
+        print(comparison_table(report))
+        print()
+        print("identity verdicts:")
+        for name, value in report["identity"].items():
+            print(f"  {name}: {value}")
+        print("performance (not gated):")
+        for name, value in report["performance"].items():
+            formatted = f"{value:.2f}" if isinstance(value, float) else value
+            print(f"  {name}: {formatted}")
+        if "artifact_path" in report:
+            print(f"\nwrote {report['artifact_path']}")
+        failed = [
+            name
+            for name, value in report["identity"].items()
+            if value is False
+        ]
+        return 1 if failed else 0
     if args.mode == "serve":
         from repro.bench.serve import comparison_table, run_serve_bench
 
@@ -776,14 +800,16 @@ def build_parser() -> argparse.ArgumentParser:
         "mode",
         choices=(
             "pipeline", "ingest", "concurrent", "obs", "prune", "serve",
-            "query",
+            "query", "shard",
         ),
         help="pipeline: serial vs parallel vs decoded-cache reads; "
              "ingest: serial vs batched vs parallel writes; "
              "concurrent: snapshot-reader scaling under a writer; "
              "obs: observability overhead, enabled vs disabled vs no-obs; "
              "prune: zone-map pruning selectivity sweep vs full scan; "
-             "query: planned aggregate/GROUP BY pushdown vs materialize",
+             "query: planned aggregate/GROUP BY pushdown vs materialize; "
+             "shard: scatter-gather over 1/2/4 shards vs single store "
+             "plus the WAL-shipping failover drill",
     )
     bench.add_argument(
         "--runs", type=int, default=3, metavar="N",

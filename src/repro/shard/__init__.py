@@ -1,0 +1,35 @@
+"""Sharded multi-store: scale past one page file.
+
+Tiles — the paper's independent units of storage — become the units of
+distribution: a :class:`ShardedDatabase` places each tile on one of N
+independent stores by contiguous Z-order/Hilbert key ranges
+(:class:`RangeMap`), a scatter-gather layer (:class:`ShardedMDD`)
+reassembles reads and aggregation pushdown byte-identically to a single
+store, WAL shipping (:class:`ShardFollower` / :class:`ShardedFollower`)
+replicates each shard onto a promotable follower, and a
+:class:`Rebalancer` splits and reassigns key ranges by observed load.
+"""
+
+from repro.shard.ranges import KeyRange, RangeMap
+from repro.shard.rebalance import MoveReport, Rebalancer
+from repro.shard.replica import (
+    ReplicationStatus,
+    ShardedFollower,
+    ShardFollower,
+    replication_lag,
+)
+from repro.shard.sharded import ScatterStats, ShardedDatabase, ShardedMDD
+
+__all__ = [
+    "KeyRange",
+    "MoveReport",
+    "RangeMap",
+    "Rebalancer",
+    "ReplicationStatus",
+    "ScatterStats",
+    "ShardFollower",
+    "ShardedDatabase",
+    "ShardedFollower",
+    "ShardedMDD",
+    "replication_lag",
+]

@@ -1,0 +1,212 @@
+"""Contiguous key-range ownership for sharded tile placement.
+
+Tiles are placed on shards by the space-filling-curve key of their lowest
+vertex (:mod:`repro.core.order`): a :class:`RangeMap` partitions the
+integer key space ``[0, size)`` into contiguous half-open
+:class:`KeyRange` spans, each owned by one shard.  Contiguity matters —
+the Haverkort recursive-tiling argument (PAPERS.md) is that a contiguous
+curve range keeps shard-local range reads unfragmented on disk.
+
+The map is mutable only through :meth:`RangeMap.split` and
+:meth:`RangeMap.reassign`, which the rebalancer uses to carve a hot
+shard's span and hand a sub-range to a colder shard.  Ownership lookups
+are ``O(log ranges)`` via bisect.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.core.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """Half-open key span ``[lo, hi)`` owned by one shard."""
+
+    lo: int
+    hi: int
+    shard: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi <= self.lo:
+            raise GeometryError(
+                f"key range needs 0 <= lo < hi, got [{self.lo}, {self.hi})"
+            )
+        if self.shard < 0:
+            raise GeometryError(f"shard index must be >= 0, got {self.shard}")
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, int) and self.lo <= key < self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo}:{self.hi})->shard{self.shard}"
+
+
+class RangeMap:
+    """Total, contiguous partition of ``[0, size)`` into owned ranges."""
+
+    def __init__(self, size: int, ranges: Iterable[KeyRange]) -> None:
+        ordered = sorted(ranges, key=lambda r: r.lo)
+        if not ordered:
+            raise GeometryError("a range map needs at least one range")
+        if ordered[0].lo != 0 or ordered[-1].hi != size:
+            raise GeometryError(
+                f"ranges must cover [0, {size}) exactly, got "
+                f"[{ordered[0].lo}, {ordered[-1].hi})"
+            )
+        for left, right in zip(ordered, ordered[1:]):
+            if left.hi != right.lo:
+                raise GeometryError(
+                    f"ranges must be contiguous: {left} then {right}"
+                )
+        self.size = size
+        self._ranges: List[KeyRange] = ordered
+        self._lows: List[int] = [r.lo for r in ordered]
+
+    @classmethod
+    def even(cls, n_shards: int, size: int) -> "RangeMap":
+        """Split ``[0, size)`` into ``n_shards`` near-equal spans.
+
+        >>> [str(r) for r in RangeMap.even(2, 10).ranges]
+        ['[0:5)->shard0', '[5:10)->shard1']
+        """
+        if n_shards < 1:
+            raise GeometryError(f"need >= 1 shard, got {n_shards}")
+        if size < n_shards:
+            raise GeometryError(
+                f"key space of {size} cannot feed {n_shards} shards"
+            )
+        bounds = [size * i // n_shards for i in range(n_shards + 1)]
+        return cls(
+            size,
+            [
+                KeyRange(lo, hi, shard)
+                for shard, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+            ],
+        )
+
+    @classmethod
+    def from_sample(
+        cls, n_shards: int, size: int, keys: Iterable[int]
+    ) -> "RangeMap":
+        """Pre-split ``[0, size)`` at the quantiles of sampled keys.
+
+        Space-filling-curve keys of real tilings cluster (a bounded
+        domain fills only a corner of the key space), so an even split
+        of the *space* parks most tiles on shard 0.  Splitting at the
+        sample's quantiles spreads the sampled population evenly while
+        every range stays contiguous; keys outside the sample still have
+        a well-defined owner because the map covers the full space.
+        Falls back to :meth:`even` when the sample holds fewer distinct
+        keys than there are shards.
+        """
+        uniq = sorted(set(keys))
+        if n_shards < 2 or len(uniq) < n_shards:
+            return cls.even(n_shards, size)
+        bounds = [0]
+        for shard in range(1, n_shards):
+            cut = uniq[len(uniq) * shard // n_shards]
+            if cut <= bounds[-1]:
+                cut = bounds[-1] + 1
+            bounds.append(cut)
+        bounds.append(size)
+        if bounds[-2] >= size:
+            return cls.even(n_shards, size)
+        return cls(
+            size,
+            [
+                KeyRange(lo, hi, shard)
+                for shard, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+            ],
+        )
+
+    @property
+    def ranges(self) -> Sequence[KeyRange]:
+        return tuple(self._ranges)
+
+    def owner(self, key: int) -> int:
+        """Shard owning ``key``."""
+        return self.range_of(key).shard
+
+    def range_of(self, key: int) -> KeyRange:
+        """The range containing ``key``."""
+        if not 0 <= key < self.size:
+            raise GeometryError(
+                f"key {key} outside key space [0, {self.size})"
+            )
+        return self._ranges[bisect_right(self._lows, key) - 1]
+
+    def split(self, at: int) -> None:
+        """Split the range containing ``at`` into ``[lo, at)``/``[at, hi)``.
+
+        Both halves keep the original owner; a no-op when ``at`` already
+        starts a range.
+        """
+        index = bisect_right(self._lows, at) - 1
+        if index < 0 or not 0 <= at < self.size:
+            raise GeometryError(
+                f"split point {at} outside key space [0, {self.size})"
+            )
+        old = self._ranges[index]
+        if at == old.lo:
+            return
+        self._ranges[index : index + 1] = [
+            KeyRange(old.lo, at, old.shard),
+            KeyRange(at, old.hi, old.shard),
+        ]
+        self._lows[index : index + 1] = [old.lo, at]
+
+    def reassign(self, lo: int, hi: int, shard: int) -> None:
+        """Give ``[lo, hi)`` — which must align with range bounds — to
+        ``shard``, merging with equal-owner neighbours afterwards."""
+        self.split(lo)
+        if hi < self.size:
+            self.split(hi)
+        elif hi != self.size:
+            raise GeometryError(
+                f"reassign end {hi} outside key space [0, {self.size}]"
+            )
+        start = bisect_right(self._lows, lo) - 1
+        stop = start
+        while stop < len(self._ranges) and self._ranges[stop].hi <= hi:
+            stop += 1
+        if self._ranges[start].lo != lo or self._ranges[stop - 1].hi != hi:
+            raise GeometryError(
+                f"[{lo}, {hi}) does not align with existing ranges"
+            )
+        self._ranges[start:stop] = [KeyRange(lo, hi, shard)]
+        self._lows[start:stop] = [lo]
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        merged: List[KeyRange] = []
+        for rng in self._ranges:
+            if merged and merged[-1].shard == rng.shard:
+                merged[-1] = KeyRange(merged[-1].lo, rng.hi, rng.shard)
+            else:
+                merged.append(rng)
+        self._ranges = merged
+        self._lows = [r.lo for r in merged]
+
+    def shard_spans(self, shard: int) -> Sequence[KeyRange]:
+        """All ranges currently owned by ``shard`` (possibly none)."""
+        return tuple(r for r in self._ranges if r.shard == shard)
+
+    def to_dict(self) -> dict:
+        return {
+            "size": self.size,
+            "ranges": [[r.lo, r.hi, r.shard] for r in self._ranges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RangeMap":
+        return cls(
+            int(payload["size"]),
+            [KeyRange(int(lo), int(hi), int(s)) for lo, hi, s in payload["ranges"]],
+        )
+
+    def __repr__(self) -> str:
+        return f"RangeMap({', '.join(str(r) for r in self._ranges)})"

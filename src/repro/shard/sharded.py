@@ -1,0 +1,1168 @@
+"""Sharded multi-store: tiles partitioned across N independent stores.
+
+A :class:`ShardedDatabase` owns N :class:`~repro.storage.tilestore.Database`
+shards — each with its own page file, WAL, buffer pool, pipeline pool and
+MVCC epochs — and places every tile on exactly one shard by the
+space-filling-curve key of its lowest vertex (:mod:`repro.core.order`),
+looked up in a contiguous :class:`~repro.shard.ranges.RangeMap`.  The
+survey argument (PAPERS.md, Rusu & Cheng) is that chunk-partitioned
+scale-out is what production array stores do; the paper's arbitrary
+tiling makes the tile the natural distribution unit because each tile is
+already an independent BLOB.
+
+:class:`ShardedMDD` is the scatter-gather layer: it plans a query box
+once, fans the fetch out over the owning shards through each shard's
+existing pipeline pool (:func:`~repro.storage.pipeline.fetch_tiles` /
+:func:`~repro.storage.pipeline.fetch_tile_partials`), and reassembles
+fragments **byte-identically** to the single-store compose path — the
+per-cell masking and default-fill logic is the same, and tiles are
+disjoint across shards, so fragment copy order cannot change the result.
+Aggregation pushdown combines per-tile partials with the order-
+insensitive :func:`~repro.index.zonemap.combine_aggregate` under the
+same exactness guards as a single store, so a pushed aggregate is
+bitwise-equal no matter how tiles are spread.
+
+Writes route each tile batch to its owner shard as **one WAL transaction
+per shard**; a cross-shard batch is one commit on every shard it
+touches.  The sharded-level write latch (``shard.writer``, rank 5 —
+below every per-shard latch) serializes sharded mutations so the
+rebalancer's two-commit migrations can never interleave with updates.
+
+Readers never take that latch.  Because a scatter read pins its
+per-shard MVCC views *sequentially*, a multi-shard commit sequence
+completing between two pins could be observed half-done — worst case, a
+migration's copy lands after the reader viewed the destination shard and
+its delete before the reader views the source, hiding the moving tile
+from both views.  :attr:`ShardedDatabase.fanout_seq` is the seqlock that
+closes this: writers hold it odd across any commit sequence touching
+more than one shard, readers snapshot it before pinning and discard +
+retry any pass over the shards during which it moved
+(:meth:`ShardedMDD._with_stable_views`), escalating to the write latch
+after a few failed passes so a steady stream of writers cannot starve a
+read.
+
+Duck-typing contract: ``ShardedMDD`` exposes the read/query surface of
+:class:`~repro.storage.tilestore.StoredMDD` (``read``, ``aggregate``,
+``aggregate_push``, ``read_section``, ``resolve_region``,
+``current_domain``, ``mdd_type``, ``name``), so the planned
+:class:`~repro.query.engine.QueryEngine` runs GROUP BY roll-ups over a
+sharded object unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.core.errors import DomainError, QueryError, StorageError
+from repro.core.geometry import MInterval
+from repro.core.mdd import Tile
+from repro.core.mddtype import MDDType
+from repro.core.order import TileKey, shifted_key, tile_order
+from repro.index.zonemap import (
+    AGG_FUNCS,
+    CellPredicate,
+    TilePruner,
+    TileSynopsis,
+    combine_aggregate,
+    partial_aggregate_eligible,
+    synopsis_can_match,
+)
+from repro.query.timing import LoadStats, QueryTiming
+from repro.shard.ranges import RangeMap
+from repro.storage.latch import OrderedLatch
+from repro.storage.pipeline import fetch_tile_partials, fetch_tiles
+from repro.storage.tilestore import Database, StoredMDD, TileEntry
+
+#: The sharded write latch ranks below every per-shard latch
+#: (``txn.writer`` is rank 10), so it may be held across per-shard
+#: transactions without violating the deadlock-free latch order.
+SHARD_WRITER_RANK = 5
+
+#: Curve key width when an object's definition domain is open on some
+#: side (bounded domains get a tight per-object width instead).
+DEFAULT_KEY_BITS = 21
+
+#: Metadata file for on-disk sharded deployments.
+META_NAME = "shards.json"
+
+_SCATTER_READS = obs.counter(
+    "shard.scatter_reads", "Scatter-gather reads over all shards"
+)
+_SCATTER_AGGS = obs.counter(
+    "shard.scatter_aggregates", "Scatter-gather pushdown aggregates"
+)
+_TILES_ROUTED = obs.counter(
+    "shard.tiles_routed", "Tiles routed to an owner shard on write"
+)
+_READ_RETRIES = obs.counter(
+    "shard.read_retries",
+    "Scatter passes discarded because a multi-shard commit raced them",
+)
+
+#: Optimistic passes a scatter read makes before serializing with the
+#: sharded write latch (each pass only loses to a *completed* multi-shard
+#: commit sequence, so contention this deep is already pathological).
+STABLE_VIEW_RETRIES = 3
+
+
+def _key_layout(mdd_type: MDDType) -> Tuple[Tuple[int, ...], int]:
+    """Per-object curve layout: (origin, bits per coordinate).
+
+    The origin is the definition domain's lower corner (``*`` bounds
+    fall back to 0, exactly like :meth:`StoredMDD.load_array`); the key
+    width is the smallest that fits the bounded extents, so the curve's
+    key space is dense over the domain and an even range split spreads
+    real tiles instead of parking them all in shard 0.
+    """
+    dd = mdd_type.definition_domain
+    origin = tuple(0 if lo is None else lo for lo in dd.lower)
+    bits = 1
+    bounded = True
+    for lo, hi in zip(dd.lower, dd.upper):
+        if lo is None or hi is None:
+            bounded = False
+            continue
+        bits = max(bits, int(hi - lo).bit_length() or 1)
+    if not bounded:
+        bits = DEFAULT_KEY_BITS
+    return origin, bits
+
+
+class ScatterStats:
+    """Per-shard accounting of the last scatter-gather operation.
+
+    The modelled parallel completion time of a scatter is the **maximum**
+    per-shard time (each shard has its own disk head), while a single
+    store pays the sum — the bench's read-scaling verdict is
+    ``single_total / max(per_shard)``.
+    """
+
+    __slots__ = ("per_shard_ms", "per_shard_tiles")
+
+    def __init__(
+        self, per_shard_ms: Sequence[float], per_shard_tiles: Sequence[int]
+    ) -> None:
+        self.per_shard_ms = tuple(per_shard_ms)
+        self.per_shard_tiles = tuple(per_shard_tiles)
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.per_shard_ms) if self.per_shard_ms else 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return float(sum(self.per_shard_ms))
+
+    @property
+    def shards_hit(self) -> int:
+        return sum(1 for tiles in self.per_shard_tiles if tiles)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScatterStats(ms={self.per_shard_ms}, "
+            f"tiles={self.per_shard_tiles})"
+        )
+
+
+class ShardedDatabase:
+    """N independent tile stores behind one placement map."""
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        *,
+        order: str = "z",
+        shards: Optional[Sequence[Database]] = None,
+        directory: Optional[Union[str, Path]] = None,
+        shard_dirs: Optional[Sequence[Path]] = None,
+        **db_kwargs,
+    ) -> None:
+        if order not in ("z", "hilbert"):
+            raise StorageError(
+                f"sharding needs a space-filling order ('z' or 'hilbert'), "
+                f"got {order!r}"
+            )
+        if n_shards < 1:
+            raise StorageError(f"need >= 1 shard, got {n_shards}")
+        self.order = order
+        self._base_key = tile_order(order)
+        if shards is not None:
+            if len(shards) != n_shards:
+                raise StorageError(
+                    f"{n_shards} shards declared but {len(shards)} given"
+                )
+            self.shards: List[Database] = list(shards)
+        else:
+            self.shards = [Database(**db_kwargs) for _ in range(n_shards)]
+        self.n_shards = n_shards
+        self.directory = Path(directory) if directory is not None else None
+        self.shard_dirs = list(shard_dirs) if shard_dirs is not None else None
+        #: Rank-5 latch serializing every sharded-level mutation; held
+        #: across the per-shard transactions of one logical write.
+        #: Reentrant so a read that escalates to the latch can nest
+        #: inside a latched caller (e.g. a pushdown fallback).
+        self.writer = OrderedLatch(
+            "shard.writer", SHARD_WRITER_RANK, reentrant=True
+        )
+        #: Seqlock versus in-flight multi-shard commit sequences: odd
+        #: while one is running, bumped even when it finishes.  Mutated
+        #: only under :attr:`writer`; read racily by scatter readers.
+        self.fanout_seq = 0
+        #: One ownership map per (dim, key bits) curve layout.
+        self._maps: Dict[Tuple[int, int], RangeMap] = {}
+        self._collections: Dict[str, Dict[str, "ShardedMDD"]] = {}
+
+    # -- deployment ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        n_shards: int = 2,
+        *,
+        order: str = "z",
+        durability: str = "none",
+        injector=None,
+        page_size: Optional[int] = None,
+        **db_kwargs,
+    ) -> "ShardedDatabase":
+        """Create an on-disk deployment: one subdirectory per shard.
+
+        A shared ``injector`` threads one global fault plan through every
+        shard's page file and WAL, so the crash gauntlet's byte offsets
+        sweep the combined write stream of the whole deployment.
+        """
+        from repro.storage.catalog import create_database
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_dirs = [
+            directory / f"shard{index:02d}" for index in range(n_shards)
+        ]
+        shards = [
+            create_database(
+                shard_dir,
+                durability=durability,
+                page_size=page_size,
+                injector=injector,
+                **db_kwargs,
+            )
+            for shard_dir in shard_dirs
+        ]
+        sdb = cls(
+            n_shards,
+            order=order,
+            shards=shards,
+            directory=directory,
+            shard_dirs=shard_dirs,
+        )
+        sdb.save_meta()
+        return sdb
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        *,
+        durability: str = "none",
+        injector=None,
+        **db_kwargs,
+    ) -> "ShardedDatabase":
+        """Reopen a deployment created by :meth:`create` (recovery runs
+        per shard, exactly as for a single store)."""
+        from repro.storage.catalog import open_database
+
+        directory = Path(directory)
+        meta = json.loads((directory / META_NAME).read_text())
+        shard_dirs = [
+            directory / f"shard{index:02d}"
+            for index in range(int(meta["n_shards"]))
+        ]
+        shards = [
+            open_database(
+                shard_dir,
+                durability=durability,
+                injector=injector,
+                **db_kwargs,
+            )
+            for shard_dir in shard_dirs
+        ]
+        sdb = cls.from_shards(
+            shards,
+            order=meta.get("order", "z"),
+            directory=directory,
+            shard_dirs=shard_dirs,
+        )
+        for key_text, payload in meta.get("maps", {}).items():
+            dim_text, bits_text = key_text.split("x")
+            sdb._maps[(int(dim_text), int(bits_text))] = RangeMap.from_dict(
+                payload
+            )
+        return sdb
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: Sequence[Database],
+        *,
+        order: str = "z",
+        directory: Optional[Union[str, Path]] = None,
+        shard_dirs: Optional[Sequence[Path]] = None,
+    ) -> "ShardedDatabase":
+        """Assemble a sharded database over already-open shard stores,
+        rebuilding the sharded object wrappers from the shard catalogs
+        (the failover path: promote a follower set in place)."""
+        sdb = cls(
+            len(shards),
+            order=order,
+            shards=shards,
+            directory=directory,
+            shard_dirs=shard_dirs,
+        )
+        names: Dict[str, Dict[str, MDDType]] = {}
+        for shard in shards:
+            for coll_name, objects in shard.collections.items():
+                bucket = names.setdefault(coll_name, {})
+                for obj_name, obj in objects.items():
+                    bucket.setdefault(obj_name, obj.mdd_type)
+        for coll_name, objects in names.items():
+            coll = sdb._collections.setdefault(coll_name, {})
+            for shard in shards:
+                if coll_name not in shard.collections:
+                    shard.create_collection(coll_name)
+            for obj_name, mdd_type in objects.items():
+                parts = []
+                for shard in shards:
+                    part = shard.collections[coll_name].get(obj_name)
+                    if part is None:
+                        part = shard.create_object(
+                            coll_name, mdd_type, obj_name
+                        )
+                    parts.append(part)
+                coll[obj_name] = ShardedMDD(
+                    sdb, mdd_type, obj_name, coll_name, parts
+                )
+        return sdb
+
+    def save_meta(self) -> None:
+        """Persist shard count, order, and range maps for :meth:`open`."""
+        if self.directory is None:
+            return
+        payload = {
+            "n_shards": self.n_shards,
+            "order": self.order,
+            "maps": {
+                f"{dim}x{bits}": rmap.to_dict()
+                for (dim, bits), rmap in self._maps.items()
+            },
+        }
+        (self.directory / META_NAME).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    # -- placement ----------------------------------------------------------
+
+    def range_map(
+        self,
+        dim: int,
+        bits: int,
+        sample_keys: Optional[Sequence[int]] = None,
+    ) -> RangeMap:
+        """The ownership map for one curve layout.
+
+        The first write batch to a layout pre-splits its map at the
+        quantiles of the batch's curve keys (curve keys of a bounded
+        domain cluster in a corner of the key space, so an even split
+        would park everything on shard 0); later batches and lookups
+        reuse the established map, which only the rebalancer mutates.
+        """
+        key = (dim, bits)
+        rmap = self._maps.get(key)
+        if rmap is None:
+            size = 1 << (dim * bits)
+            if sample_keys:
+                rmap = RangeMap.from_sample(
+                    self.n_shards, size, sample_keys
+                )
+            else:
+                rmap = RangeMap.even(self.n_shards, size)
+            self._maps[key] = rmap
+            self.save_meta()
+        return rmap
+
+    # -- catalog ------------------------------------------------------------
+
+    @contextmanager
+    def fanout_commit(self):
+        """Mark a multi-shard commit sequence for the reader seqlock.
+
+        Wrap any sequence of per-shard transactions that must look
+        atomic to a scatter read — a cross-shard tile batch, an update
+        or delete spanning shards, a migration's copy/delete pair.  The
+        caller must hold :attr:`writer`.  The sequence number stays odd
+        for the duration and lands even (and larger) afterwards, so a
+        reader comparing snapshots taken before and after its pass over
+        the shards detects any overlap with the sequence.
+        """
+        self.fanout_seq += 1
+        try:
+            yield
+        finally:
+            self.fanout_seq += 1
+
+    def create_collection(self, name: str) -> Dict[str, "ShardedMDD"]:
+        if name in self._collections:
+            raise StorageError(f"collection {name!r} already exists")
+        for shard in self.shards:
+            shard.create_collection(name)
+        self._collections[name] = {}
+        return self._collections[name]
+
+    def collection(self, name: str) -> Dict[str, "ShardedMDD"]:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise StorageError(f"no collection {name!r}") from None
+
+    def create_object(
+        self, collection: str, mdd_type: MDDType, name: str
+    ) -> "ShardedMDD":
+        """Create the object on **every** shard (tiles land per owner)."""
+        coll = self._collections.setdefault(collection, {})
+        if name in coll:
+            raise StorageError(
+                f"object {name!r} already exists in collection {collection!r}"
+            )
+        parts = [
+            shard.create_object(collection, mdd_type, name)
+            for shard in self.shards
+        ]
+        obj = ShardedMDD(self, mdd_type, name, collection, parts)
+        coll[name] = obj
+        return obj
+
+    def objects(self, collection: str) -> Tuple["ShardedMDD", ...]:
+        return tuple(self.collection(collection).values())
+
+    @property
+    def collections(self) -> Dict[str, Dict[str, "ShardedMDD"]]:
+        return self._collections
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset_clock(self) -> None:
+        for shard in self.shards:
+            shard.reset_clock()
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDatabase(n_shards={self.n_shards}, order={self.order!r})"
+        )
+
+
+class ShardedMDD:
+    """One logical MDD spread over the shards of a :class:`ShardedDatabase`."""
+
+    def __init__(
+        self,
+        sdb: ShardedDatabase,
+        mdd_type: MDDType,
+        name: str,
+        collection: str,
+        parts: Sequence[StoredMDD],
+    ) -> None:
+        self.sdb = sdb
+        self.mdd_type = mdd_type
+        self.name = name
+        self.collection = collection
+        self._parts: List[StoredMDD] = list(parts)
+        origin, bits = _key_layout(mdd_type)
+        self._origin = origin
+        self._bits = bits
+        base = sdb._base_key
+        self._key: TileKey = shifted_key(
+            lambda point: base(point, bits), origin
+        )
+        domains = [
+            part.current_domain
+            for part in parts
+            if part.current_domain is not None
+        ]
+        self._current_domain: Optional[MInterval] = (
+            MInterval.hull_of(domains) if domains else None
+        )
+        self.last_scatter: Optional[ScatterStats] = None
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.mdd_type.dim
+
+    @property
+    def current_domain(self) -> Optional[MInterval]:
+        return self._current_domain
+
+    @property
+    def tile_count(self) -> int:
+        return sum(part.tile_count for part in self._parts)
+
+    def tile_entries(self) -> Tuple[TileEntry, ...]:
+        """All tile rows, shard by shard (disjoint outside a migration)."""
+        entries: List[TileEntry] = []
+        for part in self._parts:
+            entries.extend(part.tile_entries())
+        return tuple(entries)
+
+    def shard_of(self, point: Sequence[int]) -> int:
+        """Owner shard of a tile whose lowest vertex is ``point``."""
+        rmap = self.sdb.range_map(self.dim, self._bits)
+        return rmap.owner(self._key(point))
+
+    def tiles_per_shard(self) -> Tuple[int, ...]:
+        return tuple(part.tile_count for part in self._parts)
+
+    def resolve_region(self, region: MInterval) -> MInterval:
+        """Resolve open bounds against the current domain and clip."""
+        return self._resolve_in(region, self._current_domain)
+
+    def _resolve_in(
+        self, region: MInterval, domain: Optional[MInterval]
+    ) -> MInterval:
+        if domain is None:
+            raise QueryError(f"object {self.name!r} holds no tiles yet")
+        if region.dim != self.dim:
+            raise QueryError(
+                f"query dim {region.dim} does not match object dim {self.dim}"
+            )
+        resolved = region.resolve(domain)
+        clipped = resolved.intersection(domain)
+        if clipped is None:
+            raise QueryError(
+                f"region {region} outside current domain {domain}"
+            )
+        return clipped
+
+    # -- writes -------------------------------------------------------------
+
+    def _check_cross_shard_overlap(
+        self, groups: Dict[int, List[Tile]]
+    ) -> None:
+        """Overlaps a single shard's index cannot see: a new tile against
+        tiles stored on *other* shards, and same-batch tiles routed to
+        different owners."""
+        for owner, tiles in groups.items():
+            for tile in tiles:
+                for other, part in enumerate(self._parts):
+                    if other == owner:
+                        continue  # that shard's own _admit_domain checks
+                    hits = part.index.search(tile.domain)
+                    if hits.entries:
+                        raise DomainError(
+                            f"tile {tile.domain} overlaps stored tile "
+                            f"{hits.entries[0].domain} of {self.name!r} "
+                            f"on shard {other}"
+                        )
+        owners = sorted(groups)
+        for i, left in enumerate(owners):
+            for right in owners[i + 1 :]:
+                for a in groups[left]:
+                    for b in groups[right]:
+                        if a.domain.intersects(b.domain):
+                            raise DomainError(
+                                f"tile {a.domain} overlaps tile {b.domain} "
+                                f"in the same batch for {self.name!r}"
+                            )
+
+    def write_tiles(self, tiles: Sequence[Tile]) -> List[int]:
+        """Bulk insert: one WAL transaction on every owner shard.
+
+        Tiles are grouped by owner; each group is one
+        :meth:`StoredMDD.write_tiles` call on its shard — one group
+        commit (and one fsync in ``wal+fsync`` mode) per shard touched,
+        in ascending shard order.
+        """
+        with self.sdb.writer:
+            return self._write_tiles_locked(tiles)
+
+    def _write_tiles_locked(self, tiles: Sequence[Tile]) -> List[int]:
+        # First batch for this curve layout pre-splits the ownership map
+        # at the batch keys' quantiles (see ShardedDatabase.range_map).
+        rmap = self.sdb.range_map(
+            self.dim,
+            self._bits,
+            sample_keys=[self._key(t.domain.lowest) for t in tiles],
+        )
+        groups: Dict[int, List[Tile]] = {}
+        for tile in tiles:
+            groups.setdefault(rmap.owner(self._key(tile.domain.lowest)), [])\
+                .append(tile)
+        self._check_cross_shard_overlap(groups)
+        tile_ids: List[int] = []
+        guard = (
+            self.sdb.fanout_commit() if len(groups) > 1 else nullcontext()
+        )
+        with guard, obs.span(
+            "shard.write_tiles",
+            object=self.name,
+            tiles=len(tiles),
+            shards=len(groups),
+        ):
+            for owner in sorted(groups):
+                tile_ids.extend(self._parts[owner].write_tiles(groups[owner]))
+        _TILES_ROUTED.inc(len(tiles))
+        for tile in tiles:
+            self._current_domain = (
+                tile.domain
+                if self._current_domain is None
+                else self._current_domain.hull(tile.domain)
+            )
+        return tile_ids
+
+    def insert_tile(self, tile: Tile) -> int:
+        return self.write_tiles([tile])[0]
+
+    def load_array(
+        self,
+        array: np.ndarray,
+        strategy,
+        origin: Optional[Sequence[int]] = None,
+        skip_default_tiles: bool = False,
+    ) -> LoadStats:
+        """Tile and store a dense array: the strategy plans **once**, the
+        tile batches commit once per owner shard."""
+        if array.dtype != self.mdd_type.base.dtype:
+            array = array.astype(self.mdd_type.base.dtype)
+        if origin is None:
+            dd = self.mdd_type.definition_domain
+            origin = tuple(0 if lo is None else lo for lo in dd.lower)
+        region = MInterval.from_shape(array.shape, origin)
+        stats = LoadStats()
+        started = time.perf_counter()
+        spec = strategy.tile(region, self.mdd_type.cell_size)
+        stats.tiling_ms = (time.perf_counter() - started) * 1000.0
+
+        default_cell = self.mdd_type.base.default_cell()
+        started = time.perf_counter()
+        tiles = []
+        for tile_domain in spec.tiles:
+            data = array[tile_domain.to_slices(origin)]
+            if skip_default_tiles and (data == default_cell).all():
+                continue
+            tiles.append(Tile(tile_domain, data))
+        with self.sdb.writer:
+            if not tiles:
+                raise StorageError(
+                    f"array for {self.name!r} holds only default values; "
+                    f"nothing to store with skip_default_tiles"
+                )
+            self._write_tiles_locked(tiles)
+            # Partial coverage must not shrink the domain below the
+            # loaded region (same closure as the single-store path).
+            if self._current_domain is not None:
+                self._current_domain = self._current_domain.hull(region)
+        stats.store_ms = (time.perf_counter() - started) * 1000.0
+        stats.tile_count = len(tiles)
+        stats.bytes_stored = sum(
+            part.stored_bytes() for part in self._parts
+        )
+        return stats
+
+    def update(self, region: MInterval, values: np.ndarray) -> int:
+        """Overwrite the covered parts of ``region``; returns covered
+        cells.  Each shard updates its own tiles in its own transaction."""
+        with self.sdb.writer:
+            region = self.resolve_region(region)
+            if tuple(values.shape) != region.shape:
+                raise DomainError(
+                    f"update values shape {tuple(values.shape)} does not "
+                    f"match region {region} shape {region.shape}"
+                )
+            plans = []
+            for part in self._parts:
+                if part.current_domain is None:
+                    continue
+                clipped = region.intersection(part.current_domain)
+                if clipped is None:
+                    continue
+                plans.append((part, clipped))
+            covered = 0
+            guard = (
+                self.sdb.fanout_commit() if len(plans) > 1 else nullcontext()
+            )
+            with guard:
+                for part, clipped in plans:
+                    covered += part.update(
+                        clipped, values[clipped.to_slices(region.lowest)]
+                    )
+            return covered
+
+    def delete_region(self, region: MInterval) -> int:
+        """Drop tiles fully inside ``region``; returns tiles dropped."""
+        with self.sdb.writer:
+            region = self.resolve_region(region)
+            plans = []
+            for part in self._parts:
+                if part.current_domain is None:
+                    continue
+                clipped = region.intersection(part.current_domain)
+                if clipped is None:
+                    continue
+                plans.append((part, clipped))
+            dropped = 0
+            guard = (
+                self.sdb.fanout_commit() if len(plans) > 1 else nullcontext()
+            )
+            with guard:
+                for part, clipped in plans:
+                    dropped += part.delete_region(clipped)
+            domains = [
+                entry.domain
+                for part in self._parts
+                for entry in part.tile_entries()
+            ]
+            self._current_domain = (
+                MInterval.hull_of(domains) if domains else None
+            )
+            return dropped
+
+    # -- reads --------------------------------------------------------------
+
+    def _with_stable_views(self, action):
+        """Run ``action`` with the guarantee that no multi-shard commit
+        sequence overlapped its pass over the shards.
+
+        Per-shard reader views are pinned sequentially, so a migration
+        (or any cross-shard commit) landing between two pins could be
+        observed half-done — a moving tile hidden from both of the
+        reader's views, or half of a cross-shard batch.  The optimistic
+        path snapshots :attr:`ShardedDatabase.fanout_seq` around the
+        action and discards + retries on movement; after
+        ``STABLE_VIEW_RETRIES`` lost races it serializes with the
+        sharded write latch, which no commit sequence can bypass.
+        """
+        for _ in range(STABLE_VIEW_RETRIES):
+            seq = self.sdb.fanout_seq
+            if seq % 2 == 0:
+                result = action()
+                if self.sdb.fanout_seq == seq:
+                    return result
+            _READ_RETRIES.inc()
+        with self.sdb.writer:
+            return action()
+
+    def read(
+        self,
+        region: MInterval,
+        version=None,
+        *,
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
+    ) -> Tuple[np.ndarray, QueryTiming]:
+        """Scatter-gather range read, byte-identical to a single store.
+
+        The box is planned once; every shard runs its own index lookup,
+        zone-map prune, page-ordered fetch through its pipeline pool, and
+        the coordinator copies fragments into one result array with
+        exactly the single-store per-cell logic (masking included).
+        Tiles are disjoint across shards, so copy order is irrelevant —
+        and the :meth:`_with_stable_views` seqlock discards any pass a
+        concurrent migration or cross-shard commit raced.
+        """
+        if version is not None:
+            raise QueryError(
+                "sharded objects do not support explicit version reads; "
+                "pin per-shard snapshots instead"
+            )
+        return self._with_stable_views(
+            lambda: self._read_once(region, predicate=predicate, prune=prune)
+        )
+
+    def _read_once(
+        self,
+        region: MInterval,
+        *,
+        predicate: Optional[CellPredicate],
+        prune: bool,
+    ) -> Tuple[np.ndarray, QueryTiming]:
+        region = self.resolve_region(region)
+        dtype = self.mdd_type.base.dtype
+        default = self.mdd_type.base.default
+        cell_size = self.mdd_type.cell_size
+        timing = QueryTiming(cells_result=region.cell_count)
+        out = np.zeros(region.shape, dtype=dtype)
+        if default != 0:
+            out[...] = default
+        default_cell = np.asarray(default, dtype=dtype)
+        aligned_bytes = 0
+        border_bytes = 0
+        measured_ms = 0.0
+        per_shard_ms: List[float] = []
+        per_shard_tiles: List[int] = []
+
+        with obs.span(
+            "shard.read",
+            object=self.name,
+            region=str(region),
+            shards=self.sdb.n_shards,
+        ):
+            for shard_index, part in enumerate(self._parts):
+                db = self.sdb.shards[shard_index]
+                tiles_map, index, _vdom, zones, pin = part._reader_view(None)
+                shard_ms = 0.0
+                shard_tiles = 0
+                shard_cells = 0
+                try:
+                    started = time.perf_counter()
+                    result = index.search(region)
+                    cpu_ix = (time.perf_counter() - started) * 1000.0
+                    page_ix = sum(
+                        db.disk.charge_index_node()
+                        for _ in range(result.nodes_visited)
+                    )
+                    timing.t_ix += cpu_ix + page_ix
+                    timing.t_ix_pages += page_ix
+                    timing.index_nodes += result.nodes_visited
+                    shard_ms += page_ix
+                    entries = [tiles_map[e.tile_id] for e in result.entries]
+                    if predicate is not None and prune and zones:
+                        pruner = TilePruner(predicate, zones, dtype)
+                        entries = [
+                            entry
+                            for entry in entries
+                            if pruner.can_match(entry.tile_id)
+                        ]
+                        timing.tiles_pruned += pruner.pruned
+                    entries.sort(
+                        key=lambda t: db.disk.blob_pages(t.blob_id).start
+                    )
+                    fetched = fetch_tiles(db, entries, dtype)
+                    started = time.perf_counter()
+                    for tile in fetched:
+                        entry = tile.entry
+                        timing.t_o += tile.cost
+                        shard_ms += tile.cost
+                        timing.tiles_read += 1
+                        shard_tiles += 1
+                        timing.bytes_read += tile.payload_bytes
+                        timing.pages_read += db.disk.blob_pages(
+                            entry.blob_id
+                        ).count
+                        timing.cells_fetched += entry.domain.cell_count
+                        shard_cells += entry.domain.cell_count
+                        part_box = entry.domain.intersection(region)
+                        assert part_box is not None
+                        if part_box == entry.domain:
+                            aligned_bytes += (
+                                entry.domain.cell_count * cell_size
+                            )
+                        else:
+                            border_bytes += (
+                                entry.domain.cell_count * cell_size
+                            )
+                        if tile.array is None:
+                            continue  # virtual tile: defaults already there
+                        part_vals = tile.array[
+                            part_box.to_slices(entry.domain.lowest)
+                        ]
+                        if predicate is not None:
+                            part_vals = np.where(
+                                predicate.mask(part_vals),
+                                part_vals,
+                                default_cell,
+                            )
+                        out[part_box.to_slices(region.lowest)] = part_vals
+                    measured_ms += (time.perf_counter() - started) * 1000.0
+                finally:
+                    if pin is not None:
+                        db.epoch.unpin(pin)
+                per_shard_ms.append(shard_ms)
+                per_shard_tiles.append(shard_tiles)
+                ring = db.access_ring
+                if ring.capacity and obs.registry.enabled:
+                    ring.record(
+                        "read",
+                        self.collection,
+                        self.name,
+                        str(region),
+                        db.epoch._current,
+                        cost_ms=shard_ms,
+                        cells=shard_cells,
+                    )
+        timing.t_cpu = measured_ms + self.sdb.shards[
+            0
+        ].cpu_parameters.compose_ms(aligned_bytes, border_bytes)
+        self.last_scatter = ScatterStats(per_shard_ms, per_shard_tiles)
+        _SCATTER_READS.inc()
+        return out, timing
+
+    def read_section(
+        self, axis: int, coordinate: int
+    ) -> Tuple[np.ndarray, QueryTiming]:
+        """Access type (d): fix a coordinate, drop that axis."""
+        if self._current_domain is None:
+            raise QueryError(f"object {self.name!r} holds no tiles yet")
+        slab = self._current_domain.section(axis, coordinate)
+        data, timing = self.read(slab)
+        return data.squeeze(axis=axis), timing
+
+    def aggregate(
+        self,
+        region: MInterval,
+        op: str,
+        version=None,
+        prune: bool = True,
+    ) -> Tuple[Union[int, float, bool], QueryTiming]:
+        """Materialized condense (the v1 comparison path): scatter-gather
+        the box, then reduce — bitwise what a single store returns."""
+        self._check_aggregate(op)
+        data, timing = self.read(region, version, prune=prune)
+        started = time.perf_counter()
+        value = AGG_FUNCS[op](data)
+        timing.t_cpu += (time.perf_counter() - started) * 1000.0
+        return value, timing
+
+    def aggregate_push(
+        self,
+        region: MInterval,
+        op: str,
+        version=None,
+        *,
+        predicate: Optional[CellPredicate] = None,
+        prune: bool = True,
+    ) -> Tuple[Union[int, float, bool], QueryTiming, bool]:
+        """Distributed aggregation pushdown over all shards.
+
+        Every shard reduces its tiles to per-tile partials on its own
+        pipeline workers (:func:`fetch_tile_partials`); fully-covered
+        tiles answer from stored synopses with zero decode; the
+        coordinator combines everything with the order-insensitive
+        :func:`combine_aggregate` under the same
+        :func:`partial_aggregate_eligible` guards as a single store —
+        so the pushed value is bitwise-equal however tiles are spread.
+        Contributions are deduplicated by tile domain, so a migration's
+        transient dual-presence can never double-count.  Returns
+        ``(value, timing, pushed)``; ineligible combinations (float
+        add/avg, unbounded integer ranges) fall back to the materialized
+        scatter-gather read, identical to the v1 path.
+        """
+        if version is not None:
+            raise QueryError(
+                "sharded objects do not support explicit version reads; "
+                "pin per-shard snapshots instead"
+            )
+        self._check_aggregate(op)
+        return self._with_stable_views(
+            lambda: self._aggregate_push_once(
+                region, op, predicate=predicate, prune=prune
+            )
+        )
+
+    def _aggregate_push_once(
+        self,
+        region: MInterval,
+        op: str,
+        *,
+        predicate: Optional[CellPredicate],
+        prune: bool,
+    ) -> Tuple[Union[int, float, bool], QueryTiming, bool]:
+        region = self.resolve_region(region)
+        dtype = self.mdd_type.base.dtype
+        default = self.mdd_type.base.default
+        timing = QueryTiming(cells_result=region.cell_count)
+        per_shard_ms: List[float] = [0.0] * len(self._parts)
+        per_shard_tiles: List[int] = [0] * len(self._parts)
+
+        views = []
+        pins: List[Tuple[Database, int]] = []
+        value: Union[int, float, bool]
+        try:
+            for shard_index, part in enumerate(self._parts):
+                db = self.sdb.shards[shard_index]
+                view = part._reader_view(None)
+                views.append((shard_index, db, view))
+                if view[4] is not None:
+                    pins.append((db, view[4]))
+
+            # One global plan: index lookups per shard, then a single
+            # partition into pruned / synopsis-answered / decode items,
+            # deduplicated by tile domain (dual-presence safe).
+            seen: set = set()
+            candidates: List[
+                Tuple[int, TileEntry, MInterval, Optional[TileSynopsis]]
+            ] = []
+            covered = 0
+            for shard_index, db, (tiles_map, index, _vd, zones, _p) in views:
+                started = time.perf_counter()
+                result = index.search(region)
+                cpu_ix = (time.perf_counter() - started) * 1000.0
+                page_ix = sum(
+                    db.disk.charge_index_node()
+                    for _ in range(result.nodes_visited)
+                )
+                timing.t_ix += cpu_ix + page_ix
+                timing.t_ix_pages += page_ix
+                timing.index_nodes += result.nodes_visited
+                per_shard_ms[shard_index] += page_ix
+                zone_map = zones or {}
+                for hit in result.entries:
+                    entry = tiles_map[hit.tile_id]
+                    corner = tuple(entry.domain.lowest)
+                    if corner in seen:
+                        continue  # migration dual-presence: count once
+                    seen.add(corner)
+                    part_box = entry.domain.intersection(region)
+                    assert part_box is not None
+                    covered += part_box.cell_count
+                    candidates.append(
+                        (
+                            shard_index,
+                            entry,
+                            part_box,
+                            zone_map.get(entry.tile_id),
+                        )
+                    )
+
+            default_cells = 0
+            syn_answered: List[Tuple[Tuple[int, ...], TileSynopsis]] = []
+            decode_by_shard: Dict[
+                int, List[Tuple[TileEntry, MInterval]]
+            ] = {}
+            bound_syns: List[Optional[TileSynopsis]] = []
+            for shard_index, entry, part_box, syn in candidates:
+                if (
+                    predicate is not None
+                    and prune
+                    and syn is not None
+                    and not synopsis_can_match(syn, predicate, dtype)
+                ):
+                    default_cells += part_box.cell_count
+                    timing.tiles_pruned += 1
+                    continue
+                bound_syns.append(syn)
+                if (
+                    predicate is None
+                    and prune
+                    and syn is not None
+                    and region.contains(entry.domain)
+                ):
+                    syn_answered.append((tuple(entry.domain.lowest), syn))
+                    continue
+                decode_by_shard.setdefault(shard_index, []).append(
+                    (entry, part_box)
+                )
+            uncovered = region.cell_count - covered
+            default_cells += uncovered
+            pushed = partial_aggregate_eligible(
+                op,
+                dtype,
+                bound_syns,
+                uncovered,
+                default,
+                region.cell_count,
+                masked=predicate is not None,
+            )
+            if not pushed:
+                raise _Fallback()
+
+            # Scatter: each shard decodes its items through its own
+            # pipeline pool and reduces them to partials on the workers.
+            contributions = list(syn_answered)
+            peak_partial = 0
+            started = time.perf_counter()
+            with obs.span(
+                "shard.aggregate_push",
+                object=self.name,
+                op=op,
+                shards=len(decode_by_shard),
+            ):
+                for shard_index in sorted(decode_by_shard):
+                    db = self.sdb.shards[shard_index]
+                    items = sorted(
+                        decode_by_shard[shard_index],
+                        key=lambda item: db.disk.blob_pages(
+                            item[0].blob_id
+                        ).start,
+                    )
+                    partials, peak = fetch_tile_partials(
+                        db, items, dtype, predicate=predicate, default=default
+                    )
+                    peak_partial = max(peak_partial, peak)
+                    for item in partials:
+                        entry = item.entry
+                        timing.t_o += item.cost
+                        per_shard_ms[shard_index] += item.cost
+                        timing.tiles_read += 1
+                        per_shard_tiles[shard_index] += 1
+                        timing.bytes_read += item.payload_bytes
+                        timing.pages_read += db.disk.blob_pages(
+                            entry.blob_id
+                        ).count
+                        timing.cells_fetched += entry.domain.cell_count
+                        if item.partial is None:
+                            default_cells += item.part.cell_count
+                            continue
+                        contributions.append(
+                            (tuple(entry.domain.lowest), item.partial)
+                        )
+                        timing.tiles_partial_agg += 1
+            timing.peak_partial_bytes = peak_partial
+            contributions.sort(key=lambda pair: pair[0])
+            value = combine_aggregate(
+                op,
+                dtype,
+                [syn for _, syn in contributions],
+                [],
+                default_cells,
+                default,
+                region.cell_count,
+            )
+            timing.tiles_synopsis_answered = len(syn_answered)
+            timing.t_cpu = (time.perf_counter() - started) * 1000.0
+        except _Fallback:
+            pushed = False
+        finally:
+            for db, pin in pins:
+                db.epoch.unpin(pin)
+        if not pushed:
+            # Materialized fallback: bitwise the v1 path, charged as one.
+            data, timing = self.read(
+                region, predicate=predicate, prune=prune
+            )
+            started = time.perf_counter()
+            value = AGG_FUNCS[op](data)
+            timing.t_cpu += (time.perf_counter() - started) * 1000.0
+            return value, timing, False
+        self.last_scatter = ScatterStats(per_shard_ms, per_shard_tiles)
+        _SCATTER_AGGS.inc()
+        return value, timing, True
+
+    def _check_aggregate(self, op: str) -> None:
+        if op not in AGG_FUNCS:
+            raise QueryError(f"unknown aggregate {op!r}")
+        if self.mdd_type.base.dtype.fields is not None:
+            raise QueryError(
+                f"aggregate {op!r} needs a numeric base type, object "
+                f"{self.name!r} has {self.mdd_type.base.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedMDD({self.name!r}, shards={self.tiles_per_shard()}, "
+            f"domain={self._current_domain})"
+        )
+
+
+class _Fallback(Exception):
+    """Internal: pushdown ineligible, take the materialized path."""

@@ -1,0 +1,228 @@
+"""Rebalance-vs-reader races on seeded schedules.
+
+The rebalancer migrates a key span as two per-shard MVCC commits (copy
+into the destination, delete from the source) under the sharded write
+latch — but scatter readers never take that latch and pin their
+per-shard views sequentially, so a migration completing between two
+pins could hide the moving tiles from both views.  The
+``fanout_seq`` seqlock exists to close exactly that window; these tests
+drive real reader / writer / rebalancer threads through the
+:class:`~tests.concurrency.vsched.VirtualScheduler` and validate every
+read against the committed-history checker: a torn read (migration
+half-seen) or a mixed-epoch read (half of an update) produces a digest
+matching no committed state and fails the seed with its replay line.
+
+``SCHED_SEED_BASE`` / ``SCHED_SEED_COUNT`` select the seed matrix;
+``SCHED_LOG_DIR`` collects decision traces of failing seeds.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.cells import base_type
+from repro.core.geometry import MInterval
+from repro.core.mdd import Tile
+from repro.core.mddtype import MDDType
+from repro.shard import Rebalancer, ShardedDatabase
+from repro.tiling.base import grid_partition
+from tests.concurrency.checker import History, Observation, check, digest
+from tests.concurrency.vsched import VirtualScheduler, format_trace
+
+SEED_BASE = int(os.environ.get("SCHED_SEED_BASE", "100"))
+SEED_COUNT = int(os.environ.get("SCHED_SEED_COUNT", "8"))
+SEEDS = list(range(SEED_BASE, SEED_BASE + SEED_COUNT))
+
+DOMAIN = MInterval.parse("[0:15,0:15]")
+TILE_SHAPE = (4, 4)  # 16 tiles: enough keys that median splits move
+#: The writer's target — exactly one tile, so every update is a single
+#: single-shard transaction (atomic to readers by per-shard MVCC).
+UPDATE_REGION = MInterval.parse("[0:3,0:3]")
+#: The mover's probe — one tile at the top of the key space; heating it
+#: makes whichever shard currently owns it the rebalance source.
+HOT_REGION = MInterval.parse("[12:15,12:15]")
+WRITER_ROUNDS = 4
+READER_ROUNDS = 4
+MOVER_CYCLES = 3
+
+
+def _base_array() -> np.ndarray:
+    return (np.arange(256) % 251).astype(np.uint8).reshape(16, 16)
+
+
+def _expected_digests() -> list:
+    """Digest of the full object after 0..WRITER_ROUNDS commits."""
+    out = []
+    for i in range(WRITER_ROUNDS + 1):
+        data = _base_array()
+        if i:
+            data[0:4, 0:4] = 200 + i
+        out.append(digest(data))
+    return out
+
+
+def _build():
+    sdb = ShardedDatabase(2, io_workers=1)
+    mdd = MDDType("img", base_type("char"), DOMAIN)
+    obj = sdb.create_object("c", mdd, "o")
+    data = _base_array()
+    obj.write_tiles(
+        [
+            Tile(box, data[box.to_slices((0, 0))].copy())
+            for box in grid_partition(DOMAIN, TILE_SHAPE)
+        ]
+    )
+    return sdb, obj
+
+
+def _writer(obj, history: History, clock: list):
+    """Single-tile updates: each commit is atomic on one shard, so every
+    read must land exactly on one committed version of the tile."""
+
+    def run():
+        for i in range(1, WRITER_ROUNDS + 1):
+            obj.update(
+                UPDATE_REGION, np.full((4, 4), 200 + i, np.uint8)
+            )
+            history.record_commit(i, {"o": _expected_digests()[i]})
+            clock[0] = i
+
+    return run
+
+
+def _reader(name, obj, clock: list, out: list):
+    """Full-domain scatter reads spanning both shards mid-migration."""
+
+    def run():
+        for _ in range(READER_ROUNDS):
+            lo = clock[0]
+            array, _ = obj.read(DOMAIN)
+            hi = clock[0]
+            out.append((name, lo, hi, digest(array)))
+
+    return run
+
+
+def _mover(sdb, obj, moves: list):
+    """Heat whichever shard owns the probe tile, then migrate its upper
+    key span to the other shard — ping-ponging tiles under the readers.
+
+    The probe region is disjoint from the writer's tile, so its bytes
+    never change: a probe read differing from the initial bytes is
+    itself a torn migration read and fails the worker.
+    """
+    probe = digest(_base_array()[12:16, 12:16])
+
+    def run():
+        rebalancer = Rebalancer(sdb)
+        for _ in range(MOVER_CYCLES):
+            for _ in range(4):
+                got, _ = obj.read(HOT_REGION)
+                assert digest(got) == probe, (
+                    "probe tile bytes changed: torn migration read"
+                )
+            report = rebalancer.rebalance_once(ratio=1.01)
+            if report is not None:
+                moves.append(report)
+
+    return run
+
+
+def _resolve(history: History, raw: list) -> list:
+    """Map each read's digest back to the commit that produced it.
+
+    A digest matching no committed state — a blend of two updates, or a
+    migration that hid a tile from both of the reader's shard views —
+    is the torn read this suite exists to catch.
+
+    The version clock is bumped *after* each commit publishes, so at
+    most one commit can be visible beyond the sampled ceiling; the
+    checker's freshness window accounts for that single in-flight
+    commit (``hi + 1``).
+    """
+    expected = _expected_digests()
+    by_digest = {content: i for i, content in enumerate(expected)}
+    observations = []
+    for name, lo, hi, content in raw:
+        assert content in by_digest, (
+            f"{name}: digest {content} matches no committed state — "
+            f"torn or mixed-epoch read"
+        )
+        observations.append(
+            Observation(
+                name,
+                lo_epoch=lo,
+                hi_epoch=hi + 1,
+                versions={"o": by_digest[content]},
+                digests={"o": content},
+                snapshot=False,
+            )
+        )
+    return observations
+
+
+def _dump_trace(seed: int, sched: VirtualScheduler) -> None:
+    log_dir = os.environ.get("SCHED_LOG_DIR")
+    if not log_dir:
+        return
+    Path(log_dir).mkdir(parents=True, exist_ok=True)
+    path = Path(log_dir) / f"shard_rebalance_seed{seed}.trace"
+    path.write_text(format_trace(sched.trace) + "\n", encoding="utf-8")
+
+
+def _run_schedule(seed: int):
+    sdb, obj = _build()
+    history = History()
+    history.record_initial({"o": _expected_digests()[0]})
+    clock = [0]
+    raw: list = []
+    moves: list = []
+    sched = VirtualScheduler(seed)
+    sched.add("writer", _writer(obj, history, clock))
+    sched.add("reader-1", _reader("reader-1", obj, clock, raw))
+    sched.add("reader-2", _reader("reader-2", obj, clock, raw))
+    sched.add("mover", _mover(sdb, obj, moves))
+    try:
+        sched.run()
+        observations = _resolve(history, raw)
+        check(history, observations)
+    except Exception:
+        _dump_trace(seed, sched)
+        raise
+    return sched, obj, moves, observations
+
+
+class TestRebalanceReaderRaces:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_torn_or_mixed_epoch_reads(self, seed):
+        sched, obj, moves, observations = _run_schedule(seed)
+        # the schedule really raced a migration against the readers
+        assert moves, f"seed {seed}: no migration happened"
+        assert len(observations) == 2 * READER_ROUNDS
+        assert len(sched.trace) > 50
+        # and the deployment came out whole: every tile still placed
+        # exactly once, final bytes equal to the last committed state
+        assert sum(obj.tiles_per_shard()) == 16
+        final, _ = obj.read(DOMAIN)
+        want = _base_array()
+        want[0:4, 0:4] = 200 + WRITER_ROUNDS
+        assert final.tobytes() == want.tobytes()
+
+    def test_same_seed_replays_identically(self):
+        first, _, first_moves, first_obs = _run_schedule(SEED_BASE)
+        second, _, second_moves, second_obs = _run_schedule(SEED_BASE)
+        assert first.trace == second.trace
+        assert first_obs == second_obs
+        assert [str(m) for m in first_moves] == [
+            str(m) for m in second_moves
+        ]
+
+    def test_no_pins_leak_after_schedule(self):
+        _, obj, _, _ = _run_schedule(SEED_BASE)
+        for db in obj.sdb.shards:
+            assert db.epoch.active_pins == 0
+            assert db.epoch.limbo_size == 0

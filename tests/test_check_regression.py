@@ -1,0 +1,142 @@
+"""The bench regression gate must never pass vacuously.
+
+Covers the two silent-pass holes: a missing baseline file (the gate
+used to print a generic read error only after ``_load`` — and a shell
+that ignored stderr saw nothing actionable) and a baseline that gates
+zero fields (empty ``{}`` compared clean against anything).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+
+
+def _run(*argv: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _artifact(label: str = "pipeline") -> dict:
+    return {
+        "label": label,
+        "identity": {"byte_identical": True},
+        "modes": {
+            "serial": {
+                "q0": {
+                    "digest": "abc123",
+                    "timing": {"t_o": 10.0, "tiles_read": 4},
+                }
+            }
+        },
+    }
+
+
+@pytest.fixture()
+def workdir(tmp_path: Path) -> Path:
+    return tmp_path
+
+
+class TestMissingBaseline:
+    def test_missing_baseline_fails_loudly(self, workdir: Path) -> None:
+        candidate = workdir / "BENCH_ghost.json"
+        candidate.write_text(json.dumps(_artifact()))
+        missing = workdir / "baselines" / "BENCH_ghost.json"
+        result = _run(str(candidate), str(missing))
+        assert result.returncode == 2
+        assert "no committed baseline" in result.stderr
+        assert "BENCH_ghost.json" in result.stderr
+        # the error tells the operator how to create one
+        assert "bench" in result.stderr
+
+    def test_missing_candidate_still_fails(self, workdir: Path) -> None:
+        baseline = workdir / "BENCH_x.json"
+        baseline.write_text(json.dumps(_artifact()))
+        result = _run(str(workdir / "nope.json"), str(baseline))
+        assert result.returncode == 2
+        assert "cannot read" in result.stderr
+
+    def test_default_baseline_path_miss_is_loud(self, workdir: Path) -> None:
+        # no BASELINE argument: the default resolves under
+        # benchmarks/baselines/ by candidate filename — a label that was
+        # never committed must fail, not pass
+        candidate = workdir / "BENCH_never_committed_label.json"
+        candidate.write_text(json.dumps(_artifact()))
+        result = _run(str(candidate))
+        assert result.returncode == 2
+        assert "no committed baseline" in result.stderr
+
+
+class TestVacuousBaseline:
+    def test_empty_baseline_gates_nothing_and_fails(
+        self, workdir: Path
+    ) -> None:
+        candidate = workdir / "BENCH_e.json"
+        baseline = workdir / "BENCH_e_base.json"
+        candidate.write_text(json.dumps(_artifact()))
+        baseline.write_text("{}")
+        result = _run(str(candidate), str(baseline))
+        assert result.returncode == 2
+        assert "gates nothing" in result.stderr
+
+
+class TestComparison:
+    def test_matching_artifacts_pass(self, workdir: Path) -> None:
+        candidate = workdir / "BENCH_ok.json"
+        baseline = workdir / "BENCH_ok_base.json"
+        candidate.write_text(json.dumps(_artifact()))
+        baseline.write_text(json.dumps(_artifact()))
+        result = _run(str(candidate), str(baseline))
+        assert result.returncode == 0, result.stderr
+        assert "ok: 1 mode/query results" in result.stdout
+
+    def test_digest_change_is_a_regression(self, workdir: Path) -> None:
+        candidate_doc = _artifact()
+        candidate_doc["modes"]["serial"]["q0"]["digest"] = "tampered"
+        candidate = workdir / "BENCH_r.json"
+        baseline = workdir / "BENCH_r_base.json"
+        candidate.write_text(json.dumps(candidate_doc))
+        baseline.write_text(json.dumps(_artifact()))
+        result = _run(str(candidate), str(baseline))
+        assert result.returncode == 1
+        assert "digest changed" in result.stdout
+
+    def test_lapsed_identity_verdict_is_a_regression(
+        self, workdir: Path
+    ) -> None:
+        candidate_doc = _artifact()
+        candidate_doc["identity"]["byte_identical"] = False
+        candidate = workdir / "BENCH_v.json"
+        baseline = workdir / "BENCH_v_base.json"
+        candidate.write_text(json.dumps(candidate_doc))
+        baseline.write_text(json.dumps(_artifact()))
+        result = _run(str(candidate), str(baseline))
+        assert result.returncode == 1
+        assert "identity.byte_identical" in result.stdout
+
+    def test_charge_field_drift_is_a_regression(self, workdir: Path) -> None:
+        candidate_doc = _artifact()
+        candidate_doc["modes"]["serial"]["q0"]["timing"]["tiles_read"] = 9
+        candidate = workdir / "BENCH_c.json"
+        baseline = workdir / "BENCH_c_base.json"
+        candidate.write_text(json.dumps(candidate_doc))
+        baseline.write_text(json.dumps(_artifact()))
+        result = _run(str(candidate), str(baseline))
+        assert result.returncode == 1
+        assert "tiles_read" in result.stdout
+
+    def test_shard_label_uses_pipeline_shape(self, workdir: Path) -> None:
+        doc = _artifact(label="shard")
+        candidate = workdir / "BENCH_shard.json"
+        baseline = workdir / "BENCH_shard_base.json"
+        candidate.write_text(json.dumps(doc))
+        baseline.write_text(json.dumps(doc))
+        result = _run(str(candidate), str(baseline))
+        assert result.returncode == 0, result.stderr

@@ -28,12 +28,14 @@ from repro.core.cells import base_type
 from repro.core.errors import ChecksumError
 from repro.core.geometry import MInterval
 from repro.core.mddtype import MDDType
+from repro.shard import ShardedDatabase, ShardedFollower
 from repro.storage.catalog import create_database, open_database
 from repro.storage.faults import FaultInjector, FaultPlan, SimulatedCrash
 from repro.storage.fsck import fsck_database
 from repro.tiling.aligned import RegularTiling
 
 PAGE_SIZE = 128
+N_SHARDS = 2
 FULL_SWEEP = os.environ.get("CRASH_GAUNTLET_FULL") == "1"
 FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
 
@@ -320,6 +322,247 @@ class TestCrashAnywhere:
         assert _state(db) == first
         db.close()
         assert fsck_database(directory, deep=True).ok
+
+
+def _sharded_steps(sdb):
+    """The replicated workload: each step is one sharded-level commit
+    (which the router fans out as at most one WAL transaction per
+    shard — cross-shard steps commit shard by shard, in shard order)."""
+    t = _mdd_type()
+    return [
+        lambda: sdb.create_object("c", t, "o"),
+        lambda: sdb.collection("c")["o"].load_array(
+            _array(), RegularTiling(512)
+        ),
+        lambda: sdb.collection("c")["o"].update(
+            MInterval.parse("[0:7,0:7]"), np.full((8, 8), 7, np.uint8)
+        ),
+        lambda: sdb.collection("c")["o"].delete_region(
+            MInterval.parse("[16:31,0:31]")
+        ),
+        lambda: sdb.collection("c")["o"].update(
+            MInterval.parse("[8:15,8:15]"), np.zeros((8, 8), np.uint8)
+        ),
+    ]
+
+
+def _sharded_committed_states(directory):
+    """Per-shard states after 0..N committed steps of a crash-free run.
+
+    Cross-shard steps are not atomic across shards (one WAL transaction
+    *per shard*, committed sequentially), so the recovery contract is
+    per-shard: each shard must land on a committed prefix of its own
+    transaction stream.  ``states[shard][k]`` is shard ``shard`` after
+    ``k`` sharded-level steps.
+    """
+    sdb = ShardedDatabase.create(
+        directory, N_SHARDS, durability="wal+fsync", page_size=PAGE_SIZE
+    )
+    per_shard = [[_state(db)] for db in sdb.shards]
+    for step in _sharded_steps(sdb):
+        step()
+        for shard, db in enumerate(sdb.shards):
+            per_shard[shard].append(_state(db))
+    sdb.close()
+    return per_shard
+
+
+def _sharded_measure(directory):
+    """Write volume of a clean replicated run.
+
+    The shared injector threads one byte counter through every shard's
+    page file and WAL, so offsets sweep the deployment's combined write
+    stream.  Follower I/O never touches the injector — the sweep kills
+    only the primary, as a real primary-host crash would.
+    """
+    injector = FaultInjector()
+    sdb = ShardedDatabase.create(
+        directory,
+        N_SHARDS,
+        durability="wal+fsync",
+        page_size=PAGE_SIZE,
+        injector=injector,
+    )
+    setup_bytes = injector.bytes_written
+    for step in _sharded_steps(sdb):
+        step()
+    sdb.close()
+    return injector, setup_bytes
+
+
+def _run_replicated_with_plan(primary_dir, replica_dir, plan):
+    """Replicated ingest under a fault plan: ship after every commit.
+
+    Returns ``(outcome, follower, shipped)`` where ``shipped`` counts
+    the sharded-level steps fully committed *and* shipped before the
+    crash; ``follower`` is ``None`` when the primary died before the
+    follower set could bootstrap.
+    """
+    injector = FaultInjector(plan)
+    follower = None
+    shipped = 0
+    try:
+        primary = ShardedDatabase.create(
+            primary_dir,
+            N_SHARDS,
+            durability="wal+fsync",
+            page_size=PAGE_SIZE,
+            injector=injector,
+        )
+        follower = ShardedFollower(primary, replica_dir)
+        for step in _sharded_steps(primary):
+            step()
+            follower.ship()
+            shipped += 1
+        primary.close()
+        return "completed", follower, shipped
+    except SimulatedCrash:
+        return "crashed", follower, shipped
+
+
+def _check_replicated_recovery(
+    primary_dir, follower, shipped, per_shard_states, log_path, context
+):
+    """Promote the follower set over the dead primary and verify.
+
+    The promoted follower must hold **exactly the shipped committed
+    prefix**: per shard, its state equals some committed prefix no
+    shorter than the last explicit ship, it is byte-identical to what
+    primary crash-recovery itself reconstructs from the same log, and
+    both sides fsck clean.
+    """
+    if follower is None:
+        # died while the deployment was still being created: there was
+        # no follower to fail over to, and nothing was ever shipped
+        _log_line(log_path, {**context, "outcome": "no-follower"})
+        return
+    promoted = follower.promote()
+    promoted_states = [_state(f.db) for f in follower.followers]
+    reopened = ShardedDatabase.open(primary_dir)
+    reopened_states = [_state(db) for db in reopened.shards]
+    promoted.close()
+    reopened.close()
+    matched = []
+    for shard, states in enumerate(per_shard_states):
+        got = promoted_states[shard]
+        prefix = next(
+            (
+                k
+                for k in range(shipped, len(states))
+                if states[k] == got
+            ),
+            None,
+        )
+        matched.append(prefix)
+    fsck_reports = {
+        "replica": [
+            fsck_database(f.replica_dir) for f in follower.followers
+        ],
+        "primary": [
+            fsck_database(d) for d in follower.primary.shard_dirs
+        ],
+    }
+    _log_line(
+        log_path,
+        {
+            **context,
+            "outcome": "promoted",
+            "shipped_steps": shipped,
+            "matched_prefix": matched,
+            "follower_equals_recovered_primary": (
+                promoted_states == reopened_states
+            ),
+            "fsck_ok": {
+                side: [r.ok for r in reports]
+                for side, reports in fsck_reports.items()
+            },
+        },
+    )
+    for shard, prefix in enumerate(matched):
+        assert prefix is not None, (
+            f"{context}: shard {shard} follower holds no committed "
+            f"prefix at or past the {shipped} shipped steps"
+        )
+    assert promoted_states == reopened_states, (
+        f"{context}: promoted follower diverges from primary crash "
+        f"recovery over the same committed log prefix"
+    )
+    for side, reports in fsck_reports.items():
+        for shard, report in enumerate(reports):
+            assert report.ok, (
+                f"{context}: {side} shard {shard} fsck found "
+                f"{report.issues}"
+            )
+
+
+class TestReplicatedIngestGauntlet:
+    """Satellite: kill the primary at every WAL write offset of a
+    replicated ingest; the promoted follower must recover exactly the
+    shipped committed prefix, fsck-clean on both sides."""
+
+    def test_replicated_crash_at_every_write_offset(self, tmp_path):
+        per_shard_states = _sharded_committed_states(tmp_path / "clean")
+        clean, setup_bytes = _sharded_measure(tmp_path / "measure")
+        total = clean.bytes_written
+        log_path = _crash_log(tmp_path, "gauntlet_replicated.jsonl")
+        if FULL_SWEEP:
+            offsets = range(total + 1)
+        else:
+            # dense sample over the ingest range (the interesting
+            # offsets start once the deployment exists), plus the
+            # create-time and stream-edge cases
+            offsets = sorted(
+                {
+                    0,
+                    setup_bytes - 1,
+                    setup_bytes,
+                    total - 1,
+                    total,
+                    *range(setup_bytes, total, 211),
+                }
+            )
+        for offset in offsets:
+            primary_dir = tmp_path / f"p{offset}"
+            replica_dir = tmp_path / f"r{offset}"
+            outcome, follower, shipped = _run_replicated_with_plan(
+                primary_dir, replica_dir, FaultPlan(crash_at_byte=offset)
+            )
+            if offset < total:
+                assert outcome == "crashed", (
+                    f"offset {offset} below {total} must crash"
+                )
+            _check_replicated_recovery(
+                primary_dir,
+                follower,
+                shipped,
+                per_shard_states,
+                log_path,
+                {"mode": "replicated_crash_at_byte", "offset": offset},
+            )
+
+    def test_crash_between_shard_commits_of_one_step(self, tmp_path):
+        """Pin the nastiest case: a cross-shard step dies after shard 0
+        committed but before shard 1 did.  Each shard must still land
+        on a committed prefix of its own stream, and the follower must
+        agree with primary recovery byte for byte."""
+        per_shard_states = _sharded_committed_states(tmp_path / "clean")
+        clean, setup_bytes = _sharded_measure(tmp_path / "measure")
+        # the load step's fan-out sits just past setup: an offset a few
+        # hundred bytes in lands between its per-shard transactions
+        offset = setup_bytes + (clean.bytes_written - setup_bytes) // 3
+        primary_dir = tmp_path / "p"
+        outcome, follower, shipped = _run_replicated_with_plan(
+            primary_dir, tmp_path / "r", FaultPlan(crash_at_byte=offset)
+        )
+        assert outcome == "crashed"
+        _check_replicated_recovery(
+            primary_dir,
+            follower,
+            shipped,
+            per_shard_states,
+            None,
+            {"mode": "replicated_partial_step", "offset": offset},
+        )
 
 
 class TestTornPageRepair:
